@@ -1,0 +1,468 @@
+//! Galil-style allocation by bisection on the marginal value λ.
+//!
+//! For concave utilities, the optimal single-pool allocation equalizes
+//! marginal utilities: there is a "price" `λ*` such that every thread takes
+//! `x_i(λ*) = sup { x ≤ cap_i : f_i′(x) ≥ λ* }` and the demands sum to the
+//! budget. Total demand `D(λ) = Σ x_i(λ)` is nonincreasing in λ, so `λ*`
+//! is found by binary search — the `O(n (log B)²)`-flavor algorithm the
+//! paper cites as \[16\] (Galil).
+//!
+//! The search produces a bracket `[λ_hi-demand ≤ B ≤ λ_lo-demand]`
+//! collapsed to floating-point resolution; the leftover `B − D(λ_hi)` is
+//! then spread over the threads that are *marginal* at the final price
+//! (their demand jumps across the bracket — piecewise-linear utilities hit
+//! this case at every kink). For strictly concave smooth utilities the
+//! bracket collapse alone reaches machine precision.
+
+use aa_utility::Utility;
+use rayon::prelude::*;
+
+use crate::Allocation;
+
+/// Number of bisection iterations. 128 halvings shrink any initial bracket
+/// below f64 resolution; the budget-repair step mops up whatever remains.
+const MAX_ITERS: u32 = 128;
+
+/// Thread-count threshold past which [`allocate_par`] fans the per-λ
+/// demand evaluation out with rayon. Below it the sequential path is
+/// faster (the fork-join overhead exceeds the work).
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Allocate `budget` among `utils` maximizing total utility, each thread
+/// additionally capped at its own [`Utility::cap`]. Returns the allocation
+/// and the achieved utility.
+///
+/// Guarantees (up to floating point):
+///
+/// * feasibility: `amounts[i] ∈ [0, utils[i].cap()]` and
+///   `Σ amounts ≤ budget`;
+/// * exhaustion (the paper's Lemma V.3): if `budget ≤ Σ caps`, then
+///   `Σ amounts = budget` — nondecreasing utilities never benefit from
+///   leaving resource on the table;
+/// * optimality: utilities' marginal values are equalized at the returned
+///   price; validated against [`segment`](crate::segment) (exact for
+///   piecewise-linear) and [`exact_dp`](crate::exact_dp) in tests.
+///
+/// # Example
+///
+/// ```
+/// use aa_allocator::bisection::allocate;
+/// use aa_utility::Power;
+///
+/// // Two identical √x threads share 8 units: the optimum is the even split.
+/// let threads = vec![Power::new(1.0, 0.5, 10.0), Power::new(1.0, 0.5, 10.0)];
+/// let alloc = allocate(&threads, 8.0);
+/// assert!((alloc.amounts[0] - 4.0).abs() < 1e-6);
+/// assert!((alloc.amounts[1] - 4.0).abs() < 1e-6);
+/// ```
+pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
+    assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
+    let n = utils.len();
+    if n == 0 {
+        return Allocation {
+            amounts: vec![],
+            utility: 0.0,
+        };
+    }
+
+    // Ample budget: everyone saturates.
+    let caps: Vec<f64> = utils.iter().map(|f| f.cap()).collect();
+    let total_cap: f64 = caps.iter().sum();
+    if budget >= total_cap {
+        let amounts = caps;
+        let utility = crate::total_utility(utils, &amounts);
+        return Allocation { amounts, utility };
+    }
+
+    let demand = |lambda: f64| -> f64 {
+        utils.iter().map(|f| f.inverse_derivative(lambda)).sum()
+    };
+
+    // Bracket the price. At λ = 0 demand is Σ caps > budget (checked
+    // above). Grow λ_hi geometrically until demand fits under the budget;
+    // derivatives may be +∞ at x = 0 but are finite for x > 0, so demand
+    // eventually drops below any positive budget... except when some
+    // utility has infinite derivative on a set of positive measure, which
+    // no concave function has.
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut grow = 0;
+    while demand(hi) > budget {
+        lo = hi;
+        hi *= 2.0;
+        grow += 1;
+        assert!(
+            grow < 1100,
+            "could not bracket the marginal price; utility derivatives do not decay"
+        );
+    }
+
+    // Invariant: demand(lo) > budget ≥ demand(hi).
+    for _ in 0..MAX_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break; // bracket collapsed to adjacent floats
+        }
+        if demand(mid) > budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    // Base allocation at the high price (fits in the budget), then spread
+    // the leftover over threads whose demand is elastic across the bracket
+    // — the marginal threads sitting exactly at the price.
+    let mut amounts: Vec<f64> = utils.iter().map(|f| f.inverse_derivative(hi)).collect();
+    let spent: f64 = amounts.iter().sum();
+    let mut leftover = budget - spent;
+    if leftover > 0.0 {
+        let lo_amounts: Vec<f64> = utils.iter().map(|f| f.inverse_derivative(lo)).collect();
+        let slack: Vec<f64> = lo_amounts
+            .iter()
+            .zip(&amounts)
+            .map(|(&a, &b)| (a - b).max(0.0))
+            .collect();
+        let total_slack: f64 = slack.iter().sum();
+        if total_slack > 0.0 {
+            // Proportional fill: all slack sits at (numerically) the same
+            // marginal value, so any split is optimal; proportional keeps
+            // the result deterministic.
+            let frac = (leftover / total_slack).min(1.0);
+            for (amt, s) in amounts.iter_mut().zip(&slack) {
+                *amt += frac * s;
+            }
+            leftover -= frac * total_slack;
+        }
+        // Numerical crumbs (or zero-slack corner): pour into any thread
+        // with remaining cap; utilities are nondecreasing so this never
+        // hurts. Ensures Lemma V.3 (full budget use) exactly.
+        if leftover > 0.0 {
+            for (amt, f) in amounts.iter_mut().zip(utils) {
+                let room = f.cap() - *amt;
+                if room > 0.0 {
+                    let add = room.min(leftover);
+                    *amt += add;
+                    leftover -= add;
+                    if leftover <= 0.0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let utility = crate::total_utility(utils, &amounts);
+    Allocation { amounts, utility }
+}
+
+/// [`allocate`] with the per-λ demand sums evaluated in parallel
+/// (rayon) once `utils.len() ≥ `[`PAR_THRESHOLD`]; identical results up
+/// to floating-point summation order.
+///
+/// The bisection performs ~130 demand evaluations, each an independent
+/// map-reduce over all threads — embarrassingly parallel at web-scale
+/// instance sizes (`n` in the hundreds of thousands), where the
+/// super-optimal allocation is the entire running time of Algorithm 2.
+pub fn allocate_par<U: Utility + Sync>(utils: &[U], budget: f64) -> Allocation {
+    assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
+    let n = utils.len();
+    if n < PAR_THRESHOLD {
+        return allocate(utils, budget);
+    }
+
+    let caps: Vec<f64> = utils.par_iter().map(|f| f.cap()).collect();
+    let total_cap: f64 = caps.iter().sum();
+    if budget >= total_cap {
+        let amounts = caps;
+        let utility = utils
+            .par_iter()
+            .zip(&amounts)
+            .map(|(f, &x)| f.value(x))
+            .sum();
+        return Allocation { amounts, utility };
+    }
+
+    let demand = |lambda: f64| -> f64 {
+        utils
+            .par_iter()
+            .map(|f| f.inverse_derivative(lambda))
+            .sum()
+    };
+
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut grow = 0;
+    while demand(hi) > budget {
+        lo = hi;
+        hi *= 2.0;
+        grow += 1;
+        assert!(
+            grow < 1100,
+            "could not bracket the marginal price; utility derivatives do not decay"
+        );
+    }
+    for _ in 0..MAX_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        if demand(mid) > budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    let mut amounts: Vec<f64> = utils
+        .par_iter()
+        .map(|f| f.inverse_derivative(hi))
+        .collect();
+    let spent: f64 = amounts.iter().sum();
+    let mut leftover = budget - spent;
+    if leftover > 0.0 {
+        let lo_amounts: Vec<f64> = utils
+            .par_iter()
+            .map(|f| f.inverse_derivative(lo))
+            .collect();
+        let slack: Vec<f64> = lo_amounts
+            .iter()
+            .zip(&amounts)
+            .map(|(&a, &b)| (a - b).max(0.0))
+            .collect();
+        let total_slack: f64 = slack.iter().sum();
+        if total_slack > 0.0 {
+            let frac = (leftover / total_slack).min(1.0);
+            for (amt, s) in amounts.iter_mut().zip(&slack) {
+                *amt += frac * s;
+            }
+            leftover -= frac * total_slack;
+        }
+        if leftover > 0.0 {
+            for (amt, f) in amounts.iter_mut().zip(utils) {
+                let room = f.cap() - *amt;
+                if room > 0.0 {
+                    let add = room.min(leftover);
+                    *amt += add;
+                    leftover -= add;
+                    if leftover <= 0.0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let utility = utils
+        .par_iter()
+        .zip(&amounts)
+        .map(|(f, &x)| f.value(x))
+        .sum();
+    Allocation { amounts, utility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility::{CappedLinear, LogUtility, PiecewiseLinear, Power, Utility};
+
+    #[test]
+    fn empty_input() {
+        let utils: Vec<Power> = vec![];
+        let a = allocate(&utils, 5.0);
+        assert!(a.amounts.is_empty());
+        assert_eq!(a.utility, 0.0);
+    }
+
+    #[test]
+    fn ample_budget_saturates_all_caps() {
+        let utils: Vec<Box<dyn Utility>> = vec![
+            Box::new(Power::new(1.0, 0.5, 4.0)),
+            Box::new(LogUtility::new(2.0, 1.0, 6.0)),
+        ];
+        let a = allocate(&utils, 100.0);
+        assert_eq!(a.amounts, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn identical_threads_split_evenly() {
+        // Strictly concave identical utilities ⇒ optimal is the even split.
+        let utils: Vec<Power> = (0..4).map(|_| Power::new(1.0, 0.5, 10.0)).collect();
+        let a = allocate(&utils, 8.0);
+        for &x in &a.amounts {
+            assert!((x - 2.0).abs() < 1e-6, "expected even split, got {:?}", a.amounts);
+        }
+        assert!((a.total_allocated() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_fully_used() {
+        // Lemma V.3: nondecreasing utilities use the entire budget.
+        let utils: Vec<Box<dyn Utility>> = vec![
+            Box::new(Power::new(1.0, 0.5, 10.0)),
+            Box::new(LogUtility::new(2.0, 1.0, 10.0)),
+            Box::new(Power::new(3.0, 0.25, 10.0)),
+        ];
+        for budget in [0.5, 3.0, 12.0, 29.9] {
+            let a = allocate(&utils, budget);
+            assert!(
+                (a.total_allocated() - budget).abs() < 1e-6,
+                "budget {budget}: allocated {}",
+                a.total_allocated()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_individual_caps() {
+        let utils = vec![Power::new(100.0, 0.5, 1.0), Power::new(0.1, 0.5, 10.0)];
+        let a = allocate(&utils, 5.0);
+        assert!(a.amounts[0] <= 1.0 + 1e-9);
+        // First thread is far more valuable: it saturates its cap.
+        assert!((a.amounts[0] - 1.0).abs() < 1e-6);
+        assert!((a.amounts[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equalizes_marginals_on_smooth_utilities() {
+        let utils = vec![
+            LogUtility::new(2.0, 1.0, 100.0),
+            LogUtility::new(3.0, 0.5, 100.0),
+            LogUtility::new(1.0, 2.0, 100.0),
+        ];
+        let a = allocate(&utils, 30.0);
+        // Interior optimum: derivatives equal across threads with x > 0.
+        let d: Vec<f64> = utils
+            .iter()
+            .zip(&a.amounts)
+            .map(|(f, &x)| f.derivative(x))
+            .collect();
+        for w in d.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-4, "marginals not equal: {d:?}");
+        }
+    }
+
+    #[test]
+    fn linear_tie_goes_somewhere_valid() {
+        // Two identical linear threads: any split of the budget is
+        // optimal; the allocator must use all of it and stay in caps.
+        let utils = vec![
+            CappedLinear::new(1.0, 5.0, 5.0),
+            CappedLinear::new(1.0, 5.0, 5.0),
+        ];
+        let a = allocate(&utils, 6.0);
+        assert!((a.total_allocated() - 6.0).abs() < 1e-9);
+        assert!(a.amounts.iter().all(|&x| (0.0..=5.0 + 1e-9).contains(&x)));
+        assert!((a.utility - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefers_steeper_capped_linear() {
+        // NP-hardness-style instance: capped linear with different knees.
+        let utils = vec![
+            CappedLinear::new(2.0, 3.0, 10.0),
+            CappedLinear::new(1.0, 4.0, 10.0),
+            CappedLinear::new(0.5, 6.0, 10.0),
+        ];
+        let a = allocate(&utils, 7.0);
+        // Optimal: fill thread 0 to 3 (slope 2), thread 1 to 4 (slope 1).
+        assert!((a.amounts[0] - 3.0).abs() < 1e-6);
+        assert!((a.amounts[1] - 4.0).abs() < 1e-6);
+        assert!(a.amounts[2] < 1e-6);
+        assert!((a.utility - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn piecewise_linear_matches_exact_segment_greedy() {
+        let utils = vec![
+            PiecewiseLinear::new(&[(0.0, 0.0), (2.0, 6.0), (5.0, 9.0), (10.0, 10.0)]).unwrap(),
+            PiecewiseLinear::new(&[(0.0, 0.0), (1.0, 4.0), (4.0, 7.0), (10.0, 8.5)]).unwrap(),
+            PiecewiseLinear::new(&[(0.0, 0.0), (3.0, 3.0), (10.0, 4.0)]).unwrap(),
+        ];
+        for budget in [1.0, 4.5, 9.0, 15.0, 25.0] {
+            let a = allocate(&utils, budget);
+            let exact = crate::segment::allocate_piecewise(&utils, budget);
+            assert!(
+                (a.utility - exact.utility).abs() < 1e-6 * exact.utility.max(1.0),
+                "budget {budget}: bisection {} vs exact {}",
+                a.utility,
+                exact.utility
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_allocates_nothing() {
+        let utils = vec![Power::new(1.0, 0.5, 10.0)];
+        let a = allocate(&utils, 0.0);
+        assert_eq!(a.amounts, vec![0.0]);
+        assert_eq!(a.utility, 0.0);
+    }
+
+    #[test]
+    fn infinite_derivative_at_zero_is_handled() {
+        // Power with β < 1 has f'(0) = ∞; every thread must still get a
+        // positive share for positive budget (optimal for such utilities).
+        let utils: Vec<Power> = (0..5).map(|i| Power::new(1.0 + i as f64, 0.5, 10.0)).collect();
+        let a = allocate(&utils, 10.0);
+        assert!(a.amounts.iter().all(|&x| x > 0.0), "{:?}", a.amounts);
+        assert!((a.total_allocated() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be finite")]
+    fn rejects_negative_budget() {
+        allocate(&[Power::new(1.0, 0.5, 1.0)], -1.0);
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+    use aa_utility::{LogUtility, Power, Utility};
+
+    #[test]
+    fn small_inputs_take_the_sequential_path() {
+        let utils = vec![Power::new(1.0, 0.5, 10.0), Power::new(2.0, 0.5, 10.0)];
+        let a = allocate(&utils, 10.0);
+        let b = allocate_par(&utils, 10.0);
+        assert_eq!(a, b); // bit-identical: same code path
+    }
+
+    #[test]
+    fn parallel_matches_sequential_above_threshold() {
+        // Mixed families, > PAR_THRESHOLD threads.
+        let utils: Vec<Box<dyn Utility + Send + Sync>> = (0..PAR_THRESHOLD + 100)
+            .map(|i| {
+                let s = 0.5 + (i % 17) as f64 * 0.3;
+                if i % 2 == 0 {
+                    Box::new(Power::new(s, 0.6, 100.0)) as Box<dyn Utility + Send + Sync>
+                } else {
+                    Box::new(LogUtility::new(s, 0.4, 100.0))
+                }
+            })
+            .collect();
+        let budget = 0.3 * 100.0 * utils.len() as f64;
+        let seq = allocate(&utils, budget);
+        let par = allocate_par(&utils, budget);
+        assert!(
+            (seq.utility - par.utility).abs() <= 1e-6 * seq.utility,
+            "seq {} vs par {}",
+            seq.utility,
+            par.utility
+        );
+        for (a, b) in seq.amounts.iter().zip(&par.amounts) {
+            assert!((a - b).abs() < 1e-6, "amounts diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_exhausts_budget() {
+        let utils: Vec<Power> = (0..PAR_THRESHOLD + 1)
+            .map(|i| Power::new(1.0 + (i % 5) as f64, 0.5, 50.0))
+            .collect();
+        let budget = 10_000.0;
+        let a = allocate_par(&utils, budget);
+        assert!((a.total_allocated() - budget).abs() < 1e-3);
+    }
+}

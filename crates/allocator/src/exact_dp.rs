@@ -1,0 +1,116 @@
+//! Brute-force dynamic program for single-pool allocation: ground truth.
+//!
+//! `dp[b]` = best total utility using the first `i` threads and `b`
+//! resource units. `O(n · k²)` for `k` units — far too slow for
+//! production, exactly right for validating the fast allocators on small
+//! instances (including *non*-equal-marginal corner cases like ties and
+//! caps). It makes no use of concavity, so it also certifies that the
+//! greedy's optimality claim holds where it should.
+
+use aa_utility::Utility;
+
+use crate::Allocation;
+
+/// Exact optimal allocation of `units` discrete units of size `unit`.
+///
+/// Intended for tests: cost is `O(n · units²)`.
+pub fn allocate_exact<U: Utility>(utils: &[U], units: usize, unit: f64) -> Allocation {
+    assert!(unit > 0.0 && unit.is_finite(), "unit size must be positive");
+    let n = utils.len();
+    if n == 0 {
+        return Allocation {
+            amounts: vec![],
+            utility: 0.0,
+        };
+    }
+
+    // Value of giving u units to thread i (clamped at the thread's cap).
+    let val = |i: usize, u: usize| -> f64 { utils[i].value(u as f64 * unit) };
+
+    // dp[i][b]: best utility with threads 0..i and budget b.
+    // choice[i][b]: units given to thread i in that optimum.
+    let mut dp = vec![vec![0.0_f64; units + 1]; n + 1];
+    let mut choice = vec![vec![0_usize; units + 1]; n];
+    for i in 0..n {
+        let max_take = ((utils[i].cap() / unit).floor() as usize).min(units);
+        for b in 0..=units {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_take = 0;
+            for take in 0..=max_take.min(b) {
+                let v = dp[i][b - take] + val(i, take);
+                if v > best {
+                    best = v;
+                    best_take = take;
+                }
+            }
+            dp[i + 1][b] = best;
+            choice[i][b] = best_take;
+        }
+    }
+
+    // Recover the allocation.
+    let mut amounts = vec![0.0_f64; n];
+    let mut b = units;
+    for i in (0..n).rev() {
+        let take = choice[i][b];
+        amounts[i] = take as f64 * unit;
+        b -= take;
+    }
+
+    let utility = crate::total_utility(utils, &amounts);
+    debug_assert!((utility - dp[n][units]).abs() < 1e-9 * utility.abs().max(1.0));
+    Allocation { amounts, utility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility::{CappedLinear, LogUtility, Power};
+
+    #[test]
+    fn matches_greedy_on_concave_instances() {
+        let utils: Vec<Box<dyn aa_utility::Utility>> = vec![
+            Box::new(Power::new(2.0, 0.5, 10.0)),
+            Box::new(LogUtility::new(3.0, 1.0, 10.0)),
+            Box::new(CappedLinear::new(1.5, 4.0, 10.0)),
+        ];
+        for units in [0, 1, 5, 12, 20] {
+            let exact = allocate_exact(&utils, units, 1.0);
+            let greedy = crate::greedy::allocate_units(&utils, units, 1.0);
+            assert!(
+                (exact.utility - greedy.utility).abs() < 1e-9,
+                "units {units}: exact {} vs greedy {}",
+                exact.utility,
+                greedy.utility
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_tiny_instance_by_hand() {
+        // f1 = min(x, 2) (slope 1), f2 = 2·min(x, 1) (slope 2).
+        let utils = vec![
+            CappedLinear::new(1.0, 2.0, 4.0),
+            CappedLinear::new(2.0, 1.0, 4.0),
+        ];
+        let a = allocate_exact(&utils, 3, 1.0);
+        // Best: give 1 to thread 2 (gain 2), 2 to thread 1 (gain 2) = 4.
+        assert!((a.utility - 4.0).abs() < 1e-12);
+        assert_eq!(a.amounts, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn unused_budget_when_caps_bind() {
+        let utils = vec![CappedLinear::new(1.0, 1.0, 1.0)];
+        let a = allocate_exact(&utils, 5, 1.0);
+        assert_eq!(a.amounts, vec![1.0]);
+        assert!((a.utility - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let utils: Vec<Power> = vec![];
+        let a = allocate_exact(&utils, 3, 1.0);
+        assert!(a.amounts.is_empty());
+    }
+}

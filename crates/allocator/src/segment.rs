@@ -1,0 +1,110 @@
+//! Exact allocation for piecewise-linear concave utilities.
+//!
+//! A concave piecewise-linear utility is a stack of linear segments with
+//! nonincreasing slopes. Pouring the budget into segments in globally
+//! nonincreasing slope order is exactly optimal (the classic greedy
+//! exchange argument: swapping any filled low-slope sliver for an unfilled
+//! higher-slope sliver never decreases utility). This is the ground truth
+//! the λ-bisection allocator is validated against on piecewise-linear
+//! instances.
+
+use aa_utility::PiecewiseLinear;
+
+use crate::Allocation;
+
+/// Optimal allocation of `budget` among piecewise-linear concave
+/// utilities. `O(K log K)` for `K` total segments.
+pub fn allocate_piecewise(utils: &[PiecewiseLinear], budget: f64) -> Allocation {
+    assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
+    // (slope, width, owner); stable slope-descending order.
+    let mut segs: Vec<(f64, f64, usize)> = Vec::new();
+    for (i, f) in utils.iter().enumerate() {
+        for (width, slope) in f.segments() {
+            segs.push((slope, width, i));
+        }
+    }
+    segs.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let mut amounts = vec![0.0_f64; utils.len()];
+    let mut remaining = budget;
+    for (slope, width, owner) in segs {
+        if remaining <= 0.0 {
+            break;
+        }
+        // Zero-slope segments add no utility; filling them only matters
+        // for budget exhaustion, which the caller doesn't need here.
+        if slope <= 0.0 {
+            break;
+        }
+        let take = width.min(remaining);
+        amounts[owner] += take;
+        remaining -= take;
+    }
+
+    let utility = crate::total_utility(utils, &amounts);
+    Allocation { amounts, utility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility::Utility;
+
+    fn two_utils() -> Vec<PiecewiseLinear> {
+        vec![
+            // slopes 3, 1
+            PiecewiseLinear::new(&[(0.0, 0.0), (2.0, 6.0), (6.0, 10.0)]).unwrap(),
+            // slopes 2, 0.5
+            PiecewiseLinear::new(&[(0.0, 0.0), (3.0, 6.0), (7.0, 8.0)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn fills_steepest_segments_first() {
+        let utils = two_utils();
+        // budget 5: segment slopes in order 3 (width 2), 2 (width 3), ...
+        let a = allocate_piecewise(&utils, 5.0);
+        assert_eq!(a.amounts, vec![2.0, 3.0]);
+        assert!((a.utility - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_segment_fill() {
+        let utils = two_utils();
+        let a = allocate_piecewise(&utils, 3.5);
+        // 2 units at slope 3, then 1.5 at slope 2.
+        assert_eq!(a.amounts, vec![2.0, 1.5]);
+        assert!((a.utility - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_budget_fills_all_positive_segments() {
+        let utils = two_utils();
+        let a = allocate_piecewise(&utils, 1000.0);
+        assert_eq!(a.amounts, vec![6.0, 7.0]);
+        assert!((a.utility - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget() {
+        let a = allocate_piecewise(&two_utils(), 0.0);
+        assert_eq!(a.amounts, vec![0.0, 0.0]);
+        assert_eq!(a.utility, 0.0);
+    }
+
+    #[test]
+    fn utility_is_honest() {
+        let utils = two_utils();
+        let a = allocate_piecewise(&utils, 4.2);
+        assert!((a.utility - a.recompute_utility(&utils)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_tail_is_not_filled() {
+        let utils =
+            vec![PiecewiseLinear::new(&[(0.0, 0.0), (2.0, 4.0), (10.0, 4.0)]).unwrap()];
+        let a = allocate_piecewise(&utils, 8.0);
+        assert_eq!(a.amounts, vec![2.0]); // flat segment skipped
+        assert_eq!(a.utility, utils[0].max_value());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based cross-validation of the single-pool allocators.
+//!
+//! The λ-bisection allocator (production) must agree with:
+//! * the exact segment greedy on random piecewise-linear instances,
+//! * the discrete DP / unit greedy on random mixed smooth instances
+//!   (up to discretization error),
+//!
+//! and always produce feasible, budget-exhausting allocations.
+
+use aa_utility::{LogUtility, PiecewiseLinear, Power, Utility};
+use aa_allocator::{bisection, exact_dp, greedy, segment};
+use proptest::prelude::*;
+
+/// Random concave piecewise-linear utility from (width, slope) pairs with
+/// slopes sorted descending.
+fn pwl_from(raw: &[(f64, f64)]) -> PiecewiseLinear {
+    let mut slopes: Vec<f64> = raw.iter().map(|r| r.1).collect();
+    slopes.sort_by(|a, b| b.total_cmp(a));
+    let mut pts = vec![(0.0, 0.0)];
+    let (mut x, mut y) = (0.0, 0.0);
+    for (i, r) in raw.iter().enumerate() {
+        x += r.0;
+        y += slopes[i] * r.0;
+        pts.push((x, y));
+    }
+    PiecewiseLinear::new(&pts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bisection_feasible_and_exhausts_budget(
+        params in prop::collection::vec((0.1..20.0f64, 0.05..0.95f64, 1.0..50.0f64), 1..10),
+        budget_frac in 0.0..1.5f64,
+    ) {
+        let utils: Vec<Power> = params.iter()
+            .map(|&(s, b, c)| Power::new(s, b, c))
+            .collect();
+        let total_cap: f64 = utils.iter().map(|u| u.cap()).sum();
+        let budget = budget_frac * total_cap;
+        let a = bisection::allocate(&utils, budget);
+
+        // Feasibility.
+        for (x, u) in a.amounts.iter().zip(&utils) {
+            prop_assert!(*x >= -1e-9 && *x <= u.cap() + 1e-9);
+        }
+        prop_assert!(a.total_allocated() <= budget + 1e-6 * budget.max(1.0));
+
+        // Exhaustion (Lemma V.3): min(budget, Σcaps) is fully used.
+        let should_use = budget.min(total_cap);
+        prop_assert!(
+            (a.total_allocated() - should_use).abs() <= 1e-6 * should_use.max(1.0),
+            "allocated {} of {}", a.total_allocated(), should_use
+        );
+
+        // Honest utility.
+        prop_assert!((a.utility - a.recompute_utility(&utils)).abs() <= 1e-9 * a.utility.abs().max(1.0));
+    }
+
+    #[test]
+    fn bisection_matches_exact_on_piecewise_linear(
+        raws in prop::collection::vec(
+            prop::collection::vec((0.5..5.0f64, 0.0..4.0f64), 1..5),
+            1..6,
+        ),
+        budget in 0.0..40.0f64,
+    ) {
+        let utils: Vec<PiecewiseLinear> = raws.iter().map(|r| pwl_from(r)).collect();
+        let fast = bisection::allocate(&utils, budget);
+        let exact = segment::allocate_piecewise(&utils, budget);
+        prop_assert!(
+            fast.utility >= exact.utility - 1e-6 * exact.utility.max(1.0),
+            "bisection {} below exact {}", fast.utility, exact.utility
+        );
+        // And never above (exact is optimal).
+        prop_assert!(
+            fast.utility <= exact.utility + 1e-6 * exact.utility.max(1.0),
+            "bisection {} above exact {} — impossible", fast.utility, exact.utility
+        );
+    }
+
+    #[test]
+    fn greedy_matches_dp_on_small_instances(
+        params in prop::collection::vec((0.1..10.0f64, 0.1..1.0f64, 1.0..8.0f64), 1..5),
+        units in 0usize..12,
+    ) {
+        let utils: Vec<Power> = params.iter()
+            .map(|&(s, b, c)| Power::new(s, b, c.floor()))
+            .collect();
+        let g = greedy::allocate_units(&utils, units, 1.0);
+        let e = exact_dp::allocate_exact(&utils, units, 1.0);
+        prop_assert!(
+            (g.utility - e.utility).abs() <= 1e-9 * e.utility.max(1.0),
+            "greedy {} vs dp {}", g.utility, e.utility
+        );
+    }
+
+    #[test]
+    fn bisection_upper_bounds_unit_greedy(
+        params in prop::collection::vec((0.1..10.0f64, 0.2..3.0f64, 2.0..20.0f64), 1..6),
+        units in 1usize..15,
+    ) {
+        // Continuous relaxation is always ≥ the discrete optimum.
+        let utils: Vec<LogUtility> = params.iter()
+            .map(|&(s, r, c)| LogUtility::new(s, r, c))
+            .collect();
+        let g = greedy::allocate_units(&utils, units, 1.0);
+        let b = bisection::allocate(&utils, units as f64);
+        prop_assert!(
+            b.utility >= g.utility - 1e-6 * g.utility.max(1.0),
+            "continuous {} below discrete {}", b.utility, g.utility
+        );
+    }
+}

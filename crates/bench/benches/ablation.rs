@@ -1,0 +1,47 @@
+//! A1/A2 — runtime cost of Algorithm 2's design choices (quality is
+//! reported by `aa-experiments ablation`).
+//!
+//! * `sort_order`: full two-phase sort vs single sort — the re-sort is
+//!   `O((n−m) log(n−m))`, noise next to the bisection, which is the point:
+//!   the quality-relevant tail ordering is nearly free;
+//! * `demand_source`: super-optimal demands (needs the bisection) vs
+//!   fair-share demands (constant time) — quantifies what the Galil
+//!   subroutine costs, which is what the fair-share ablation saves.
+
+use aa_bench::paper_instance;
+use aa_core::ablation::{algo2_fair_share, algo2_single_sort};
+use aa_core::algo2;
+use aa_workloads::Distribution;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sort_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sort_order");
+    for beta in [5usize, 15] {
+        let p = paper_instance(Distribution::Discrete { gamma: 0.85, theta: 10.0 }, beta, 23);
+        group.bench_with_input(BenchmarkId::new("full", beta), &p, |b, p| {
+            b.iter(|| black_box(algo2::solve(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("single_sort", beta), &p, |b, p| {
+            b.iter(|| black_box(algo2_single_sort(p)))
+        });
+    }
+    group.finish();
+}
+
+fn demand_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_demand_source");
+    for beta in [5usize, 15] {
+        let p = paper_instance(Distribution::Uniform, beta, 29);
+        group.bench_with_input(BenchmarkId::new("superopt", beta), &p, |b, p| {
+            b.iter(|| black_box(algo2::solve(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("fair_share", beta), &p, |b, p| {
+            b.iter(|| black_box(algo2_fair_share(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, sort_order, demand_source);
+criterion_main!(ablation);

@@ -1,0 +1,80 @@
+//! A3 — the single-pool allocation substrate.
+//!
+//! The super-optimal allocation dominates both algorithms' running time
+//! (Theorems V.18/VI.2), so the allocator backends deserve their own
+//! scrutiny: the Galil-style λ-bisection (production), Fox's discrete
+//! marginal greedy, and the exact piecewise-linear segment fill.
+
+use aa_allocator::{bisection, greedy, segment};
+use aa_utility::{LogUtility, PiecewiseLinear, Power};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn smooth_utils(n: usize) -> Vec<Box<dyn aa_utility::Utility>> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                Box::new(Power::new(1.0 + (i % 7) as f64, 0.5, 1000.0))
+                    as Box<dyn aa_utility::Utility>
+            } else {
+                Box::new(LogUtility::new(1.0 + (i % 5) as f64, 0.1, 1000.0))
+            }
+        })
+        .collect()
+}
+
+fn pwl_utils(n: usize) -> Vec<PiecewiseLinear> {
+    (0..n)
+        .map(|i| {
+            let a = 2.0 + (i % 5) as f64;
+            PiecewiseLinear::new(&[
+                (0.0, 0.0),
+                (100.0, a * 100.0),
+                (500.0, a * 100.0 + 150.0),
+                (1000.0, a * 100.0 + 200.0),
+            ])
+            .expect("concave by construction")
+        })
+        .collect()
+}
+
+fn bisection_smooth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_bisection_smooth");
+    for n in [16usize, 128, 1024] {
+        let utils = smooth_utils(n);
+        let budget = 0.4 * 1000.0 * n as f64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &utils, |b, utils| {
+            b.iter(|| black_box(bisection::allocate(utils, budget)))
+        });
+    }
+    group.finish();
+}
+
+fn bisection_vs_segment_pwl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_pwl");
+    for n in [16usize, 256] {
+        let utils = pwl_utils(n);
+        let budget = 300.0 * n as f64;
+        group.bench_with_input(BenchmarkId::new("bisection", n), &utils, |b, utils| {
+            b.iter(|| black_box(bisection::allocate(utils, budget)))
+        });
+        group.bench_with_input(BenchmarkId::new("segment_exact", n), &utils, |b, utils| {
+            b.iter(|| black_box(segment::allocate_piecewise(utils, budget)))
+        });
+    }
+    group.finish();
+}
+
+fn greedy_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_greedy_units");
+    for units in [100usize, 1000, 10000] {
+        let utils = smooth_utils(64);
+        group.bench_with_input(BenchmarkId::from_parameter(units), &utils, |b, utils| {
+            b.iter(|| black_box(greedy::allocate_units(utils, units, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(allocator, bisection_smooth, bisection_vs_segment_pwl, greedy_units);
+criterion_main!(allocator);

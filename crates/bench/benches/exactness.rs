@@ -1,0 +1,37 @@
+//! Exact-solver scaling: plain restricted-growth enumeration vs
+//! branch-and-bound with the super-optimal-style pruning bound. The gap
+//! is the point — B&B makes exact ground truth affordable at sizes where
+//! enumeration already hurts.
+
+use aa_bench::instance;
+use aa_core::{exact, exact_bb};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn exact_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_scaling");
+    group.sample_size(10);
+    for n in [6usize, 8] {
+        let p = instance(3, n, 50.0, 31);
+        group.bench_with_input(BenchmarkId::new("enumerate", n), &p, |b, p| {
+            b.iter(|| black_box(exact::solve(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &p, |b, p| {
+            b.iter(|| black_box(exact_bb::solve(p)))
+        });
+    }
+    // B&B-only sizes. (Smooth interpolated utilities make groupings
+    // near-interchangeable, which is the worst case for the pruning
+    // bound — sizes beyond 12 are exact-solver territory only on kinked
+    // instances, cf. the unit tests.)
+    for n in [10usize, 12] {
+        let p = instance(3, n, 50.0, 37);
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &p, |b, p| {
+            b.iter(|| black_box(exact_bb::solve(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(exactness, exact_scaling);
+criterion_main!(exactness);

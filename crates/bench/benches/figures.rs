@@ -1,0 +1,110 @@
+//! One Criterion group per paper figure (E1–E7): each benchmark runs a
+//! full sweep point — instance generation, Algorithm 2, the SO bound and
+//! all four heuristics — at that figure's parameters. Regenerating the
+//! *quality* numbers at full trial counts is the `aa-experiments`
+//! binary's job; these benches pin the *cost* of each figure's workload
+//! and catch performance regressions in any piece of the comparison.
+
+use aa_bench::paper_instance;
+use aa_core::heuristics;
+use aa_core::superopt::super_optimal;
+use aa_core::{algo2, Problem};
+use aa_workloads::Distribution;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Everything one trial of a figure computes.
+fn full_comparison(p: &Problem, rng: &mut StdRng) -> f64 {
+    let a = algo2::solve(p).total_utility(p);
+    let so = super_optimal(p).utility;
+    let uu = heuristics::uu(p).total_utility(p);
+    let ur = heuristics::ur(p, rng).total_utility(p);
+    let ru = heuristics::ru(p, rng).total_utility(p);
+    let rr = heuristics::rr(p, rng).total_utility(p);
+    a + so + uu + ur + ru + rr
+}
+
+fn bench_beta_figure(c: &mut Criterion, id: &str, dist: Distribution) {
+    let mut group = c.benchmark_group(id);
+    for beta in [1usize, 5, 15] {
+        let p = paper_instance(dist, beta, 7);
+        group.bench_with_input(BenchmarkId::new("trial", beta), &p, |b, p| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(full_comparison(p, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn fig1a(c: &mut Criterion) {
+    bench_beta_figure(c, "fig1a_uniform", Distribution::Uniform);
+}
+
+fn fig1b(c: &mut Criterion) {
+    bench_beta_figure(c, "fig1b_normal", Distribution::paper_normal());
+}
+
+fn fig2a(c: &mut Criterion) {
+    bench_beta_figure(c, "fig2a_powerlaw", Distribution::PowerLaw { alpha: 2.0 });
+}
+
+fn fig2b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_alpha_sweep");
+    for alpha in [1.5, 2.5, 3.5] {
+        let p = paper_instance(Distribution::PowerLaw { alpha }, 5, 7);
+        group.bench_with_input(
+            BenchmarkId::new("trial", format!("{alpha}")),
+            &p,
+            |b, p| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(full_comparison(p, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig3a(c: &mut Criterion) {
+    bench_beta_figure(
+        c,
+        "fig3a_discrete",
+        Distribution::Discrete { gamma: 0.85, theta: 5.0 },
+    );
+}
+
+fn fig3b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b_gamma_sweep");
+    for gamma in [0.25, 0.75, 0.95] {
+        let p = paper_instance(Distribution::Discrete { gamma, theta: 5.0 }, 5, 7);
+        group.bench_with_input(
+            BenchmarkId::new("trial", format!("{gamma}")),
+            &p,
+            |b, p| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(full_comparison(p, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig3c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3c_theta_sweep");
+    for theta in [1.0, 7.0, 15.0] {
+        let p = paper_instance(Distribution::Discrete { gamma: 0.85, theta }, 5, 7);
+        group.bench_with_input(
+            BenchmarkId::new("trial", format!("{theta}")),
+            &p,
+            |b, p| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(full_comparison(p, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(figures, fig1a, fig1b, fig2a, fig2b, fig3a, fig3b, fig3c);
+criterion_main!(figures);

@@ -1,0 +1,99 @@
+//! E8/E12 — the complexity claims.
+//!
+//! * `algo2_paper_size`: the exact (m=8, n=100, C=1000) point the paper
+//!   times at 0.02 s in Matlab;
+//! * `scale_n`: Algorithm 1 (O(mn² + …)) vs Algorithm 2 (O(n (log mC)²))
+//!   as the thread count grows — the quadratic/quasilinear split is the
+//!   paper's reason for §VI;
+//! * `scale_m`, `scale_c`: sensitivity to server count and capacity
+//!   (capacity only enters through the bisection's bracket width);
+//! * `superopt`: the shared allocation subroutine on its own.
+
+use aa_bench::instance;
+use aa_core::superopt::super_optimal;
+use aa_core::{algo1, algo2};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn algo2_paper_size(c: &mut Criterion) {
+    let p = instance(8, 100, 1000.0, 3);
+    c.bench_function("algo2_paper_size_m8_n100_C1000", |b| {
+        b.iter(|| black_box(algo2::solve(&p)))
+    });
+}
+
+fn scale_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_n");
+    for n in [50usize, 200, 800] {
+        let p = instance(8, n, 1000.0, 11);
+        group.bench_with_input(BenchmarkId::new("algo1", n), &p, |b, p| {
+            b.iter(|| black_box(algo1::solve(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("algo2", n), &p, |b, p| {
+            b.iter(|| black_box(algo2::solve(p)))
+        });
+    }
+    group.finish();
+}
+
+fn scale_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_m");
+    for m in [2usize, 8, 32, 128] {
+        let p = instance(m, 4 * m, 1000.0, 13);
+        group.bench_with_input(BenchmarkId::new("algo2", m), &p, |b, p| {
+            b.iter(|| black_box(algo2::solve(p)))
+        });
+    }
+    group.finish();
+}
+
+fn scale_c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_c");
+    for cap in [10.0, 1000.0, 100_000.0] {
+        let p = instance(8, 64, cap, 17);
+        group.bench_with_input(
+            BenchmarkId::new("algo2", format!("{cap}")),
+            &p,
+            |b, p| b.iter(|| black_box(algo2::solve(p))),
+        );
+    }
+    group.finish();
+}
+
+fn superopt_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("superopt");
+    for n in [100usize, 800] {
+        let p = instance(8, n, 1000.0, 19);
+        group.bench_with_input(BenchmarkId::new("bisection", n), &p, |b, p| {
+            b.iter(|| black_box(super_optimal(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(scaling, algo2_paper_size, scale_n, scale_m, scale_c, superopt_only);
+
+mod parallel_group {
+    use super::*;
+    use aa_core::algo2 as a2;
+
+    /// Sequential vs rayon-parallel Algorithm 2 at large thread counts —
+    /// the regime the `solve_par` path exists for.
+    pub fn large_n_parallel(c: &mut Criterion) {
+        let mut group = c.benchmark_group("large_n_parallel");
+        group.sample_size(10);
+        for n in [20_000usize, 40_000] {
+            let p = instance(32, n, 1000.0, 41);
+            group.bench_with_input(BenchmarkId::new("algo2_seq", n), &p, |b, p| {
+                b.iter(|| black_box(a2::solve(p)))
+            });
+            group.bench_with_input(BenchmarkId::new("algo2_par", n), &p, |b, p| {
+                b.iter(|| black_box(a2::solve_par(p)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(parallel, parallel_group::large_n_parallel);
+criterion_main!(scaling, parallel);

@@ -1,0 +1,51 @@
+//! Cost of the aa-sim substrate: trace generation, Mattson profiling,
+//! partitioned simulation, and the full cache-partitioning pipeline.
+
+use aa_core::solver::Algo2;
+use aa_sim::mrc::stack_distances;
+use aa_sim::trace::TraceSpec;
+use aa_sim::Multicore;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_mattson_profile");
+    for len in [2_000usize, 10_000, 50_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = TraceSpec::Zipf { lines: 256, s: 1.0 }.generate(len, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &t, |b, t| {
+            b.iter(|| black_box(stack_distances(t)))
+        });
+    }
+    group.finish();
+}
+
+fn lru_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_lru");
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = TraceSpec::Zipf { lines: 256, s: 1.0 }.generate(20_000, &mut rng);
+    for lines in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(lines), &t, |b, t| {
+            b.iter(|| black_box(aa_sim::cache::simulate_lru(t, lines)))
+        });
+    }
+    group.finish();
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    let machine = Multicore { cores: 4, ways_per_cache: 16, lines_per_way: 8 };
+    let mut rng = StdRng::seed_from_u64(3);
+    let traces: Vec<_> = (0..8)
+        .map(|i| {
+            TraceSpec::Zipf { lines: 64 + 32 * i, s: 1.0 }.generate(5_000, &mut rng)
+        })
+        .collect();
+    c.bench_function("sim_full_pipeline_8threads", |b| {
+        b.iter(|| black_box(machine.evaluate(&traces, &Algo2)))
+    });
+}
+
+criterion_group!(simulator, profiling, lru_simulation, full_pipeline);
+criterion_main!(simulator);

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Four bench binaries live in `benches/`:
+//!
+//! * `figures` — one group per paper figure (E1–E7): a full sweep point
+//!   (Algorithm 2 + SO + the four heuristics) at the paper's dimensions;
+//! * `scaling` — the complexity claims (E8/E12): Algorithm 1 vs
+//!   Algorithm 2 across `n`, `m` and `C`, including the paper's exact
+//!   `m=8, n=100, C=1000` timing point;
+//! * `allocator` — the single-pool substrate (A3): bisection vs discrete
+//!   greedy vs exact segment filling;
+//! * `ablation` — Algorithm 2 vs its single-sort and fair-share variants
+//!   (A1/A2).
+
+use aa_core::Problem;
+use aa_workloads::{Distribution, InstanceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reproducible paper-shaped instance (`m = 8`, `C = 1000`).
+pub fn paper_instance(dist: Distribution, beta: usize, seed: u64) -> Problem {
+    let spec = InstanceSpec::paper(dist, beta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    spec.generate(&mut rng).expect("valid spec")
+}
+
+/// An instance with arbitrary dimensions (uniform workload).
+pub fn instance(servers: usize, threads: usize, capacity: f64, seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let utilities = aa_workloads::genutil::generate_many(
+        &Distribution::Uniform,
+        capacity,
+        threads,
+        &mut rng,
+    )
+    .into_iter()
+    .map(|g| g.utility)
+    .collect();
+    Problem::new(servers, capacity, utilities).expect("valid dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let p = paper_instance(Distribution::Uniform, 3, 1);
+        assert_eq!(p.servers(), 8);
+        assert_eq!(p.len(), 24);
+        let q = instance(3, 10, 50.0, 2);
+        assert_eq!(q.servers(), 3);
+        assert_eq!(q.len(), 10);
+    }
+}

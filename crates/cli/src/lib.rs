@@ -1,0 +1,373 @@
+#![warn(missing_docs)]
+
+//! # aa-cli — file-driven solving
+//!
+//! The `aa-solve` binary turns the library into a tool: problems are
+//! JSON documents (servers, capacity, one [`UtilitySpec`] per thread),
+//! solutions come back as JSON assignments with per-thread utilities and
+//! summary statistics. A `generate` mode emits random paper-style
+//! problems for experimentation.
+//!
+//! ```text
+//! aa-solve solve   problem.json [--solver algo2] [--pretty]
+//! aa-solve generate --servers 8 --beta 5 --capacity 1000 \
+//!                   --dist powerlaw --alpha 2 [--seed S]
+//! aa-solve solvers                      # list available solvers
+//! ```
+//!
+//! This module holds all logic (file formats, solver registry, driver
+//! functions) so it is unit-testable; `main.rs` is a thin argv wrapper.
+
+use aa_core::solver::{
+    Algo1, Algo2, Algo2FairShare, Algo2Refined, Algo2SingleSort, BranchAndBound, BruteForce, Rr,
+    Ru, Solver, Ur, Uu,
+};
+use aa_core::{superopt, Problem, ALPHA};
+use aa_utility::{SpecError, UtilitySpec};
+use aa_workloads::{Distribution, InstanceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A problem document: what `aa-solve solve` reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProblemFile {
+    /// Number of servers `m`.
+    pub servers: usize,
+    /// Per-server capacity `C`.
+    pub capacity: f64,
+    /// One utility description per thread.
+    pub threads: Vec<UtilitySpec>,
+}
+
+/// A solution document: what `aa-solve solve` writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionFile {
+    /// Solver that produced this solution.
+    pub solver: String,
+    /// Server index per thread.
+    pub server: Vec<usize>,
+    /// Allocation per thread.
+    pub allocation: Vec<f64>,
+    /// Utility per thread at its allocation.
+    pub utility: Vec<f64>,
+    /// Total utility.
+    pub total_utility: f64,
+    /// The super-optimal upper bound `F̂`.
+    pub upper_bound: f64,
+    /// `total_utility / upper_bound` (≥ α for the approximation
+    /// algorithms).
+    pub bound_ratio: f64,
+}
+
+/// Everything that can go wrong driving a solve from a file.
+#[derive(Debug)]
+pub enum CliError {
+    /// JSON syntax or schema problems.
+    Parse(serde_json::Error),
+    /// A thread's utility spec failed validation.
+    Spec {
+        /// Index of the offending thread in the file.
+        thread: usize,
+        /// What was wrong with it.
+        source: SpecError,
+    },
+    /// Problem-level validation failed.
+    Problem(aa_core::ProblemError),
+    /// Unknown solver name.
+    UnknownSolver(String),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Parse(e) => write!(f, "could not parse problem file: {e}"),
+            CliError::Spec { thread, source } => {
+                write!(f, "thread {thread}: invalid utility: {source}")
+            }
+            CliError::Problem(e) => write!(f, "invalid problem: {e}"),
+            CliError::UnknownSolver(name) => {
+                write!(f, "unknown solver {name:?}; run `aa-solve solvers` for the list")
+            }
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The solver registry: stable names → instances.
+pub fn solver_by_name(name: &str) -> Result<Box<dyn Solver>, CliError> {
+    Ok(match name {
+        "algo1" => Box::new(Algo1),
+        "algo2" => Box::new(Algo2),
+        "algo2-refined" => Box::new(Algo2Refined),
+        "algo2-single-sort" => Box::new(Algo2SingleSort),
+        "algo2-fair-share" => Box::new(Algo2FairShare),
+        "uu" => Box::new(Uu),
+        "ur" => Box::new(Ur),
+        "ru" => Box::new(Ru),
+        "rr" => Box::new(Rr),
+        "exact" => Box::new(BruteForce),
+        "exact-bb" => Box::new(BranchAndBound),
+        other => return Err(CliError::UnknownSolver(other.to_string())),
+    })
+}
+
+/// Names accepted by [`solver_by_name`], in help order.
+pub const SOLVER_NAMES: &[&str] = &[
+    "algo2",
+    "algo2-refined",
+    "algo1",
+    "uu",
+    "ur",
+    "ru",
+    "rr",
+    "exact",
+    "exact-bb",
+    "algo2-single-sort",
+    "algo2-fair-share",
+];
+
+/// Build the live [`Problem`] from a parsed file.
+pub fn build_problem(file: &ProblemFile) -> Result<Problem, CliError> {
+    let mut threads = Vec::with_capacity(file.threads.len());
+    for (i, spec) in file.threads.iter().enumerate() {
+        threads.push(
+            spec.build()
+                .map_err(|source| CliError::Spec { thread: i, source })?,
+        );
+    }
+    Problem::new(file.servers, file.capacity, threads).map_err(CliError::Problem)
+}
+
+/// Parse, solve, and package a solution document.
+pub fn solve_document(json: &str, solver_name: &str, seed: u64) -> Result<SolutionFile, CliError> {
+    let file: ProblemFile = serde_json::from_str(json)?;
+    let problem = build_problem(&file)?;
+    let solver = solver_by_name(solver_name)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assignment = solver.solve_with(&problem, &mut rng);
+    assignment
+        .validate(&problem)
+        .expect("registered solvers produce feasible assignments");
+
+    let utility: Vec<f64> = (0..problem.len())
+        .map(|i| problem.utility_of(i, assignment.amount[i]))
+        .collect();
+    let total: f64 = utility.iter().sum();
+    let bound = superopt::super_optimal(&problem).utility;
+    Ok(SolutionFile {
+        solver: solver.name().to_string(),
+        server: assignment.server,
+        allocation: assignment.amount,
+        utility,
+        total_utility: total,
+        upper_bound: bound,
+        bound_ratio: if bound > 0.0 { total / bound } else { 1.0 },
+    })
+}
+
+/// Options for `aa-solve generate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerateOpts {
+    /// Servers `m`.
+    pub servers: usize,
+    /// Threads per server `β`.
+    pub beta: usize,
+    /// Capacity `C`.
+    pub capacity: f64,
+    /// Workload distribution.
+    pub dist: Distribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenerateOpts {
+    fn default() -> Self {
+        GenerateOpts {
+            servers: 8,
+            beta: 5,
+            capacity: 1000.0,
+            dist: Distribution::Uniform,
+            seed: 2016,
+        }
+    }
+}
+
+/// Generate a random paper-style problem document.
+///
+/// The generated utilities are emitted as PCHIP control-point specs, so
+/// the file round-trips through [`solve_document`] to *exactly* the same
+/// functions the in-process generator would build.
+pub fn generate_document(opts: &GenerateOpts) -> ProblemFile {
+    let spec = InstanceSpec {
+        servers: opts.servers,
+        beta: opts.beta,
+        capacity: opts.capacity,
+        dist: opts.dist,
+    };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let threads = aa_workloads::genutil::generate_many(
+        &spec.dist,
+        spec.capacity,
+        spec.servers * spec.beta,
+        &mut rng,
+    )
+    .into_iter()
+    .map(|g| UtilitySpec::Pchip {
+        points: vec![
+            (0.0, 0.0),
+            (opts.capacity / 2.0, g.v),
+            (opts.capacity, g.v + g.w),
+        ],
+    })
+    .collect();
+    ProblemFile {
+        servers: opts.servers,
+        capacity: opts.capacity,
+        threads,
+    }
+}
+
+/// Sanity constant re-exported for the binary's summary line.
+pub const GUARANTEE: f64 = ALPHA;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem_json() -> String {
+        serde_json::to_string(&ProblemFile {
+            servers: 2,
+            capacity: 10.0,
+            threads: vec![
+                UtilitySpec::Power { scale: 4.0, beta: 0.5, cap: 10.0 },
+                UtilitySpec::Log { scale: 3.0, rate: 1.0, cap: 10.0 },
+                UtilitySpec::CappedLinear { slope: 2.0, knee: 3.0, cap: 10.0 },
+            ],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let sol = solve_document(&tiny_problem_json(), "algo2", 0).unwrap();
+        assert_eq!(sol.solver, "algo2");
+        assert_eq!(sol.server.len(), 3);
+        assert!(sol.total_utility > 0.0);
+        assert!(sol.bound_ratio >= GUARANTEE - 1e-9);
+        assert!(sol.bound_ratio <= 1.0 + 1e-9);
+        // The solution document itself serializes (floats may move by an
+        // ulp through JSON text, so compare with tolerance).
+        let json = serde_json::to_string(&sol).unwrap();
+        let back: SolutionFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.solver, sol.solver);
+        assert_eq!(back.server, sol.server);
+        assert!((back.total_utility - sol.total_utility).abs() < 1e-12);
+        assert!((back.bound_ratio - sol.bound_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_registered_solver_runs() {
+        for name in SOLVER_NAMES {
+            // `exact` is fine here: only 3 threads.
+            let sol = solve_document(&tiny_problem_json(), name, 1)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(&sol.solver.as_str(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_solver_is_reported() {
+        let err = solve_document(&tiny_problem_json(), "quantum", 0).unwrap_err();
+        assert!(matches!(err, CliError::UnknownSolver(_)));
+        assert!(err.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn bad_spec_names_the_thread() {
+        let json = serde_json::to_string(&ProblemFile {
+            servers: 1,
+            capacity: 5.0,
+            threads: vec![
+                UtilitySpec::Power { scale: 1.0, beta: 0.5, cap: 5.0 },
+                UtilitySpec::Power { scale: 1.0, beta: 7.0, cap: 5.0 }, // convex
+            ],
+        })
+        .unwrap();
+        let err = solve_document(&json, "algo2", 0).unwrap_err();
+        match err {
+            CliError::Spec { thread, .. } => assert_eq!(thread, 1),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let err = solve_document("{nope", "algo2", 0).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
+    }
+
+    #[test]
+    fn generated_documents_solve() {
+        let opts = GenerateOpts {
+            servers: 4,
+            beta: 3,
+            capacity: 100.0,
+            dist: Distribution::Discrete { gamma: 0.85, theta: 5.0 },
+            seed: 7,
+        };
+        let doc = generate_document(&opts);
+        assert_eq!(doc.threads.len(), 12);
+        let json = serde_json::to_string(&doc).unwrap();
+        let sol = solve_document(&json, "algo2", 0).unwrap();
+        assert!(sol.bound_ratio >= GUARANTEE - 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = GenerateOpts::default();
+        assert_eq!(generate_document(&opts), generate_document(&opts));
+    }
+
+    #[test]
+    fn generated_specs_match_in_process_generator() {
+        // The PCHIP spec written to the file must rebuild the exact same
+        // function the workload generator produced.
+        let opts = GenerateOpts { servers: 2, beta: 2, ..Default::default() };
+        let doc = generate_document(&opts);
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let direct = aa_workloads::genutil::generate_many(
+            &opts.dist,
+            opts.capacity,
+            4,
+            &mut rng,
+        );
+        for (spec, g) in doc.threads.iter().zip(&direct) {
+            let built = spec.build().unwrap();
+            for x in [0.0, 123.0, 500.0, 987.0] {
+                assert!(
+                    (aa_utility::Utility::value(built.as_ref(), x)
+                        - aa_utility::Utility::value(g.utility.as_ref(), x))
+                    .abs()
+                        < 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! `aa-solve` — thin argv wrapper over [`aa_cli`].
+
+use std::process::ExitCode;
+
+use aa_cli::{generate_document, solve_document, GenerateOpts, SOLVER_NAMES};
+use aa_workloads::Distribution;
+
+const USAGE: &str = "\
+usage:
+  aa-solve solve <problem.json> [--solver NAME] [--seed S] [--pretty]
+  aa-solve generate [--servers M] [--beta B] [--capacity C]
+                    [--dist uniform|normal|powerlaw|discrete]
+                    [--alpha A] [--gamma G] [--theta T] [--seed S] [--pretty]
+  aa-solve solvers
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "solve" => cmd_solve(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "solvers" => {
+            for name in SOLVER_NAMES {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|e| format!("bad {flag}: {e}")),
+    }
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing problem file path")?;
+    let solver = flag_value(args, "--solver")?.unwrap_or("algo2");
+    let seed: u64 = parsed_flag(args, "--seed", 2016)?;
+    let pretty = args.iter().any(|a| a == "--pretty");
+
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let solution = solve_document(&json, solver, seed).map_err(|e| e.to_string())?;
+    let out = if pretty {
+        serde_json::to_string_pretty(&solution)
+    } else {
+        serde_json::to_string(&solution)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("{out}");
+    eprintln!(
+        "solver={} total={:.6} bound={:.6} ratio={:.4} (guarantee {:.4})",
+        solution.solver,
+        solution.total_utility,
+        solution.upper_bound,
+        solution.bound_ratio,
+        aa_cli::GUARANTEE
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let defaults = GenerateOpts::default();
+    let dist = match flag_value(args, "--dist")?.unwrap_or("uniform") {
+        "uniform" => Distribution::Uniform,
+        "normal" => Distribution::paper_normal(),
+        "powerlaw" => Distribution::PowerLaw {
+            alpha: parsed_flag(args, "--alpha", 2.0)?,
+        },
+        "discrete" => Distribution::Discrete {
+            gamma: parsed_flag(args, "--gamma", 0.85)?,
+            theta: parsed_flag(args, "--theta", 5.0)?,
+        },
+        other => return Err(format!("unknown distribution {other:?}")),
+    };
+    let opts = GenerateOpts {
+        servers: parsed_flag(args, "--servers", defaults.servers)?,
+        beta: parsed_flag(args, "--beta", defaults.beta)?,
+        capacity: parsed_flag(args, "--capacity", defaults.capacity)?,
+        dist,
+        seed: parsed_flag(args, "--seed", defaults.seed)?,
+    };
+    let doc = generate_document(&opts);
+    let out = if args.iter().any(|a| a == "--pretty") {
+        serde_json::to_string_pretty(&doc)
+    } else {
+        serde_json::to_string(&doc)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("{out}");
+    Ok(())
+}

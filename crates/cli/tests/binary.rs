@@ -1,0 +1,123 @@
+//! True end-to-end tests of the `aa-solve` binary: spawn the compiled
+//! executable, round-trip JSON through temp files, check exit codes.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aa-solve"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("aa-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_then_solve_pipeline() {
+    let dir = tempdir();
+    let problem_path = dir.join("problem.json");
+
+    let gen = bin()
+        .args([
+            "generate", "--servers", "3", "--beta", "4", "--capacity", "100",
+            "--dist", "powerlaw", "--alpha", "2.5", "--seed", "11",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    std::fs::write(&problem_path, &gen.stdout).unwrap();
+
+    let solve = bin()
+        .args(["solve", problem_path.to_str().unwrap(), "--solver", "algo2"])
+        .output()
+        .expect("binary runs");
+    assert!(solve.status.success(), "{}", String::from_utf8_lossy(&solve.stderr));
+
+    let solution: serde_json::Value = serde_json::from_slice(&solve.stdout).unwrap();
+    assert_eq!(solution["solver"], "algo2");
+    assert_eq!(solution["server"].as_array().unwrap().len(), 12);
+    let ratio = solution["bound_ratio"].as_f64().unwrap();
+    assert!((0.828..=1.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+
+    // The human summary goes to stderr so stdout stays machine-parsable.
+    let err = String::from_utf8_lossy(&solve.stderr);
+    assert!(err.contains("ratio="), "missing summary: {err}");
+}
+
+#[test]
+fn solver_list_and_each_solver_runs() {
+    let list = bin().arg("solvers").output().unwrap();
+    assert!(list.status.success());
+    let names: Vec<String> = String::from_utf8_lossy(&list.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert!(names.contains(&"algo2".to_string()));
+    assert!(names.contains(&"exact".to_string()));
+
+    // A tiny problem every solver (even exact) can handle.
+    let dir = tempdir();
+    let path = dir.join("tiny.json");
+    let gen = bin()
+        .args(["generate", "--servers", "2", "--beta", "2", "--capacity", "10", "--seed", "3"])
+        .output()
+        .unwrap();
+    std::fs::write(&path, &gen.stdout).unwrap();
+    for name in &names {
+        let out = bin()
+            .args(["solve", path.to_str().unwrap(), "--solver", name])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{name} failed");
+    }
+}
+
+#[test]
+fn malformed_input_fails_cleanly() {
+    let dir = tempdir();
+    let path = dir.join("broken.json");
+    std::fs::write(&path, "{ definitely not json").unwrap();
+    let out = bin()
+        .args(["solve", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "unhelpful stderr: {err}");
+}
+
+#[test]
+fn unknown_solver_fails_with_hint() {
+    let dir = tempdir();
+    let path = dir.join("p.json");
+    let gen = bin()
+        .args(["generate", "--servers", "2", "--beta", "1", "--capacity", "10"])
+        .output()
+        .unwrap();
+    std::fs::write(&path, &gen.stdout).unwrap();
+    let out = bin()
+        .args(["solve", path.to_str().unwrap(), "--solver", "magic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+}
+
+#[test]
+fn missing_command_prints_usage() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn pretty_flag_pretty_prints() {
+    let out = bin()
+        .args(["generate", "--servers", "2", "--beta", "1", "--capacity", "5", "--pretty"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains('\n') && text.contains("  "), "not pretty-printed");
+}

@@ -1,0 +1,66 @@
+//! Property tests for the file formats: any valid `UtilitySpec` survives
+//! a JSON round-trip and builds a function identical to the original.
+
+use aa_cli::{build_problem, solve_document, ProblemFile};
+use aa_utility::{Utility, UtilitySpec};
+use proptest::prelude::*;
+
+fn any_spec(cap: f64) -> impl Strategy<Value = UtilitySpec> {
+    prop_oneof![
+        (0.0..20.0f64, 0.01..1.0f64)
+            .prop_map(move |(scale, beta)| UtilitySpec::Power { scale, beta, cap }),
+        (0.0..20.0f64, 0.0..5.0f64)
+            .prop_map(move |(scale, rate)| UtilitySpec::Log { scale, rate, cap }),
+        (0.0..20.0f64, 0.0..=1.0f64).prop_map(move |(slope, knee_frac)| {
+            UtilitySpec::CappedLinear { slope, knee: knee_frac * cap, cap }
+        }),
+        (0.0..=1.0f64, 0.0..50.0f64, 0.0..50.0f64).prop_map(move |(frac, v, floor)| {
+            UtilitySpec::Linearized { c_hat: frac * cap, v_hat: v, cap, floor }
+        }),
+        (0.001..50.0f64, 0.0..=1.0f64).prop_map(move |(v, w_frac)| {
+            // The paper generator's exact shape.
+            UtilitySpec::Pchip {
+                points: vec![(0.0, 0.0), (cap / 2.0, v), (cap, v + w_frac * v)],
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// JSON round-trip preserves the spec and the built function.
+    #[test]
+    fn spec_json_round_trip(spec in any_spec(50.0)) {
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: UtilitySpec = serde_json::from_str(&json).unwrap();
+        let f1 = spec.build().unwrap();
+        let f2 = back.build().unwrap();
+        for k in 0..=16 {
+            let x = 50.0 * k as f64 / 16.0;
+            // JSON moves floats by at most an ulp; values follow suit.
+            prop_assert!((f1.value(x) - f2.value(x)).abs() <= 1e-9 * f1.value(x).abs().max(1.0));
+        }
+    }
+
+    /// Whole problem files parse, build, and solve end to end.
+    #[test]
+    fn problem_files_solve(
+        specs in prop::collection::vec(any_spec(50.0), 1..10),
+        servers in 1usize..4,
+    ) {
+        let file = ProblemFile { servers, capacity: 50.0, threads: specs };
+        let json = serde_json::to_string(&file).unwrap();
+
+        // build_problem accepts it…
+        let parsed: ProblemFile = serde_json::from_str(&json).unwrap();
+        let p = build_problem(&parsed).unwrap();
+        prop_assert_eq!(p.len(), parsed.threads.len());
+
+        // …and the driver solves it within the guarantee.
+        let sol = solve_document(&json, "algo2", 0).unwrap();
+        prop_assert!(sol.bound_ratio >= aa_core::ALPHA - 1e-6);
+        prop_assert!(sol.bound_ratio <= 1.0 + 1e-6);
+        prop_assert_eq!(sol.server.len(), parsed.threads.len());
+    }
+}

@@ -1,0 +1,314 @@
+//! Algorithm 2 (paper §VI): the fast `O(n (log mC)²)` approximation.
+//!
+//! Instead of rescanning all (thread, server) pairs each round, Algorithm 2
+//! fixes the processing order up front:
+//!
+//! 1. sort all threads by `g_i(ĉ_i)` nonincreasing;
+//! 2. re-sort threads `m+1 … n` of that order by the *density*
+//!    `g_i(ĉ_i)/ĉ_i` nonincreasing;
+//! 3. walk the order, always assigning to the server with the most
+//!    remaining resource (a max-heap), allocating
+//!    `c_i = min(ĉ_i, remaining)`.
+//!
+//! Step 1 guarantees the first `m` threads are the highest-utility ones
+//! (Lemma V.8); step 2 makes denser threads grab leftovers earlier
+//! (Lemma V.10); the max-heap choice preserves Lemmas V.5–V.7. Same
+//! `α = 2(√2 − 1)` approximation as Algorithm 1 (Theorem VI.1); the
+//! running time is dominated by the super-optimal allocation
+//! (Theorem VI.2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use aa_utility::num::OrdF64;
+use aa_utility::{Linearized, Utility};
+
+use crate::linearize::linearize;
+use crate::problem::{Assignment, Problem};
+use crate::superopt::{super_optimal, super_optimal_par, SuperOptimal};
+
+/// Run the complete Algorithm 2 pipeline: super-optimal allocation →
+/// linearization → sorted heap assignment.
+///
+/// # Example
+///
+/// ```
+/// use aa_core::{algo2, superopt, Problem, ALPHA};
+/// use aa_utility::Power;
+/// use std::sync::Arc;
+///
+/// let problem = Problem::builder(2, 10.0)
+///     .thread(Arc::new(Power::new(4.0, 0.5, 10.0)))
+///     .thread(Arc::new(Power::new(1.0, 0.9, 10.0)))
+///     .thread(Arc::new(Power::new(2.0, 0.7, 10.0)))
+///     .build()
+///     .unwrap();
+///
+/// let assignment = algo2::solve(&problem);
+/// assignment.validate(&problem).unwrap();
+///
+/// // Theorem VI.1: within α = 2(√2 − 1) of optimal, here checked
+/// // against the super-optimal upper bound.
+/// let bound = superopt::super_optimal(&problem).utility;
+/// assert!(assignment.total_utility(&problem) >= ALPHA * bound - 1e-9);
+/// ```
+pub fn solve(problem: &Problem) -> Assignment {
+    let so = super_optimal(problem);
+    let gs = linearize(problem, &so);
+    assign_with(problem, &so, &gs)
+}
+
+/// [`solve`] with the super-optimal allocation computed in parallel —
+/// the assignment phase itself is `O(n log n)` and stays sequential.
+/// Intended for very large instances (`n` beyond ~10⁴); identical
+/// results to [`solve`] up to floating-point summation order.
+pub fn solve_par(problem: &Problem) -> Assignment {
+    let so = super_optimal_par(problem);
+    let gs = linearize(problem, &so);
+    assign_with(problem, &so, &gs)
+}
+
+/// The assignment phase of Algorithm 2, given precomputed `ĉ` and `g`.
+///
+/// Deterministic: both sorts are stable (ties keep index order) and the
+/// heap breaks capacity ties toward the lowest server index.
+pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> Assignment {
+    let n = problem.len();
+    let m = problem.servers();
+    assert_eq!(so.amounts.len(), n, "ĉ must cover every thread");
+    assert_eq!(gs.len(), n, "g must cover every thread");
+
+    // Line 1: threads by super-optimal utility, nonincreasing.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        gs[b].value(gs[b].c_hat())
+            .total_cmp(&gs[a].value(gs[a].c_hat()))
+    });
+    // Line 2: the tail (threads m+1 … n) by density, nonincreasing.
+    if n > m {
+        order[m..].sort_by(|&a, &b| gs[b].density().total_cmp(&gs[a].density()));
+    }
+
+    // Lines 3–4: all servers start with C, kept in a max-heap.
+    // Reverse(j) makes capacity ties prefer the lowest server index.
+    let mut heap: BinaryHeap<(OrdF64, Reverse<usize>)> = (0..m)
+        .map(|j| (OrdF64(problem.capacity()), Reverse(j)))
+        .collect();
+
+    // Lines 5–10: place each thread on the fullest server.
+    let mut server = vec![0_usize; n];
+    let mut amount = vec![0.0_f64; n];
+    for &i in &order {
+        let (OrdF64(cj), Reverse(j)) = heap.pop().expect("m ≥ 1 servers");
+        let c = so.amounts[i].min(cj);
+        server[i] = j;
+        amount[i] = c;
+        heap.push((OrdF64(cj - c), Reverse(j)));
+    }
+
+    Assignment { server, amount }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aa_utility::{CappedLinear, LogUtility, Power};
+
+    use crate::ALPHA;
+
+    fn arc<U: Utility + 'static>(u: U) -> aa_utility::DynUtility {
+        Arc::new(u)
+    }
+
+    #[test]
+    fn single_thread_gets_everything() {
+        let p = Problem::builder(2, 10.0)
+            .thread(arc(Power::new(1.0, 0.5, 10.0)))
+            .build()
+            .unwrap();
+        let a = solve(&p);
+        a.validate(&p).unwrap();
+        assert_eq!(a.amount[0], 10.0);
+    }
+
+    #[test]
+    fn beta_one_spreads_across_servers() {
+        let p = Problem::builder(4, 10.0)
+            .threads((0..4).map(|i| arc(Power::new(1.0 + i as f64, 0.5, 10.0))))
+            .build()
+            .unwrap();
+        let a = solve(&p);
+        a.validate(&p).unwrap();
+        let mut servers = a.server.clone();
+        servers.sort_unstable();
+        assert_eq!(servers, vec![0, 1, 2, 3]);
+        for &c in &a.amount {
+            assert!((c - 10.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reproduces_theorem_v17_tight_instance() {
+        // 2 servers × 1 unit; two capped-linear threads (slope 2 up to ½)
+        // and one linear thread. Adversarial tie-breaking gives exactly
+        // 2.5 = (5/6)·3.
+        let p = Problem::builder(2, 1.0)
+            .thread(arc(CappedLinear::new(2.0, 0.5, 1.0)))
+            .thread(arc(CappedLinear::new(2.0, 0.5, 1.0)))
+            .thread(arc(Power::new(1.0, 1.0, 1.0)))
+            .build()
+            .unwrap();
+        let a = solve(&p);
+        a.validate(&p).unwrap();
+        let total = a.total_utility(&p);
+        assert!(
+            (total - 2.5).abs() < 1e-9,
+            "expected the paper's 5/6 outcome, got {total}"
+        );
+        // And the optimum really is 3 (threads 1,2 together; thread 3 alone).
+        let opt = crate::exact::solve(&p).total_utility(&p);
+        assert!((opt - 3.0).abs() < 1e-6);
+        assert!(total / opt > ALPHA); // 5/6 > α, consistent with Thm V.17
+    }
+
+    #[test]
+    fn meets_alpha_on_mixed_instances() {
+        let p = Problem::builder(3, 4.0)
+            .thread(arc(CappedLinear::new(3.0, 2.0, 4.0)))
+            .thread(arc(CappedLinear::new(3.0, 2.0, 4.0)))
+            .thread(arc(LogUtility::new(2.0, 1.0, 4.0)))
+            .thread(arc(Power::new(1.0, 0.5, 4.0)))
+            .thread(arc(Power::new(2.0, 0.7, 4.0)))
+            .thread(arc(LogUtility::new(1.0, 3.0, 4.0)))
+            .thread(arc(CappedLinear::new(0.5, 4.0, 4.0)))
+            .build()
+            .unwrap();
+        let so = super_optimal(&p);
+        let a = solve(&p);
+        a.validate(&p).unwrap();
+        assert!(a.total_utility(&p) >= ALPHA * so.utility - 1e-9);
+    }
+
+    #[test]
+    fn first_m_threads_are_full() {
+        // Lemma V.8 for Algorithm 2.
+        let p = Problem::builder(3, 9.0)
+            .threads((0..10).map(|i| arc(LogUtility::new(1.0 + (i % 4) as f64, 0.8, 9.0))))
+            .build()
+            .unwrap();
+        let so = super_optimal(&p);
+        let a = solve(&p);
+        // Count full threads: must be ≥ m.
+        let full = (0..p.len())
+            .filter(|&i| (a.amount[i] - so.amounts[i]).abs() < 1e-9)
+            .count();
+        assert!(full >= 3, "only {full} full threads");
+    }
+
+    #[test]
+    fn at_most_one_unfull_thread_per_server() {
+        // Lemma V.5 for Algorithm 2.
+        let p = Problem::builder(4, 5.0)
+            .threads((0..17).map(|i| arc(Power::new(1.0 + (i % 6) as f64, 0.6, 5.0))))
+            .build()
+            .unwrap();
+        let so = super_optimal(&p);
+        let a = solve(&p);
+        let mut unfull = vec![0_usize; 4];
+        for i in 0..p.len() {
+            if a.amount[i] < so.amounts[i] - 1e-9 {
+                unfull[a.server[i]] += 1;
+            }
+        }
+        assert!(unfull.iter().all(|&k| k <= 1), "{unfull:?}");
+    }
+
+    #[test]
+    fn agrees_with_algo1_on_easy_instances() {
+        // Both are α-approximations; on β = 1 instances both are optimal
+        // and must produce the same utility.
+        let p = Problem::builder(3, 10.0)
+            .threads((0..3).map(|i| arc(Power::new(1.0 + i as f64, 0.5, 10.0))))
+            .build()
+            .unwrap();
+        let u1 = crate::algo1::solve(&p).total_utility(&p);
+        let u2 = solve(&p).total_utility(&p);
+        assert!((u1 - u2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = Problem::builder(2, 7.0)
+            .threads((0..9).map(|i| arc(Power::new(1.0 + (i % 3) as f64, 0.5, 7.0))))
+            .build()
+            .unwrap();
+        assert_eq!(solve(&p), solve(&p));
+    }
+
+    #[test]
+    fn handles_more_servers_than_threads() {
+        let p = Problem::builder(5, 3.0)
+            .thread(arc(Power::new(1.0, 0.5, 3.0)))
+            .thread(arc(Power::new(2.0, 0.5, 3.0)))
+            .build()
+            .unwrap();
+        let a = solve(&p);
+        a.validate(&p).unwrap();
+        assert_eq!(a.amount, vec![3.0, 3.0]);
+        assert_ne!(a.server[0], a.server[1]);
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aa_utility::{LogUtility, Power};
+
+    #[test]
+    fn solve_par_matches_solve_on_large_instance() {
+        // Distinct per-thread scales: no exact sort-key ties, so the ULP
+        // drift from parallel summation cannot flip orderings (ties would
+        // make the greedy discontinuous in its inputs and the comparison
+        // meaningless).
+        let n = 5000;
+        let p = Problem::builder(16, 100.0)
+            .threads((0..n).map(|i| {
+                let s = 0.5 + i as f64 * 1e-3;
+                if i % 2 == 0 {
+                    Arc::new(Power::new(s, 0.6, 100.0)) as aa_utility::DynUtility
+                } else {
+                    Arc::new(LogUtility::new(s, 0.3, 100.0)) as aa_utility::DynUtility
+                }
+            }))
+            .build()
+            .unwrap();
+        let seq = solve(&p);
+        let par = solve_par(&p);
+        par.validate(&p).unwrap();
+        // Parallel summation reorders floating-point adds, so ĉ moves by
+        // ULPs; the greedy is discontinuous in ĉ (threads near the
+        // head/tail sort boundary can swap), so placements and utilities
+        // need not match exactly. The contract: both feasible, both
+        // within the guarantee, and utilities within 0.1%.
+        let bound = super_optimal(&p).utility;
+        let (us, up) = (seq.total_utility(&p), par.total_utility(&p));
+        assert!(us >= crate::ALPHA * bound - 1e-6 * bound);
+        assert!(up >= crate::ALPHA * bound - 1e-6 * bound);
+        assert!((us - up).abs() <= 1e-3 * us, "{us} vs {up}");
+    }
+
+    #[test]
+    fn solve_par_small_instances_identical() {
+        let p = Problem::builder(2, 10.0)
+            .threads((0..5).map(|i| {
+                Arc::new(Power::new(1.0 + i as f64, 0.5, 10.0)) as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap();
+        assert_eq!(solve(&p), solve_par(&p));
+    }
+}

@@ -1,0 +1,223 @@
+//! Discrete-resource AA: integer allocations (extension, not in the
+//! paper).
+//!
+//! Real enforcement mechanisms are frequently integral — cache ways,
+//! hugepages, whole cores. This module turns a continuous assignment
+//! into an integral one without losing the placement:
+//!
+//! 1. floor every allocation to the grid;
+//! 2. re-distribute each server's freed units *by marginal utility*
+//!    (Fox's greedy on the threads assigned there), which is exactly
+//!    optimal per server on the grid for concave utilities.
+//!
+//! This dominates naive largest-remainder rounding (which ignores the
+//! utility curves) and can only improve on flooring; tests quantify both
+//! claims and compare against the per-server discrete DP ground truth.
+
+use aa_allocator::greedy;
+
+use crate::problem::{Assignment, Problem};
+
+/// Round `assignment` onto the grid `{0, unit, 2·unit, …}`, re-splitting
+/// each server's integral budget optimally among its threads.
+///
+/// The placement (`server`) is preserved; only allocations change. The
+/// result is feasible whenever the input is, and `unit` must divide the
+/// capacity exactly for the full budget to stay reachable (callers with
+/// non-dividing units simply leave a sub-unit remainder unused).
+pub fn round_assignment(problem: &Problem, assignment: &Assignment, unit: f64) -> Assignment {
+    assert!(unit > 0.0 && unit.is_finite(), "unit must be positive");
+    let mut amount = vec![0.0_f64; problem.len()];
+    for j in 0..problem.servers() {
+        let members: Vec<usize> = (0..problem.len())
+            .filter(|&i| assignment.server[i] == j)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let units_available = (problem.capacity() / unit).floor() as usize;
+        let views: Vec<_> = members.iter().map(|&i| problem.capped_thread(i)).collect();
+        let alloc = greedy::allocate_units(&views, units_available, unit);
+        for (&i, &c) in members.iter().zip(&alloc.amounts) {
+            amount[i] = c;
+        }
+    }
+    Assignment {
+        server: assignment.server.clone(),
+        amount,
+    }
+}
+
+/// Solve with Algorithm 2, then round to the grid. The α guarantee
+/// degrades by at most the per-server discretization loss
+/// (`≤ n · max_i (f_i(x) − f_i(x − unit))`), which vanishes as
+/// `unit → 0`.
+pub fn solve_discrete(problem: &Problem, unit: f64) -> Assignment {
+    let a = crate::algo2::solve(problem);
+    round_assignment(problem, &a, unit)
+}
+
+/// Naive largest-remainder rounding (utility-blind): floor everything,
+/// then hand freed units to the largest fractional remainders. Kept as
+/// the comparison baseline; [`round_assignment`] should never lose to it.
+pub fn round_largest_remainder(
+    problem: &Problem,
+    assignment: &Assignment,
+    unit: f64,
+) -> Assignment {
+    assert!(unit > 0.0 && unit.is_finite(), "unit must be positive");
+    let mut units: Vec<usize> = assignment
+        .amount
+        .iter()
+        .map(|&c| (c / unit).floor() as usize)
+        .collect();
+    for j in 0..problem.servers() {
+        let members: Vec<usize> = (0..problem.len())
+            .filter(|&i| assignment.server[i] == j)
+            .collect();
+        let used: usize = members.iter().map(|&i| units[i]).sum();
+        let budget = (problem.capacity() / unit).floor() as usize;
+        let mut spare = budget.saturating_sub(used);
+        let mut by_frac = members.clone();
+        by_frac.sort_by(|&a, &b| {
+            let fa = (assignment.amount[a] / unit).fract();
+            let fb = (assignment.amount[b] / unit).fract();
+            fb.total_cmp(&fa).then_with(|| a.cmp(&b))
+        });
+        for &i in &by_frac {
+            if spare == 0 {
+                break;
+            }
+            if (assignment.amount[i] / unit).fract() > 0.0 {
+                units[i] += 1;
+                spare -= 1;
+            }
+        }
+    }
+    Assignment {
+        server: assignment.server.clone(),
+        amount: units.iter().map(|&u| u as f64 * unit).collect(),
+    }
+}
+
+/// Total utility lost to discretization: continuous minus rounded.
+pub fn discretization_loss(problem: &Problem, unit: f64) -> f64 {
+    let cont = crate::algo2::solve(problem);
+    let disc = round_assignment(problem, &cont, unit);
+    cont.total_utility(problem) - disc.total_utility(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aa_allocator::exact_dp;
+    use aa_utility::{CappedLinear, DynUtility, LogUtility, Power, Utility};
+
+    use crate::{algo2, superopt, ALPHA};
+
+    fn arc<U: Utility + 'static>(u: U) -> DynUtility {
+        Arc::new(u)
+    }
+
+    fn problem() -> Problem {
+        Problem::builder(2, 8.0)
+            .thread(arc(Power::new(3.0, 0.5, 8.0)))
+            .thread(arc(LogUtility::new(2.0, 1.0, 8.0)))
+            .thread(arc(CappedLinear::new(1.5, 3.0, 8.0)))
+            .thread(arc(Power::new(1.0, 0.7, 8.0)))
+            .thread(arc(LogUtility::new(4.0, 0.3, 8.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rounded_allocations_are_on_the_grid() {
+        let p = problem();
+        let a = solve_discrete(&p, 1.0);
+        a.validate(&p).unwrap();
+        for &c in &a.amount {
+            assert!((c - c.round()).abs() < 1e-9, "{c} off-grid");
+        }
+    }
+
+    #[test]
+    fn placement_is_preserved() {
+        let p = problem();
+        let cont = algo2::solve(&p);
+        let disc = round_assignment(&p, &cont, 1.0);
+        assert_eq!(disc.server, cont.server);
+    }
+
+    #[test]
+    fn greedy_rounding_beats_or_ties_largest_remainder() {
+        let p = problem();
+        let cont = algo2::solve(&p);
+        for unit in [0.5, 1.0, 2.0] {
+            let smart = round_assignment(&p, &cont, unit);
+            let naive = round_largest_remainder(&p, &cont, unit);
+            smart.validate(&p).unwrap();
+            naive.validate(&p).unwrap();
+            assert!(
+                smart.total_utility(&p) >= naive.total_utility(&p) - 1e-9,
+                "unit {unit}: greedy {} < remainder {}",
+                smart.total_utility(&p),
+                naive.total_utility(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn per_server_rounding_is_exactly_optimal_on_the_grid() {
+        // Against the discrete DP, server by server.
+        let p = problem();
+        let a = solve_discrete(&p, 1.0);
+        for j in 0..p.servers() {
+            let members: Vec<usize> =
+                (0..p.len()).filter(|&i| a.server[i] == j).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let views: Vec<_> = members.iter().map(|&i| p.capped_thread(i)).collect();
+            let dp = exact_dp::allocate_exact(&views, 8, 1.0);
+            let got: f64 = members
+                .iter()
+                .map(|&i| p.utility_of(i, a.amount[i]))
+                .sum();
+            assert!(
+                (got - dp.utility).abs() < 1e-9,
+                "server {j}: {got} vs dp {}",
+                dp.utility
+            );
+        }
+    }
+
+    #[test]
+    fn fine_grids_approach_continuous() {
+        let p = problem();
+        let losses: Vec<f64> = [2.0, 1.0, 0.25, 0.0625]
+            .iter()
+            .map(|&u| discretization_loss(&p, u))
+            .collect();
+        for w in losses.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "loss rose on finer grid: {losses:?}");
+        }
+        assert!(losses.last().unwrap() < &0.05, "{losses:?}");
+    }
+
+    #[test]
+    fn guarantee_survives_reasonable_grids() {
+        let p = problem();
+        let bound = superopt::super_optimal(&p).utility;
+        let a = solve_discrete(&p, 0.5);
+        // α plus a unit's worth of slack.
+        assert!(a.total_utility(&p) >= ALPHA * bound - 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit must be positive")]
+    fn rejects_zero_unit() {
+        solve_discrete(&problem(), 0.0);
+    }
+}

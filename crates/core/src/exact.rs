@@ -1,0 +1,236 @@
+//! Exact solver by exhaustive search — ground truth for small instances.
+//!
+//! The AA problem is NP-hard (Theorem IV.1), so this solver enumerates.
+//! Because servers are homogeneous, assignments that differ only by a
+//! permutation of servers are equivalent; we enumerate *restricted growth
+//! strings* (thread `i` may open at most one new server beyond those
+//! already used), cutting the space from `mⁿ` to at most the Bell number
+//! `B(n)`. For every grouping, each server's resource is split optimally
+//! among its threads by the continuous bisection allocator — optimal for
+//! concave utilities — so the only discrete choice enumerated is the
+//! placement, exactly the hard part.
+//!
+//! Used by the tests and experiments to certify approximation ratios
+//! ("Algorithm 2 ≥ 99% of optimal"); not intended for `n` beyond ~12.
+
+use aa_allocator::bisection;
+
+use crate::problem::{Assignment, CappedView, Problem};
+
+/// Hard limit: enumeration beyond this many threads would take minutes.
+pub const MAX_THREADS: usize = 14;
+
+/// Find an optimal assignment by exhaustive search over placements with
+/// per-server optimal allocations.
+///
+/// # Panics
+/// If `problem.len() > MAX_THREADS` — use the approximation algorithms.
+pub fn solve(problem: &Problem) -> Assignment {
+    let n = problem.len();
+    assert!(
+        n <= MAX_THREADS,
+        "exact solver is exponential: {n} threads > limit {MAX_THREADS}"
+    );
+    let m = problem.servers();
+    let views: Vec<CappedView> = problem.capped_threads();
+
+    let best_utility = f64::NEG_INFINITY;
+    let best_server = vec![0_usize; n];
+    let mut server = vec![0_usize; n];
+
+    // DFS over restricted growth strings.
+    struct Search<'a> {
+        problem: &'a Problem,
+        views: &'a [CappedView],
+        n: usize,
+        m: usize,
+        best_utility: f64,
+        best_server: Vec<usize>,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, i: usize, used: usize, server: &mut Vec<usize>) {
+            if i == self.n {
+                let utility = grouped_utility(self.problem, self.views, server, used);
+                if utility > self.best_utility {
+                    self.best_utility = utility;
+                    self.best_server.clone_from(server);
+                }
+                return;
+            }
+            let limit = (used + 1).min(self.m);
+            for j in 0..limit {
+                server[i] = j;
+                self.dfs(i + 1, used.max(j + 1), server);
+            }
+        }
+    }
+
+    let mut search = Search {
+        problem,
+        views: &views,
+        n,
+        m,
+        best_utility,
+        best_server,
+    };
+    search.dfs(0, 0, &mut server);
+    let best_server = search.best_server;
+
+    // Rebuild the winning allocation.
+    let amount = allocate_groups(problem, &views, &best_server);
+    Assignment {
+        server: best_server,
+        amount,
+    }
+}
+
+/// The optimal total utility (convenience wrapper).
+pub fn optimal_utility(problem: &Problem) -> f64 {
+    let a = solve(problem);
+    a.total_utility(problem)
+}
+
+/// Total utility of a placement with per-server optimal allocations.
+fn grouped_utility(
+    problem: &Problem,
+    views: &[CappedView],
+    server: &[usize],
+    used: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for j in 0..used {
+        let group: Vec<&CappedView> = server
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == j)
+            .map(|(i, _)| &views[i])
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        total += bisection::allocate(&group, problem.capacity()).utility;
+    }
+    total
+}
+
+/// Optimal per-server allocation amounts for a given placement.
+pub fn allocate_groups(problem: &Problem, views: &[CappedView], server: &[usize]) -> Vec<f64> {
+    let mut amount = vec![0.0_f64; server.len()];
+    for j in 0..problem.servers() {
+        let idx: Vec<usize> = (0..server.len()).filter(|&i| server[i] == j).collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let group: Vec<&CappedView> = idx.iter().map(|&i| &views[i]).collect();
+        let alloc = bisection::allocate(&group, problem.capacity());
+        for (&i, &c) in idx.iter().zip(&alloc.amounts) {
+            amount[i] = c;
+        }
+    }
+    amount
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aa_utility::{CappedLinear, LogUtility, Power, Utility};
+
+    use crate::{algo2, ALPHA};
+
+    fn arc<U: Utility + 'static>(u: U) -> aa_utility::DynUtility {
+        Arc::new(u)
+    }
+
+    #[test]
+    fn single_server_reduces_to_allocation() {
+        let p = Problem::builder(1, 6.0)
+            .thread(arc(Power::new(1.0, 0.5, 6.0)))
+            .thread(arc(Power::new(2.0, 0.5, 6.0)))
+            .build()
+            .unwrap();
+        let a = solve(&p);
+        a.validate(&p).unwrap();
+        let direct = aa_allocator::bisection::allocate(&p.capped_threads(), 6.0);
+        assert!((a.total_utility(&p) - direct.utility).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finds_the_partition_style_optimum() {
+        // Thm V.17 instance: optimum is 3 (both capped threads share a
+        // server; the linear thread gets its own).
+        let p = Problem::builder(2, 1.0)
+            .thread(arc(CappedLinear::new(2.0, 0.5, 1.0)))
+            .thread(arc(CappedLinear::new(2.0, 0.5, 1.0)))
+            .thread(arc(Power::new(1.0, 1.0, 1.0)))
+            .build()
+            .unwrap();
+        let a = solve(&p);
+        assert!((a.total_utility(&p) - 3.0).abs() < 1e-6);
+        // The two capped threads share a server.
+        assert_eq!(a.server[0], a.server[1]);
+        assert_ne!(a.server[0], a.server[2]);
+    }
+
+    #[test]
+    fn never_below_superopt_ratio_alpha_for_algo2() {
+        // Certify Theorem VI.1 against the true optimum on several small
+        // mixed instances.
+        for seed in 0..5_u64 {
+            let p = Problem::builder(2, 5.0)
+                .threads((0..6).map(|i| {
+                    let s = 1.0 + ((i as u64 * 7 + seed * 13) % 9) as f64;
+                    if i % 2 == 0 {
+                        arc(Power::new(s, 0.5, 5.0))
+                    } else {
+                        arc(LogUtility::new(s, 1.0, 5.0))
+                    }
+                }))
+                .build()
+                .unwrap();
+            let opt = optimal_utility(&p);
+            let approx = algo2::solve(&p).total_utility(&p);
+            assert!(
+                approx >= ALPHA * opt - 1e-6,
+                "seed {seed}: {approx} < α·{opt}"
+            );
+            assert!(approx <= opt + 1e-6, "approx beat the optimum?!");
+        }
+    }
+
+    #[test]
+    fn symmetry_pruning_preserves_optimality() {
+        // Compare against a full mⁿ enumeration on a tiny instance.
+        let p = Problem::builder(3, 4.0)
+            .thread(arc(Power::new(3.0, 0.5, 4.0)))
+            .thread(arc(Power::new(1.0, 0.9, 4.0)))
+            .thread(arc(LogUtility::new(2.0, 1.0, 4.0)))
+            .thread(arc(CappedLinear::new(1.5, 2.0, 4.0)))
+            .build()
+            .unwrap();
+        let fast = optimal_utility(&p);
+
+        // Brute force over all 3^4 placements.
+        let views = p.capped_threads();
+        let mut best = f64::NEG_INFINITY;
+        for code in 0..81_usize {
+            let server: Vec<usize> = (0..4).map(|i| (code / 3_usize.pow(i as u32)) % 3).collect();
+            let amount = allocate_groups(&p, &views, &server);
+            let a = Assignment { server, amount };
+            best = best.max(a.total_utility(&p));
+        }
+        assert!((fast - best).abs() < 1e-6, "pruned {fast} vs full {best}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exact solver is exponential")]
+    fn refuses_large_instances() {
+        let p = Problem::builder(2, 1.0)
+            .threads((0..MAX_THREADS + 1).map(|_| arc(Power::new(1.0, 0.5, 1.0))))
+            .build()
+            .unwrap();
+        solve(&p);
+    }
+}

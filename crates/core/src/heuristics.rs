@@ -1,0 +1,197 @@
+//! The four baseline heuristics of the paper's evaluation (§VII).
+//!
+//! Assignment policy × allocation policy:
+//!
+//! * **UU** (uniform-uniform): round-robin placement, equal split of each
+//!   server's resource among its threads;
+//! * **UR** (uniform-random): round-robin placement, random split;
+//! * **RU** (random-uniform): uniformly random placement, equal split;
+//! * **RR** (random-random): random placement, random split.
+//!
+//! "Random amounts of resources" is realized as sequential stick-breaking:
+//! each thread on a server, in order, takes a uniform fraction of the
+//! server's *remaining* resource — possibly leaving some unused. This
+//! reading is pinned down by the paper itself: "UR does not achieve
+//! optimal utility even for β = 1, since it allocates threads random
+//! amounts of resources" — a lone thread receives `u·C`, not `C`, which
+//! rules out any normalize-to-capacity scheme. Under it the experiments
+//! reproduce the paper's findings: uniform allocation beats random
+//! allocation by a widening margin as β grows, and heuristics degrade
+//! with utility skew.
+
+use rand::Rng;
+
+use crate::problem::{Assignment, Problem};
+
+/// Round-robin placement: thread `i` on server `i mod m`.
+pub fn assign_round_robin(problem: &Problem) -> Vec<usize> {
+    (0..problem.len()).map(|i| i % problem.servers()).collect()
+}
+
+/// Uniformly random placement.
+pub fn assign_random<R: Rng + ?Sized>(problem: &Problem, rng: &mut R) -> Vec<usize> {
+    (0..problem.len())
+        .map(|_| rng.gen_range(0..problem.servers()))
+        .collect()
+}
+
+/// Equal split: every thread on a server gets `C / k` where `k` is the
+/// number of threads assigned there.
+pub fn allocate_uniform(problem: &Problem, server: &[usize]) -> Vec<f64> {
+    let mut counts = vec![0_usize; problem.servers()];
+    for &j in server {
+        counts[j] += 1;
+    }
+    server
+        .iter()
+        .map(|&j| problem.capacity() / counts[j] as f64)
+        .collect()
+}
+
+/// Random split by sequential stick-breaking: threads on each server, in
+/// index order, each take a uniform fraction of the server's remaining
+/// resource. The expected leftover is `C/2^k` for `k` threads — waste the
+/// uniform policies never incur, which is precisely why the paper finds
+/// UR/RR trailing UU/RU.
+pub fn allocate_random<R: Rng + ?Sized>(
+    problem: &Problem,
+    server: &[usize],
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut remaining = vec![problem.capacity(); problem.servers()];
+    server
+        .iter()
+        .map(|&j| {
+            let take = rng.gen::<f64>() * remaining[j];
+            remaining[j] -= take;
+            take
+        })
+        .collect()
+}
+
+/// UU: round-robin placement, equal allocation.
+pub fn uu(problem: &Problem) -> Assignment {
+    let server = assign_round_robin(problem);
+    let amount = allocate_uniform(problem, &server);
+    Assignment { server, amount }
+}
+
+/// UR: round-robin placement, random allocation.
+pub fn ur<R: Rng + ?Sized>(problem: &Problem, rng: &mut R) -> Assignment {
+    let server = assign_round_robin(problem);
+    let amount = allocate_random(problem, &server, rng);
+    Assignment { server, amount }
+}
+
+/// RU: random placement, equal allocation.
+pub fn ru<R: Rng + ?Sized>(problem: &Problem, rng: &mut R) -> Assignment {
+    let server = assign_random(problem, rng);
+    let amount = allocate_uniform(problem, &server);
+    Assignment { server, amount }
+}
+
+/// RR: random placement, random allocation.
+pub fn rr<R: Rng + ?Sized>(problem: &Problem, rng: &mut R) -> Assignment {
+    let server = assign_random(problem, rng);
+    let amount = allocate_random(problem, &server, rng);
+    Assignment { server, amount }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aa_utility::Power;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(m: usize, n: usize) -> Problem {
+        Problem::builder(m, 12.0)
+            .threads((0..n).map(|i| {
+                Arc::new(Power::new(1.0 + i as f64, 0.5, 12.0)) as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = problem(3, 7);
+        assert_eq!(assign_round_robin(&p), vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn uniform_allocation_splits_equally() {
+        let p = problem(2, 4);
+        let server = vec![0, 0, 1, 0];
+        let alloc = allocate_uniform(&p, &server);
+        assert_eq!(alloc, vec![4.0, 4.0, 12.0, 4.0]);
+    }
+
+    #[test]
+    fn uu_beta_one_is_optimal() {
+        // Paper: for β = 1, UU places one thread per server with all
+        // resources — the optimum.
+        let p = problem(4, 4);
+        let a = uu(&p);
+        a.validate(&p).unwrap();
+        for &c in &a.amount {
+            assert_eq!(c, 12.0);
+        }
+    }
+
+    #[test]
+    fn all_heuristics_produce_feasible_assignments() {
+        let p = problem(3, 11);
+        let mut rng = StdRng::seed_from_u64(7);
+        uu(&p).validate(&p).unwrap();
+        ur(&p, &mut rng).validate(&p).unwrap();
+        ru(&p, &mut rng).validate(&p).unwrap();
+        rr(&p, &mut rng).validate(&p).unwrap();
+    }
+
+    #[test]
+    fn random_allocation_stays_within_capacity_and_wastes_some() {
+        let p = problem(2, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = rr(&p, &mut rng);
+        a.validate(&p).unwrap();
+        let loads = a.server_loads(&p);
+        for (j, &l) in loads.iter().enumerate() {
+            assert!(l <= 12.0 + 1e-9, "server {j} load {l}");
+        }
+        // Stick-breaking almost surely leaves something unused.
+        assert!(loads.iter().sum::<f64>() < 24.0 - 1e-9);
+    }
+
+    #[test]
+    fn ur_suboptimal_even_at_beta_one() {
+        // The paper's own statement pinning the allocation semantics: a
+        // lone thread gets u·C < C under UR.
+        let p = problem(4, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = ur(&p, &mut rng);
+        let full = uu(&p);
+        assert!(a.total_utility(&p) < full.total_utility(&p));
+        assert!(a.amount.iter().all(|&c| c < 12.0));
+    }
+
+    #[test]
+    fn seeded_rng_reproduces() {
+        let p = problem(3, 8);
+        let a = rr(&p, &mut StdRng::seed_from_u64(42));
+        let b = rr(&p, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heuristics_never_beat_superopt() {
+        let p = problem(2, 6);
+        let bound = crate::superopt::super_optimal(&p).utility;
+        let mut rng = StdRng::seed_from_u64(11);
+        for a in [uu(&p), ur(&p, &mut rng), ru(&p, &mut rng), rr(&p, &mut rng)] {
+            assert!(a.total_utility(&p) <= bound + 1e-9);
+        }
+    }
+}

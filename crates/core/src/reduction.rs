@@ -1,0 +1,175 @@
+//! The PARTITION → AA reduction (paper Theorem IV.1).
+//!
+//! Given numbers `c_1 … c_n`, build an AA instance with two servers of
+//! capacity `C = ½ Σ c_i` and one thread per number with utility
+//! `f_i(x) = min(x, c_i)`. The instance's optimal utility equals
+//! `Σ c_i` **iff** the numbers can be partitioned into two equal-sum
+//! halves — which is what makes AA NP-hard even for `m = 2`.
+//!
+//! The reverse direction is also implemented: solving the AA instance
+//! exactly and reading a partition back out. Tests round-trip both ways,
+//! which simultaneously validates the reduction and the exact solver.
+
+use std::sync::Arc;
+
+use aa_utility::CappedLinear;
+
+use crate::exact;
+use crate::problem::{Problem, ProblemError};
+
+/// Error building the reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReductionError {
+    /// Fewer than two numbers — partition is trivially ill-posed.
+    TooFewNumbers,
+    /// A number is nonpositive or not finite.
+    BadNumber(f64),
+    /// Some number exceeds half the total: no partition can exist, and
+    /// the AA instance would need `knee > C`.
+    NumberExceedsHalfSum(f64),
+    /// Problem construction failed (should not happen for valid inputs).
+    Problem(ProblemError),
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::TooFewNumbers => write!(f, "need at least two numbers"),
+            ReductionError::BadNumber(x) => write!(f, "numbers must be positive finite, got {x}"),
+            ReductionError::NumberExceedsHalfSum(x) => {
+                write!(f, "{x} exceeds half the total sum; no partition exists")
+            }
+            ReductionError::Problem(e) => write!(f, "problem construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {}
+
+/// The AA instance encoding a PARTITION instance.
+#[derive(Debug, Clone)]
+pub struct PartitionReduction {
+    /// The two-server AA problem.
+    pub problem: Problem,
+    /// The original numbers.
+    pub numbers: Vec<f64>,
+    /// `Σ c_i`: the utility achieved iff a partition exists.
+    pub target: f64,
+}
+
+/// Build the Theorem IV.1 instance from positive numbers.
+pub fn reduce_partition(numbers: &[f64]) -> Result<PartitionReduction, ReductionError> {
+    if numbers.len() < 2 {
+        return Err(ReductionError::TooFewNumbers);
+    }
+    for &x in numbers {
+        if !(x.is_finite() && x > 0.0) {
+            return Err(ReductionError::BadNumber(x));
+        }
+    }
+    let total: f64 = numbers.iter().sum();
+    let capacity = total / 2.0;
+    for &x in numbers {
+        if x > capacity {
+            return Err(ReductionError::NumberExceedsHalfSum(x));
+        }
+    }
+    let problem = Problem::builder(2, capacity)
+        .threads(
+            numbers
+                .iter()
+                .map(|&c| Arc::new(CappedLinear::new(1.0, c, capacity)) as aa_utility::DynUtility),
+        )
+        .build()
+        .map_err(ReductionError::Problem)?;
+    Ok(PartitionReduction {
+        problem,
+        numbers: numbers.to_vec(),
+        target: total,
+    })
+}
+
+/// The two index sets of a perfect partition.
+pub type Partition = (Vec<usize>, Vec<usize>);
+
+/// Decide PARTITION by solving the reduced AA instance exactly. Returns
+/// the two index sets when a perfect partition exists.
+///
+/// Only meaningful for small inputs (the exact solver enumerates; see
+/// [`exact::MAX_THREADS`]).
+pub fn solve_partition(numbers: &[f64]) -> Result<Option<Partition>, ReductionError> {
+    let red = reduce_partition(numbers)?;
+    let assignment = exact::solve(&red.problem);
+    let utility = assignment.total_utility(&red.problem);
+    // Theorem IV.1: a partition exists iff the optimum hits Σ c_i.
+    let tol = 1e-6 * red.target.max(1.0);
+    if (utility - red.target).abs() > tol {
+        return Ok(None);
+    }
+    let mut s1 = Vec::new();
+    let mut s2 = Vec::new();
+    for (i, &j) in assignment.server.iter().enumerate() {
+        if j == 0 {
+            s1.push(i);
+        } else {
+            s2.push(i);
+        }
+    }
+    Ok(Some((s1, s2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solvable_partition_round_trips() {
+        // {3, 1, 1, 2, 2, 1} sums to 10; e.g. {3, 2} vs {1, 1, 2, 1}.
+        let numbers = [3.0, 1.0, 1.0, 2.0, 2.0, 1.0];
+        let (s1, s2) = solve_partition(&numbers).unwrap().expect("partition exists");
+        let sum1: f64 = s1.iter().map(|&i| numbers[i]).sum();
+        let sum2: f64 = s2.iter().map(|&i| numbers[i]).sum();
+        assert!((sum1 - 5.0).abs() < 1e-9);
+        assert!((sum2 - 5.0).abs() < 1e-9);
+        assert_eq!(s1.len() + s2.len(), numbers.len());
+    }
+
+    #[test]
+    fn unsolvable_partition_detected() {
+        // {2, 2, 3} sums to 7 (odd in units of 1): no equal split.
+        let numbers = [2.0, 2.0, 3.0];
+        assert!(solve_partition(&numbers).unwrap().is_none());
+    }
+
+    #[test]
+    fn reduction_shape_matches_theorem() {
+        let red = reduce_partition(&[4.0, 3.0, 3.0, 2.0]).unwrap();
+        assert_eq!(red.problem.servers(), 2);
+        assert!((red.problem.capacity() - 6.0).abs() < 1e-12);
+        assert_eq!(red.problem.len(), 4);
+        assert!((red.target - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert_eq!(
+            reduce_partition(&[1.0]).unwrap_err(),
+            ReductionError::TooFewNumbers
+        );
+        assert!(matches!(
+            reduce_partition(&[1.0, -2.0]).unwrap_err(),
+            ReductionError::BadNumber(_)
+        ));
+        assert!(matches!(
+            reduce_partition(&[10.0, 1.0]).unwrap_err(),
+            ReductionError::NumberExceedsHalfSum(_)
+        ));
+    }
+
+    #[test]
+    fn equal_pair_partitions() {
+        let (s1, s2) = solve_partition(&[5.0, 5.0]).unwrap().expect("trivial partition");
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s2.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! A uniform [`Solver`] interface over every assignment algorithm.
+//!
+//! The experiment harness and benchmarks treat Algorithm 1, Algorithm 2,
+//! the four baseline heuristics and the exact solver interchangeably
+//! through this trait; randomized solvers draw from the caller's RNG so
+//! trials are reproducible from a seed.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::problem::{Assignment, Problem};
+use crate::{ablation, algo1, algo2, exact, exact_bb, heuristics, refine};
+
+/// An AA solver: produces a feasible assignment for any problem.
+pub trait Solver {
+    /// Short stable identifier ("algo2", "uu", …) used in experiment
+    /// output.
+    fn name(&self) -> &'static str;
+
+    /// Solve, drawing any randomness from `rng`. Deterministic solvers
+    /// ignore it.
+    fn solve_with(&self, problem: &Problem, rng: &mut dyn RngCore) -> Assignment;
+
+    /// Solve with a fixed default seed (deterministic convenience).
+    fn solve(&self, problem: &Problem) -> Assignment {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        self.solve_with(problem, &mut rng)
+    }
+}
+
+/// Algorithm 1 (paper §V): `O(mn² + n(log mC)²)`, α-approximation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Algo1;
+
+impl Solver for Algo1 {
+    fn name(&self) -> &'static str {
+        "algo1"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        algo1::solve(problem)
+    }
+}
+
+/// Algorithm 2 (paper §VI): `O(n(log mC)²)`, α-approximation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Algo2;
+
+impl Solver for Algo2 {
+    fn name(&self) -> &'static str {
+        "algo2"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        algo2::solve(problem)
+    }
+}
+
+/// Uniform-uniform baseline: round-robin placement, equal allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uu;
+
+impl Solver for Uu {
+    fn name(&self) -> &'static str {
+        "uu"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        heuristics::uu(problem)
+    }
+}
+
+/// Uniform-random baseline: round-robin placement, random allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ur;
+
+impl Solver for Ur {
+    fn name(&self) -> &'static str {
+        "ur"
+    }
+    fn solve_with(&self, problem: &Problem, rng: &mut dyn RngCore) -> Assignment {
+        heuristics::ur(problem, rng)
+    }
+}
+
+/// Random-uniform baseline: random placement, equal allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ru;
+
+impl Solver for Ru {
+    fn name(&self) -> &'static str {
+        "ru"
+    }
+    fn solve_with(&self, problem: &Problem, rng: &mut dyn RngCore) -> Assignment {
+        heuristics::ru(problem, rng)
+    }
+}
+
+/// Random-random baseline: random placement, random allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rr;
+
+impl Solver for Rr {
+    fn name(&self) -> &'static str {
+        "rr"
+    }
+    fn solve_with(&self, problem: &Problem, rng: &mut dyn RngCore) -> Assignment {
+        heuristics::rr(problem, rng)
+    }
+}
+
+/// Exhaustive exact solver (small instances only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForce;
+
+impl Solver for BruteForce {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        exact::solve(problem)
+    }
+}
+
+/// Ablation: Algorithm 2 without the density re-sort of the tail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Algo2SingleSort;
+
+impl Solver for Algo2SingleSort {
+    fn name(&self) -> &'static str {
+        "algo2-single-sort"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        ablation::algo2_single_sort(problem)
+    }
+}
+
+/// Ablation: Algorithm 2 with fair-share demands instead of the
+/// super-optimal allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Algo2FairShare;
+
+impl Solver for Algo2FairShare {
+    fn name(&self) -> &'static str {
+        "algo2-fair-share"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        ablation::algo2_fair_share(problem)
+    }
+}
+
+/// Branch-and-bound exact solver (instances up to ~18 threads).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchAndBound;
+
+impl Solver for BranchAndBound {
+    fn name(&self) -> &'static str {
+        "exact-bb"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        exact_bb::solve(problem)
+    }
+}
+
+/// Algorithm 2 plus the exact per-server re-split post-pass: same
+/// guarantee, never worse, asymptotically free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Algo2Refined;
+
+impl Solver for Algo2Refined {
+    fn name(&self) -> &'static str {
+        "algo2-refined"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        refine::solve_refined(problem)
+    }
+}
+
+/// All solvers the experiments compare (Algorithm 2 plus the four paper
+/// baselines), in the paper's reporting order.
+pub fn paper_lineup() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(Algo2),
+        Box::new(Uu),
+        Box::new(Ur),
+        Box::new(Ru),
+        Box::new(Rr),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aa_utility::Power;
+
+    fn problem() -> Problem {
+        Problem::builder(2, 8.0)
+            .threads((0..5).map(|i| {
+                Arc::new(Power::new(1.0 + i as f64, 0.5, 8.0)) as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_solver_is_feasible() {
+        let p = problem();
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(Algo1),
+            Box::new(Algo2),
+            Box::new(Uu),
+            Box::new(Ur),
+            Box::new(Ru),
+            Box::new(Rr),
+            Box::new(BruteForce),
+            Box::new(Algo2SingleSort),
+            Box::new(Algo2FairShare),
+            Box::new(Algo2Refined),
+            Box::new(BranchAndBound),
+        ];
+        for s in &solvers {
+            let a = s.solve(&p);
+            a.validate(&p)
+                .unwrap_or_else(|e| panic!("{} produced infeasible assignment: {e}", s.name()));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(Algo1),
+            Box::new(Algo2),
+            Box::new(Uu),
+            Box::new(Ur),
+            Box::new(Ru),
+            Box::new(Rr),
+            Box::new(BruteForce),
+            Box::new(Algo2SingleSort),
+            Box::new(Algo2FairShare),
+            Box::new(Algo2Refined),
+            Box::new(BranchAndBound),
+        ];
+        let mut names: Vec<&str> = solvers.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), solvers.len());
+    }
+
+    #[test]
+    fn default_seed_is_reproducible() {
+        let p = problem();
+        assert_eq!(Rr.solve(&p), Rr.solve(&p));
+    }
+
+    #[test]
+    fn paper_lineup_order() {
+        let names: Vec<&str> = paper_lineup().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["algo2", "uu", "ur", "ru", "rr"]);
+    }
+
+    #[test]
+    fn algorithms_dominate_heuristics_on_skewed_instance() {
+        // One very valuable thread: the heuristics water it down, the
+        // approximation algorithms protect it.
+        let p = Problem::builder(2, 8.0)
+            .thread(Arc::new(Power::new(100.0, 0.5, 8.0)))
+            .threads((0..7).map(|_| {
+                Arc::new(Power::new(0.1, 0.5, 8.0)) as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap();
+        let good = Algo2.solve(&p).total_utility(&p);
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in [&Ur as &dyn Solver, &Rr as &dyn Solver] {
+            let h = s.solve_with(&p, &mut rng).total_utility(&p);
+            assert!(good > h, "{}: {h} ≥ {good}", s.name());
+        }
+    }
+}

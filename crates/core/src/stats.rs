@@ -1,0 +1,180 @@
+//! Assignment diagnostics: the numbers an operator looks at besides
+//! total utility.
+//!
+//! Utility maximization deliberately says nothing about *fairness* or
+//! *balance*; these metrics make the trade-offs visible so deployments
+//! can decide whether a utility-optimal plan is operationally acceptable
+//! (the cloud-placement example prints them).
+
+use serde::{Deserialize, Serialize};
+
+use crate::problem::{Assignment, Problem};
+
+/// Summary statistics of an assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentStats {
+    /// Total utility `Σ f_i(c_i)`.
+    pub total_utility: f64,
+    /// Jain's fairness index of per-thread utilities:
+    /// `(Σu)² / (n·Σu²)` — 1 means perfectly even, `1/n` means one thread
+    /// has everything.
+    pub utility_fairness: f64,
+    /// Jain's fairness index of per-thread allocations.
+    pub allocation_fairness: f64,
+    /// Fraction of total capacity actually allocated.
+    pub capacity_utilization: f64,
+    /// Largest / smallest per-server load (∞ if any server is idle while
+    /// another is loaded).
+    pub load_imbalance: f64,
+    /// Threads allocated exactly zero resource.
+    pub starved_threads: usize,
+    /// Threads per server, min and max.
+    pub spread: (usize, usize),
+}
+
+/// Jain's fairness index of a nonnegative vector. Empty and all-zero
+/// inputs are defined as perfectly fair (1.0).
+pub fn jain_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+/// Compute diagnostics for an assignment.
+pub fn stats(problem: &Problem, assignment: &Assignment) -> AssignmentStats {
+    let utilities: Vec<f64> = (0..problem.len())
+        .map(|i| problem.utility_of(i, assignment.amount[i]))
+        .collect();
+    let loads = assignment.server_loads(problem);
+    let counts: Vec<usize> = assignment
+        .server_groups(problem)
+        .iter()
+        .map(|g| g.len())
+        .collect();
+
+    let max_load = loads.iter().cloned().fold(0.0_f64, f64::max);
+    let min_load = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+    let load_imbalance = if max_load == 0.0 {
+        1.0
+    } else if min_load == 0.0 {
+        f64::INFINITY
+    } else {
+        max_load / min_load
+    };
+
+    AssignmentStats {
+        total_utility: utilities.iter().sum(),
+        utility_fairness: jain_index(&utilities),
+        allocation_fairness: jain_index(&assignment.amount),
+        capacity_utilization: loads.iter().sum::<f64>()
+            / (problem.servers() as f64 * problem.capacity()),
+        load_imbalance,
+        starved_threads: assignment.amount.iter().filter(|&&c| c <= 0.0).count(),
+        spread: (
+            counts.iter().copied().min().unwrap_or(0),
+            counts.iter().copied().max().unwrap_or(0),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aa_utility::{DynUtility, Power, Utility};
+
+    use crate::{algo2, heuristics};
+
+    fn arc<U: Utility + 'static>(u: U) -> DynUtility {
+        Arc::new(u)
+    }
+
+    fn problem() -> Problem {
+        Problem::builder(2, 10.0)
+            .threads((0..6).map(|i| arc(Power::new(1.0 + i as f64, 0.5, 10.0))))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One-thread-takes-all → 1/n.
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert!((jain_index(&a) - jain_index(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_uu_are_perfectly_fair_in_allocation() {
+        let p = problem();
+        let s = stats(&p, &heuristics::uu(&p));
+        assert!((s.allocation_fairness - 1.0).abs() < 1e-12);
+        assert!((s.capacity_utilization - 1.0).abs() < 1e-12);
+        assert_eq!(s.spread, (3, 3));
+        assert_eq!(s.starved_threads, 0);
+    }
+
+    #[test]
+    fn algo2_trades_fairness_for_utility() {
+        let p = problem();
+        let smart = stats(&p, &algo2::solve(&p));
+        let even = stats(&p, &heuristics::uu(&p));
+        assert!(smart.total_utility >= even.total_utility - 1e-9);
+        // The optimal plan skews allocations toward valuable threads.
+        assert!(smart.allocation_fairness <= even.allocation_fairness + 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_cases() {
+        let p = problem();
+        let balanced = Assignment {
+            server: vec![0, 0, 0, 1, 1, 1],
+            amount: vec![2.0; 6],
+        };
+        assert!((stats(&p, &balanced).load_imbalance - 1.0).abs() < 1e-12);
+
+        let skewed = Assignment {
+            server: vec![0; 6],
+            amount: vec![1.0; 6],
+        };
+        assert!(stats(&p, &skewed).load_imbalance.is_infinite());
+
+        let idle = Assignment::trivial(6);
+        assert_eq!(stats(&p, &idle).load_imbalance, 1.0);
+        assert_eq!(stats(&p, &idle).starved_threads, 6);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let p = problem();
+        let half = Assignment {
+            server: vec![0, 0, 0, 1, 1, 1],
+            amount: vec![5.0 / 3.0; 6],
+        };
+        assert!((stats(&p, &half).capacity_utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_serialize() {
+        let p = problem();
+        let s = stats(&p, &algo2::solve(&p));
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("utility_fairness"));
+    }
+}

@@ -1,0 +1,122 @@
+//! The Theorem V.17 tightness instance.
+//!
+//! Three threads, two servers with one (divisible) unit each:
+//!
+//! * threads 1 and 2: `f(x) = min(2x, 1)` (slope 2 up to ½);
+//! * thread 3: `f(x) = x`.
+//!
+//! The super-optimal allocation is `(½, ½, 1)`. Under adversarial (but
+//! legal) tie-breaking, Algorithms 1/2 put the two steep threads on
+//! *different* servers, leaving only ½ unit for the linear thread: total
+//! utility `2.5`. The optimum co-locates the steep threads and gives the
+//! linear thread a full server: total `3`. Ratio `5/6 ≈ 0.833`, showing
+//! the `α ≈ 0.828` analysis is nearly tight.
+
+use std::sync::Arc;
+
+use aa_utility::{CappedLinear, Power};
+
+use crate::problem::Problem;
+
+/// Utility achieved by Algorithms 1/2 on the instance (5/6 of optimal).
+pub const GREEDY_UTILITY: f64 = 2.5;
+
+/// The optimal utility of the instance.
+pub const OPTIMAL_UTILITY: f64 = 3.0;
+
+/// The tightness ratio `5/6`.
+pub const RATIO: f64 = GREEDY_UTILITY / OPTIMAL_UTILITY;
+
+/// Build the Theorem V.17 instance.
+pub fn instance() -> Problem {
+    Problem::builder(2, 1.0)
+        .thread(Arc::new(CappedLinear::new(2.0, 0.5, 1.0)))
+        .thread(Arc::new(CappedLinear::new(2.0, 0.5, 1.0)))
+        .thread(Arc::new(Power::new(1.0, 1.0, 1.0)))
+        .build()
+        .expect("fixed instance is valid")
+}
+
+/// A scaled/replicated version: `k` copies of the gadget on `2k` servers
+/// with capacity `c` — the ratio stays 5/6 at any scale, useful for
+/// benchmarking worst-case behavior at size.
+pub fn replicated(k: usize, c: f64) -> Problem {
+    assert!(k >= 1, "need at least one gadget");
+    let mut b = Problem::builder(2 * k, c);
+    for _ in 0..k {
+        b = b
+            .thread(Arc::new(CappedLinear::new(2.0, c / 2.0, c)))
+            .thread(Arc::new(CappedLinear::new(2.0, c / 2.0, c)))
+            .thread(Arc::new(Power::new(1.0, 1.0, c)));
+    }
+    b.build().expect("fixed instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo1, algo2, exact, superopt, ALPHA};
+
+    #[test]
+    fn algo2_achieves_exactly_five_sixths() {
+        let p = instance();
+        let got = algo2::solve(&p).total_utility(&p);
+        assert!((got - GREEDY_UTILITY).abs() < 1e-9, "got {got}");
+        let opt = exact::optimal_utility(&p);
+        assert!((opt - OPTIMAL_UTILITY).abs() < 1e-6);
+        assert!((got / opt - RATIO).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_still_above_alpha() {
+        // 5/6 > 2(√2−1): the instance shows near-tightness, not a
+        // contradiction. (Computed through black_box so the comparison is
+        // a genuine runtime check of the published constants.)
+        let ratio = std::hint::black_box(RATIO);
+        let alpha = std::hint::black_box(ALPHA);
+        assert!(ratio > alpha);
+    }
+
+    #[test]
+    fn algo1_also_at_least_five_sixths() {
+        // Algorithm 1's tie-breaking may or may not hit the trap, but it
+        // can never fall below its guarantee on this instance.
+        let p = instance();
+        let got = algo1::solve(&p).total_utility(&p);
+        let so = superopt::super_optimal(&p).utility;
+        assert!(got >= ALPHA * so - 1e-9);
+        assert!(got <= OPTIMAL_UTILITY + 1e-9);
+    }
+
+    #[test]
+    fn superoptimal_allocation_matches_paper() {
+        let p = instance();
+        let so = superopt::super_optimal(&p);
+        assert!((so.amounts[0] - 0.5).abs() < 1e-9);
+        assert!((so.amounts[1] - 0.5).abs() < 1e-9);
+        assert!((so.amounts[2] - 1.0).abs() < 1e-9);
+        assert!((so.utility - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_preserves_the_gap() {
+        let p = replicated(3, 1.0);
+        let got = algo2::solve(&p).total_utility(&p);
+        let bound = superopt::super_optimal(&p).utility;
+        // Super-optimal utility is 3 per gadget.
+        assert!((bound - 9.0).abs() < 1e-6);
+        // The greedy stays in [α·bound, bound].
+        assert!(got >= ALPHA * bound - 1e-9);
+        assert!(got <= bound + 1e-9);
+    }
+
+    #[test]
+    fn replicated_scales_capacity() {
+        let p = replicated(2, 100.0);
+        assert_eq!(p.servers(), 4);
+        assert_eq!(p.len(), 6);
+        let got = algo2::solve(&p).total_utility(&p);
+        let bound = superopt::super_optimal(&p).utility;
+        assert!(got >= ALPHA * bound - 1e-6 * bound);
+    }
+}

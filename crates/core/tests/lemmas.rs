@@ -1,0 +1,177 @@
+//! Property tests pinning the paper's structural lemmas on adversarial
+//! (kinked, capped-linear) instances — the regime where Algorithm 2's
+//! ordering decisions actually bind.
+
+use std::sync::Arc;
+
+use aa_core::linearize::linearize;
+use aa_core::superopt::super_optimal;
+use aa_core::{algo2, discrete, refine, Problem};
+use aa_utility::{CappedLinear, DynUtility, Utility};
+use proptest::prelude::*;
+
+/// Problems made only of capped-linear utilities: every kink is a place
+/// where the greedy can strand resource, and unfull threads are common.
+fn capped_problem() -> impl Strategy<Value = Problem> {
+    (
+        2usize..5,
+        prop::collection::vec((0.2..10.0f64, 0.05..1.0f64), 3..14),
+        2.0..50.0f64,
+    )
+        .prop_map(|(m, raw, cap)| {
+            let threads: Vec<DynUtility> = raw
+                .iter()
+                .map(|&(slope, knee_frac)| {
+                    Arc::new(CappedLinear::new(slope, knee_frac * cap, cap)) as DynUtility
+                })
+                .collect();
+            Problem::new(m, cap, threads).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma V.5: at most one unfull thread per server.
+    #[test]
+    fn lemma_v5_one_unfull_per_server(p in capped_problem()) {
+        let so = super_optimal(&p);
+        let a = algo2::solve(&p);
+        let mut unfull = vec![0usize; p.servers()];
+        for i in 0..p.len() {
+            if a.amount[i] < so.amounts[i] - 1e-9 * so.amounts[i].max(1.0) {
+                unfull[a.server[i]] += 1;
+            }
+        }
+        prop_assert!(unfull.iter().all(|&k| k <= 1), "{unfull:?}");
+    }
+
+    /// Lemma V.10: among unfull threads, higher linearized density ⇒
+    /// weakly more resource.
+    #[test]
+    fn lemma_v10_density_orders_unfull_allocations(p in capped_problem()) {
+        let so = super_optimal(&p);
+        let gs = linearize(&p, &so);
+        let a = algo2::assign_with(&p, &so, &gs);
+        let unfull: Vec<usize> = (0..p.len())
+            .filter(|&i| a.amount[i] < so.amounts[i] - 1e-9 * so.amounts[i].max(1.0))
+            .collect();
+        for &i in &unfull {
+            for &j in &unfull {
+                if gs[i].density() > gs[j].density() + 1e-9 {
+                    prop_assert!(
+                        a.amount[i] >= a.amount[j] - 1e-9,
+                        "density({i}) = {} > density({j}) = {} but c_{i} = {} < c_{j} = {}",
+                        gs[i].density(), gs[j].density(), a.amount[i], a.amount[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lemma V.8 consequence: at least min(m, n) full threads.
+    #[test]
+    fn lemma_v8_at_least_m_full_threads(p in capped_problem()) {
+        let so = super_optimal(&p);
+        let a = algo2::solve(&p);
+        let full = (0..p.len())
+            .filter(|&i| (a.amount[i] - so.amounts[i]).abs() <= 1e-9 * so.amounts[i].max(1.0))
+            .count();
+        prop_assert!(full >= p.servers().min(p.len()), "only {full} full threads");
+    }
+
+    /// Theorem VI.1 on the kinked family, against the bound.
+    #[test]
+    fn alpha_guarantee_on_kinked_instances(p in capped_problem()) {
+        let bound = super_optimal(&p).utility;
+        let u = algo2::solve(&p).total_utility(&p);
+        prop_assert!(u >= aa_core::ALPHA * bound - 1e-6 * bound.max(1.0));
+        prop_assert!(u <= bound + 1e-6 * bound.max(1.0));
+    }
+
+    /// Refinement (extension): never hurts, never moves threads, never
+    /// exceeds the bound.
+    #[test]
+    fn refinement_monotone_on_kinked_instances(p in capped_problem()) {
+        let raw = algo2::solve(&p);
+        let polished = refine::refine_allocation(&p, &raw);
+        prop_assert!(polished.validate(&p).is_ok());
+        prop_assert_eq!(&polished.server, &raw.server);
+        prop_assert!(
+            polished.total_utility(&p) >= raw.total_utility(&p) - 1e-9,
+            "refinement lost utility"
+        );
+        let bound = super_optimal(&p).utility;
+        prop_assert!(polished.total_utility(&p) <= bound + 1e-6 * bound.max(1.0));
+    }
+
+    /// Discrete rounding (extension): on-grid, feasible, placement
+    /// preserved, and at least as good as utility-blind rounding.
+    #[test]
+    fn discrete_rounding_properties(p in capped_problem(), unit_frac in 0.05..0.5f64) {
+        let unit = unit_frac * p.capacity();
+        let cont = algo2::solve(&p);
+        let disc = discrete::round_assignment(&p, &cont, unit);
+        prop_assert!(disc.validate(&p).is_ok());
+        prop_assert_eq!(&disc.server, &cont.server);
+        for &c in &disc.amount {
+            let k = c / unit;
+            prop_assert!((k - k.round()).abs() < 1e-6, "{c} not on grid {unit}");
+        }
+        let naive = discrete::round_largest_remainder(&p, &cont, unit);
+        prop_assert!(
+            disc.total_utility(&p) >= naive.total_utility(&p) - 1e-9,
+            "greedy rounding lost to largest-remainder"
+        );
+    }
+
+    /// Hetero (extension): equal capacities reproduce Algorithm 2 exactly.
+    #[test]
+    fn hetero_reduces_to_homogeneous(p in capped_problem()) {
+        let hp = aa_core::hetero::HeteroProblem::new(
+            vec![p.capacity(); p.servers()],
+            p.threads().to_vec(),
+        ).unwrap();
+        let ha = aa_core::hetero::solve(&hp);
+        let a = algo2::solve(&p);
+        prop_assert!(
+            (ha.total_utility(&hp) - a.total_utility(&p)).abs()
+                <= 1e-9 * a.total_utility(&p).max(1.0)
+        );
+    }
+
+    /// Linearization sanity on the kinked family: g ≤ f pointwise and
+    /// g(ĉ) = f(ĉ).
+    #[test]
+    fn linearization_bounds_on_kinked(p in capped_problem()) {
+        let so = super_optimal(&p);
+        let gs = linearize(&p, &so);
+        for (i, g) in gs.iter().enumerate() {
+            let f = &p.threads()[i];
+            for k in 0..=16 {
+                let x = p.capacity() * k as f64 / 16.0;
+                prop_assert!(f.value(x) >= g.value(x) - 1e-9 * f.max_value().max(1.0));
+            }
+            prop_assert!(
+                (g.value(so.amounts[i]) - f.value(so.amounts[i])).abs()
+                    <= 1e-9 * f.max_value().max(1.0)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimized Algorithm 1 and the literal pseudocode transcription
+    /// agree assignment-for-assignment on random kinked instances.
+    #[test]
+    fn algo1_optimized_equals_reference(p in capped_problem()) {
+        use aa_core::algo1;
+        let so = super_optimal(&p);
+        let gs = linearize(&p, &so);
+        let fast = algo1::assign_with(&p, &so, &gs);
+        let slow = algo1::assign_with_reference(&p, &so, &gs);
+        prop_assert_eq!(fast, slow);
+    }
+}

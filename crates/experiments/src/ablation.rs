@@ -1,0 +1,133 @@
+//! A1/A2 — ablation study of Algorithm 2's design choices.
+//!
+//! Compares the full Algorithm 2 against its single-sort and fair-share
+//! variants (see `aa_core::ablation`) across the paper's workload
+//! families. The interesting signal is on *kinked* utilities (the
+//! discrete distribution with high θ): there the density re-sort and the
+//! super-optimal demands actually change the outcome; on smooth workloads
+//! the variants track each other closely.
+
+use aa_core::{ablation, algo2, superopt};
+use aa_workloads::{Distribution, InstanceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Mean utilities, normalized by the super-optimal bound, per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Workload family label index (order in [`ablation_sweep`]'s input).
+    pub x: f64,
+    /// Full Algorithm 2 / bound.
+    pub full: f64,
+    /// Single-sort variant / bound.
+    pub single_sort: f64,
+    /// Fair-share-demand variant / bound.
+    pub fair_share: f64,
+    /// Trials averaged.
+    pub trials: usize,
+}
+
+/// Run the ablation across β values for one distribution.
+pub fn ablation_sweep(
+    dist: Distribution,
+    betas: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<AblationPoint> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let spec = InstanceSpec::paper(dist, beta);
+            let sums: Vec<(f64, f64, f64)> = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (beta as u64) << 32 ^ t as u64);
+                    let p = spec.generate(&mut rng).expect("valid spec");
+                    let bound = superopt::super_optimal(&p).utility;
+                    (
+                        algo2::solve(&p).total_utility(&p) / bound,
+                        ablation::algo2_single_sort(&p).total_utility(&p) / bound,
+                        ablation::algo2_fair_share(&p).total_utility(&p) / bound,
+                    )
+                })
+                .collect();
+            let n = trials as f64;
+            AblationPoint {
+                x: beta as f64,
+                full: sums.iter().map(|s| s.0).sum::<f64>() / n,
+                single_sort: sums.iter().map(|s| s.1).sum::<f64>() / n,
+                fair_share: sums.iter().map(|s| s.2).sum::<f64>() / n,
+                trials,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep as an aligned table.
+pub fn to_table(dist_name: &str, points: &[AblationPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ablation — {dist_name} (utility / SO bound)");
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>10}  {:>12}  {:>12}  {:>7}",
+        "beta", "full", "single-sort", "fair-share", "trials"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>6.0}  {:>10.4}  {:>12.4}  {:>12.4}  {:>7}",
+            p.x, p.full, p.single_sort, p.fair_share, p.trials
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_holds_guarantee_variants_bounded() {
+        let pts = ablation_sweep(
+            Distribution::Discrete { gamma: 0.85, theta: 10.0 },
+            &[2, 6],
+            10,
+            3,
+        );
+        for p in &pts {
+            assert!(p.full >= aa_core::ALPHA - 1e-9, "full {} at β={}", p.full, p.x);
+            assert!(p.full <= 1.0 + 1e-9);
+            assert!(p.single_sort <= 1.0 + 1e-9);
+            assert!(p.fair_share <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fair_share_measurably_worse_on_skewed_discrete() {
+        // With θ = 10 and β = 6, equal-slice demands waste resource on
+        // low-value threads; the super-optimal demands don't.
+        let pts = ablation_sweep(
+            Distribution::Discrete { gamma: 0.85, theta: 10.0 },
+            &[6],
+            30,
+            7,
+        );
+        assert!(
+            pts[0].full > pts[0].fair_share,
+            "full {} should beat fair-share {}",
+            pts[0].full,
+            pts[0].fair_share
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let pts = ablation_sweep(Distribution::Uniform, &[2], 4, 1);
+        let t = to_table("uniform", &pts);
+        assert!(t.contains("single-sort"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Extension experiment: what integral allocations cost.
+//!
+//! Sweeps the grid unit from coarse (C/2) to fine (C/256) and reports the
+//! utility retained after optimal per-server rounding
+//! (`aa_core::discrete`), normalized by the *refined* continuous solution
+//! (`aa_core::refine` — the per-server continuous optimum for the same
+//! placement, so retention is provably ≤ 1), plus the same for
+//! utility-blind largest-remainder rounding. The gap between the two
+//! columns is what marginal-aware rounding buys.
+
+use aa_core::{discrete, refine};
+use aa_workloads::{Distribution, InstanceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One grid size's averaged outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscretePoint {
+    /// Units per server (`C / unit`).
+    pub units_per_server: usize,
+    /// Mean rounded utility / continuous utility, greedy rounding.
+    pub greedy_retained: f64,
+    /// Mean rounded utility / continuous utility, largest remainder.
+    pub remainder_retained: f64,
+    /// Trials averaged.
+    pub trials: usize,
+}
+
+/// Sweep grid granularities for one distribution at fixed β.
+pub fn discrete_sweep(
+    dist: Distribution,
+    beta: usize,
+    units: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<DiscretePoint> {
+    units
+        .iter()
+        .map(|&units_per_server| {
+            let sums: Vec<(f64, f64)> = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (units_per_server as u64) << 40 ^ t as u64,
+                    );
+                    let spec = InstanceSpec::paper(dist, beta);
+                    let p = spec.generate(&mut rng).expect("valid spec");
+                    let unit = p.capacity() / units_per_server as f64;
+                    // Per-server-optimal continuous baseline: rounding a
+                    // grid-restricted version of the same subproblem can
+                    // then only lose, never gain.
+                    let cont = refine::solve_refined(&p);
+                    let base = cont.total_utility(&p);
+                    let greedy = discrete::round_assignment(&p, &cont, unit)
+                        .total_utility(&p);
+                    let remainder = discrete::round_largest_remainder(&p, &cont, unit)
+                        .total_utility(&p);
+                    (greedy / base, remainder / base)
+                })
+                .collect();
+            let n = trials as f64;
+            DiscretePoint {
+                units_per_server,
+                greedy_retained: sums.iter().map(|s| s.0).sum::<f64>() / n,
+                remainder_retained: sums.iter().map(|s| s.1).sum::<f64>() / n,
+                trials,
+            }
+        })
+        .collect()
+}
+
+/// Render as an aligned table.
+pub fn to_table(dist_name: &str, points: &[DiscretePoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "discretization — {dist_name} (rounded utility / continuous utility)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>14}  {:>18}  {:>7}",
+        "units/C", "greedy round", "largest remainder", "trials"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>14.4}  {:>18.4}  {:>7}",
+            p.units_per_server, p.greedy_retained, p.remainder_retained, p.trials
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_grids_retain_more() {
+        let pts = discrete_sweep(Distribution::Uniform, 5, &[2, 8, 64], 12, 5);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].greedy_retained >= w[0].greedy_retained - 5e-3,
+                "retention fell on finer grid: {pts:?}"
+            );
+        }
+        assert!(pts.last().unwrap().greedy_retained > 0.99);
+    }
+
+    #[test]
+    fn greedy_rounding_dominates_remainder() {
+        let pts = discrete_sweep(
+            Distribution::Discrete { gamma: 0.85, theta: 5.0 },
+            5,
+            &[4, 16],
+            12,
+            6,
+        );
+        for p in &pts {
+            assert!(
+                p.greedy_retained >= p.remainder_retained - 1e-9,
+                "{p:?}"
+            );
+            assert!(p.greedy_retained <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let pts = discrete_sweep(Distribution::Uniform, 2, &[4], 4, 1);
+        assert!(to_table("uniform", &pts).contains("largest remainder"));
+    }
+}

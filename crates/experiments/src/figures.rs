@@ -1,0 +1,201 @@
+//! The seven figures of the paper's evaluation, as runnable sweeps.
+
+use aa_workloads::{Distribution, InstanceSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::run::{run_sweep_point, SweepPoint};
+
+/// A regenerated figure: id, axis metadata, and the computed series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Paper identifier, e.g. "fig1a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Meaning of the x column.
+    pub x_label: String,
+    /// One point per swept value.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The β sweep the paper uses for Figures 1(a), 1(b), 2(a), 3(a).
+pub const BETA_SWEEP: std::ops::RangeInclusive<usize> = 1..=15;
+
+fn beta_sweep_figure(
+    id: &str,
+    title: &str,
+    dist: Distribution,
+    trials: usize,
+    seed: u64,
+) -> Figure {
+    let points = BETA_SWEEP
+        .map(|beta| {
+            let spec = InstanceSpec::paper(dist, beta);
+            run_sweep_point(&spec, beta as f64, trials, seed ^ beta as u64)
+        })
+        .collect();
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        x_label: "beta (threads per server)".into(),
+        points,
+    }
+}
+
+/// Figure 1(a): uniform distribution, β = 1..15.
+pub fn fig1a(trials: usize, seed: u64) -> Figure {
+    beta_sweep_figure(
+        "fig1a",
+        "Algorithm 2 vs SO/UU/UR/RU/RR, uniform distribution",
+        Distribution::Uniform,
+        trials,
+        seed,
+    )
+}
+
+/// Figure 1(b): Normal(1, 1), β = 1..15.
+pub fn fig1b(trials: usize, seed: u64) -> Figure {
+    beta_sweep_figure(
+        "fig1b",
+        "Algorithm 2 vs SO/UU/UR/RU/RR, normal distribution (μ=1, σ=1)",
+        Distribution::paper_normal(),
+        trials,
+        seed,
+    )
+}
+
+/// Figure 2(a): power law with α = 2, β = 1..15.
+pub fn fig2a(trials: usize, seed: u64) -> Figure {
+    beta_sweep_figure(
+        "fig2a",
+        "Algorithm 2 vs SO/UU/UR/RU/RR, power law (α=2)",
+        Distribution::PowerLaw { alpha: 2.0 },
+        trials,
+        seed,
+    )
+}
+
+/// Figure 2(b): power law, β = 5, α swept over 1.5..=3.5.
+pub fn fig2b(trials: usize, seed: u64) -> Figure {
+    let alphas = [1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5];
+    let points = alphas
+        .iter()
+        .enumerate()
+        .map(|(i, &alpha)| {
+            let spec = InstanceSpec::paper(Distribution::PowerLaw { alpha }, 5);
+            run_sweep_point(&spec, alpha, trials, seed ^ (i as u64 + 100))
+        })
+        .collect();
+    Figure {
+        id: "fig2b".into(),
+        title: "Algorithm 2 vs SO/UU/UR/RU/RR, power law, β=5, varying α".into(),
+        x_label: "alpha (power-law exponent)".into(),
+        points,
+    }
+}
+
+/// Figure 3(a): discrete(γ=0.85, θ=5), β = 1..15.
+pub fn fig3a(trials: usize, seed: u64) -> Figure {
+    beta_sweep_figure(
+        "fig3a",
+        "Algorithm 2 vs SO/UU/UR/RU/RR, discrete distribution (γ=0.85, θ=5)",
+        Distribution::Discrete { gamma: 0.85, theta: 5.0 },
+        trials,
+        seed,
+    )
+}
+
+/// Figure 3(b): discrete(θ=5), β=5, γ swept over 0.05..=0.95.
+pub fn fig3b(trials: usize, seed: u64) -> Figure {
+    let gammas = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95];
+    let points = gammas
+        .iter()
+        .enumerate()
+        .map(|(i, &gamma)| {
+            let spec = InstanceSpec::paper(Distribution::Discrete { gamma, theta: 5.0 }, 5);
+            run_sweep_point(&spec, gamma, trials, seed ^ (i as u64 + 200))
+        })
+        .collect();
+    Figure {
+        id: "fig3b".into(),
+        title: "Algorithm 2 vs SO/UU/UR/RU/RR, discrete, β=5, θ=5, varying γ".into(),
+        x_label: "gamma (probability of the low value)".into(),
+        points,
+    }
+}
+
+/// Figure 3(c): discrete(γ=0.85), β=5, θ swept over 1..=15.
+pub fn fig3c(trials: usize, seed: u64) -> Figure {
+    let thetas = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0];
+    let points = thetas
+        .iter()
+        .enumerate()
+        .map(|(i, &theta)| {
+            let spec = InstanceSpec::paper(Distribution::Discrete { gamma: 0.85, theta }, 5);
+            run_sweep_point(&spec, theta, trials, seed ^ (i as u64 + 300))
+        })
+        .collect();
+    Figure {
+        id: "fig3c".into(),
+        title: "Algorithm 2 vs SO/UU/UR/RU/RR, discrete, β=5, γ=0.85, varying θ".into(),
+        x_label: "theta (high/low utility ratio)".into(),
+        points,
+    }
+}
+
+/// All seven figures, in paper order.
+pub fn all_figures(trials: usize, seed: u64) -> Vec<Figure> {
+    vec![
+        fig1a(trials, seed),
+        fig1b(trials, seed),
+        fig2a(trials, seed),
+        fig2b(trials, seed),
+        fig3a(trials, seed),
+        fig3b(trials, seed),
+        fig3c(trials, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: usize = 8; // tiny trial counts keep unit tests quick
+
+    #[test]
+    fn beta_sweep_has_fifteen_points() {
+        let f = fig1a(T, 1);
+        assert_eq!(f.points.len(), 15);
+        assert_eq!(f.points[0].x, 1.0);
+        assert_eq!(f.points[14].x, 15.0);
+    }
+
+    #[test]
+    fn fig2b_sweeps_alpha() {
+        let f = fig2b(T, 1);
+        assert_eq!(f.points.first().unwrap().x, 1.5);
+        assert_eq!(f.points.last().unwrap().x, 3.5);
+    }
+
+    #[test]
+    fn fig3b_sweeps_gamma() {
+        let f = fig3b(T, 1);
+        assert!(f.points.iter().all(|p| (0.0..=1.0).contains(&p.x)));
+    }
+
+    #[test]
+    fn fig3c_sweeps_theta() {
+        let f = fig3c(T, 1);
+        assert_eq!(f.points.first().unwrap().x, 1.0);
+        assert_eq!(f.points.last().unwrap().x, 15.0);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let figs = all_figures(2, 1);
+        let mut ids: Vec<&str> = figs.iter().map(|f| f.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+    }
+}

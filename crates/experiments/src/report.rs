@@ -1,0 +1,117 @@
+//! Output formatting: aligned terminal tables, CSV, and JSON.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::figures::Figure;
+
+/// Render a figure as an aligned text table (what the binary prints).
+pub fn to_table(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", fig.id, fig.title);
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>7}",
+        fig.x_label_short(),
+        "vs SO",
+        "vs UU",
+        "vs UR",
+        "vs RU",
+        "vs RR",
+        "trials"
+    );
+    for p in &fig.points {
+        let r = p.ratios;
+        let _ = writeln!(
+            out,
+            "{:>10.3}  {:>8.4}  {:>8.3}  {:>8.3}  {:>8.3}  {:>8.3}  {:>7}",
+            p.x, r.vs_so, r.vs_uu, r.vs_ur, r.vs_ru, r.vs_rr, p.trials
+        );
+    }
+    out
+}
+
+/// Render a figure as CSV (header + one row per point).
+pub fn to_csv(fig: &Figure) -> String {
+    let mut out = String::from("x,vs_so,vs_uu,vs_ur,vs_ru,vs_rr,trials\n");
+    for p in &fig.points {
+        let r = p.ratios;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            p.x, r.vs_so, r.vs_uu, r.vs_ur, r.vs_ru, r.vs_rr, p.trials
+        );
+    }
+    out
+}
+
+/// Write a figure's CSV and JSON next to each other in `dir`
+/// (`<id>.csv`, `<id>.json`).
+pub fn write_files(fig: &Figure, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.csv", fig.id)), to_csv(fig))?;
+    let json = serde_json::to_string_pretty(fig)
+        .map_err(io::Error::other)?;
+    std::fs::write(dir.join(format!("{}.json", fig.id)), json)?;
+    Ok(())
+}
+
+impl Figure {
+    /// Short x-axis label for the table header.
+    pub fn x_label_short(&self) -> &str {
+        self.x_label.split(' ').next().unwrap_or("x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{Ratios, SweepPoint};
+
+    fn fig() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test figure".into(),
+            x_label: "beta (threads per server)".into(),
+            points: vec![SweepPoint {
+                x: 1.0,
+                ratios: Ratios {
+                    vs_so: 0.999,
+                    vs_uu: 1.0,
+                    vs_ur: 1.5,
+                    vs_ru: 1.2,
+                    vs_rr: 1.7,
+                },
+                trials: 10,
+            }],
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_and_values() {
+        let t = to_table(&fig());
+        assert!(t.contains("vs SO"));
+        assert!(t.contains("0.9990"));
+        assert!(t.contains("beta"));
+    }
+
+    #[test]
+    fn csv_round_trips_row_count() {
+        let c = to_csv(&fig());
+        assert_eq!(c.lines().count(), 2);
+        assert!(c.starts_with("x,vs_so"));
+    }
+
+    #[test]
+    fn files_written() {
+        let dir = std::env::temp_dir().join("aa_report_test");
+        write_files(&fig(), &dir).unwrap();
+        assert!(dir.join("figX.csv").exists());
+        assert!(dir.join("figX.json").exists());
+        let json = std::fs::read_to_string(dir.join("figX.json")).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fig());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,101 @@
+//! E8 — the paper's timing claim.
+//!
+//! §VII: "Using m = 8, n = 100 and C = 1000, an unoptimized Matlab
+//! implementation of Algorithm 2 finishes in only 0.02 seconds." This
+//! runner measures the whole Algorithm 2 pipeline (super-optimal
+//! allocation included) at exactly those dimensions; the Rust build is
+//! expected to be orders of magnitude under the Matlab figure.
+
+use std::time::Instant;
+
+use aa_core::{algo2, Problem};
+use aa_workloads::genutil::generate_many;
+use aa_workloads::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Timing statistics over repeated runs (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Servers (8 in the paper).
+    pub servers: usize,
+    /// Threads (100 in the paper).
+    pub threads: usize,
+    /// Capacity (1000 in the paper).
+    pub capacity: f64,
+    /// Runs measured.
+    pub runs: usize,
+    /// Mean seconds per solve.
+    pub mean_secs: f64,
+    /// Fastest observed solve.
+    pub min_secs: f64,
+    /// Slowest observed solve.
+    pub max_secs: f64,
+}
+
+/// Measure Algorithm 2 at the paper's dimensions (`m=8, n=100, C=1000`,
+/// uniform workload), `runs` times on fresh random instances.
+pub fn paper_timing(runs: usize, seed: u64) -> TimingReport {
+    timing_at(8, 100, 1000.0, runs, seed)
+}
+
+/// Measure at arbitrary dimensions.
+pub fn timing_at(servers: usize, threads: usize, capacity: f64, runs: usize, seed: u64) -> TimingReport {
+    assert!(runs > 0, "need at least one run");
+    assert!(servers > 0 && threads > 0, "need servers and threads");
+    let mut secs = Vec::with_capacity(runs);
+    for t in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed ^ t as u64);
+        let utilities = generate_many(&Distribution::Uniform, capacity, threads, &mut rng)
+            .into_iter()
+            .map(|g| g.utility)
+            .collect();
+        let problem = Problem::new(servers, capacity, utilities).expect("valid dimensions");
+        let start = Instant::now();
+        let a = algo2::solve(&problem);
+        let elapsed = start.elapsed().as_secs_f64();
+        // Use the assignment so the solve can't be optimized away.
+        assert!(a.total_utility(&problem) >= 0.0);
+        secs.push(elapsed);
+    }
+    let mean = secs.iter().sum::<f64>() / runs as f64;
+    TimingReport {
+        servers,
+        threads,
+        capacity,
+        runs,
+        mean_secs: mean,
+        min_secs: secs.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_secs: secs.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions_finish_fast() {
+        let r = paper_timing(3, 1);
+        assert_eq!(r.servers, 8);
+        assert_eq!(r.threads, 100);
+        // Even a debug build should be far under a second per solve.
+        assert!(r.mean_secs < 1.0, "mean {}s", r.mean_secs);
+        assert!(r.min_secs <= r.mean_secs && r.mean_secs <= r.max_secs);
+    }
+
+    #[test]
+    fn arbitrary_thread_counts_supported() {
+        // The paper's n = 100 is not a multiple of m = 8; make sure odd
+        // shapes work.
+        let r = timing_at(8, 101, 1000.0, 1, 0);
+        assert_eq!(r.threads, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "need servers and threads")]
+    fn rejects_zero_threads() {
+        timing_at(8, 0, 1000.0, 1, 0);
+    }
+}

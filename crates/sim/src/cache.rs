@@ -1,0 +1,149 @@
+//! Way-partitioned shared LRU cache simulation.
+//!
+//! Way partitioning (the enforcement mechanism the paper's multicore
+//! scenario assumes, cf. Intel CAT and the paper's reference \[4\]) gives
+//! each thread an exclusive slice of the cache. Because slices are
+//! exclusive, a partitioned shared cache behaves exactly like one private
+//! LRU cache per thread sized at its slice — which is how
+//! [`simulate_partitioned`] computes per-thread misses.
+
+use crate::trace::Trace;
+
+/// Simulate a private fully-associative LRU cache of `lines` lines over a
+/// trace; returns the total number of misses (cold misses included).
+pub fn simulate_lru(trace: &Trace, lines: usize) -> u64 {
+    if lines == 0 {
+        return trace.len() as u64;
+    }
+    let mut stack: Vec<u64> = Vec::with_capacity(lines + 1);
+    let mut misses = 0_u64;
+    for &line in &trace.accesses {
+        match stack.iter().position(|&l| l == line) {
+            Some(idx) => {
+                stack.remove(idx);
+                stack.insert(0, line);
+            }
+            None => {
+                misses += 1;
+                stack.insert(0, line);
+                if stack.len() > lines {
+                    stack.pop();
+                }
+            }
+        }
+    }
+    misses
+}
+
+/// Outcome of simulating one thread under a concrete partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadSim {
+    /// Cache lines the thread was given (`ways × lines_per_way`).
+    pub lines: usize,
+    /// Misses it suffered.
+    pub misses: u64,
+    /// Its total accesses.
+    pub accesses: u64,
+}
+
+impl ThreadSim {
+    /// Misses per access (0 if the thread never accesses memory).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hits per access.
+    pub fn hit_ratio(&self) -> f64 {
+        1.0 - self.miss_ratio()
+    }
+}
+
+/// Simulate a group of threads sharing one cache under way partitioning.
+/// `ways[i]` is the way count given to thread `i`; each way holds
+/// `lines_per_way` lines. Returns per-thread results.
+pub fn simulate_partitioned(
+    traces: &[&Trace],
+    ways: &[usize],
+    lines_per_way: usize,
+) -> Vec<ThreadSim> {
+    assert_eq!(traces.len(), ways.len(), "one way count per thread");
+    assert!(lines_per_way > 0, "ways must hold at least one line");
+    traces
+        .iter()
+        .zip(ways)
+        .map(|(t, &w)| {
+            let lines = w * lines_per_way;
+            ThreadSim {
+                lines,
+                misses: simulate_lru(t, lines),
+                accesses: t.len() as u64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_lines_always_misses() {
+        let t = Trace { accesses: vec![1, 1, 1] };
+        assert_eq!(simulate_lru(&t, 0), 3);
+    }
+
+    #[test]
+    fn big_enough_cache_only_cold_misses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = TraceSpec::Zipf { lines: 16, s: 1.0 }.generate(1000, &mut rng);
+        let distinct = t.distinct_lines() as u64;
+        assert_eq!(simulate_lru(&t, 16), distinct);
+    }
+
+    #[test]
+    fn more_lines_never_more_misses() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = TraceSpec::Zipf { lines: 32, s: 0.8 }.generate(2000, &mut rng);
+        let mut prev = u64::MAX;
+        for lines in [1, 2, 4, 8, 16, 32] {
+            let m = simulate_lru(&t, lines);
+            assert!(m <= prev, "misses rose at {lines} lines");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn partitioned_equals_private_caches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t1 = TraceSpec::Zipf { lines: 20, s: 1.0 }.generate(800, &mut rng);
+        let t2 = TraceSpec::Looping { lines: 6 }.generate(800, &mut rng);
+        let sims = simulate_partitioned(&[&t1, &t2], &[2, 3], 4);
+        assert_eq!(sims[0].misses, simulate_lru(&t1, 8));
+        assert_eq!(sims[1].misses, simulate_lru(&t2, 12));
+        assert_eq!(sims[0].lines, 8);
+        assert_eq!(sims[1].lines, 12);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = ThreadSim { lines: 4, misses: 25, accesses: 100 };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        let idle = ThreadSim { lines: 4, misses: 0, accesses: 0 };
+        assert_eq!(idle.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one way count per thread")]
+    fn mismatched_lengths_rejected() {
+        let t = Trace { accesses: vec![] };
+        simulate_partitioned(&[&t], &[1, 2], 4);
+    }
+}

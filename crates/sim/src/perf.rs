@@ -1,0 +1,163 @@
+//! An analytic IPC model on top of the cache simulation.
+//!
+//! Hits-per-access is the natural cache-level utility, but the paper's
+//! multicore story is about *performance* (IPC). This module closes the
+//! gap with the standard first-order memory-stall model: each miss stalls
+//! the pipeline for a penalty, amortized by the machine's memory-level
+//! parallelism:
+//!
+//! ```text
+//! CPI = CPI_peak + refs_per_instr · miss_ratio · penalty / MLP
+//! IPC = 1 / CPI
+//! ```
+//!
+//! IPC is a decreasing convex function of miss ratio, and miss ratio is a
+//! decreasing function of allocated ways, so IPC-vs-ways is increasing
+//! but not necessarily concave — exactly the situation the concave
+//! envelope exists for. [`PerfModel::ipc_utility_points`] produces the raw curve
+//! for [`concave_envelope`](aa_utility::concave_envelope).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mrc::MissRatioCurve;
+
+/// First-order processor/memory parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Cycles per instruction with a perfect cache (e.g. 0.25 for a
+    /// 4-wide core).
+    pub cpi_peak: f64,
+    /// Memory references per instruction (typically 0.2–0.4).
+    pub refs_per_instr: f64,
+    /// Miss penalty in cycles (DRAM latency).
+    pub miss_penalty: f64,
+    /// Memory-level parallelism: overlapping misses divide the effective
+    /// penalty.
+    pub mlp: f64,
+}
+
+impl Default for PerfModel {
+    /// A contemporary out-of-order core: 4-wide, 30% memory instructions,
+    /// 200-cycle DRAM, MLP of 4.
+    fn default() -> Self {
+        PerfModel {
+            cpi_peak: 0.25,
+            refs_per_instr: 0.3,
+            miss_penalty: 200.0,
+            mlp: 4.0,
+        }
+    }
+}
+
+impl PerfModel {
+    /// Instructions per cycle at the given miss ratio.
+    pub fn ipc(&self, miss_ratio: f64) -> f64 {
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&miss_ratio),
+            "miss ratio must be in [0, 1], got {miss_ratio}"
+        );
+        let cpi = self.cpi_peak
+            + self.refs_per_instr * miss_ratio * self.miss_penalty / self.mlp;
+        1.0 / cpi
+    }
+
+    /// The best achievable IPC (all hits).
+    pub fn ipc_peak(&self) -> f64 {
+        1.0 / self.cpi_peak
+    }
+
+    /// IPC-vs-ways curve of one profiled thread: `(ways, ipc)` points for
+    /// `0..=max_ways`, with `lines_per_way` lines per way.
+    pub fn ipc_utility_points(
+        &self,
+        mrc: &MissRatioCurve,
+        max_ways: usize,
+        lines_per_way: usize,
+    ) -> Vec<(f64, f64)> {
+        (0..=max_ways)
+            .map(|w| (w as f64, self.ipc(mrc.miss_ratio(w * lines_per_way))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrc::stack_distances;
+    use crate::trace::TraceSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_cache_reaches_peak() {
+        let m = PerfModel::default();
+        assert!((m.ipc(0.0) - 4.0).abs() < 1e-12);
+        assert_eq!(m.ipc(0.0), m.ipc_peak());
+    }
+
+    #[test]
+    fn all_misses_is_memory_bound() {
+        let m = PerfModel::default();
+        // CPI = 0.25 + 0.3·200/4 = 15.25.
+        assert!((m.ipc(1.0) - 1.0 / 15.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_decreases_with_miss_ratio() {
+        let m = PerfModel::default();
+        let mut prev = f64::INFINITY;
+        for k in 0..=10 {
+            let ipc = m.ipc(k as f64 / 10.0);
+            assert!(ipc < prev);
+            prev = ipc;
+        }
+    }
+
+    #[test]
+    fn mlp_amortizes_penalty() {
+        let slow = PerfModel { mlp: 1.0, ..Default::default() };
+        let fast = PerfModel { mlp: 8.0, ..Default::default() };
+        assert!(fast.ipc(0.5) > slow.ipc(0.5));
+    }
+
+    #[test]
+    fn ipc_points_are_nondecreasing_in_ways() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = TraceSpec::Zipf { lines: 64, s: 1.0 }.generate(5000, &mut rng);
+        let mrc = stack_distances(&t);
+        let m = PerfModel::default();
+        let pts = m.ipc_utility_points(&mrc, 8, 8);
+        assert_eq!(pts.len(), 9);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "IPC fell with more ways");
+        }
+    }
+
+    #[test]
+    fn ipc_points_feed_the_concave_envelope() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = TraceSpec::Looping { lines: 40 }.generate(5000, &mut rng);
+        let mrc = stack_distances(&t);
+        let m = PerfModel::default();
+        let mut pts = m.ipc_utility_points(&mrc, 8, 8);
+        // Utilities must start at 0: shift down by the no-cache IPC so the
+        // utility is the *gain* from cache.
+        let base = pts[0].1;
+        for p in &mut pts {
+            p.1 -= base;
+        }
+        let env = aa_utility::concave_envelope(&pts).unwrap();
+        use aa_utility::Utility;
+        assert!(env.max_value() >= 0.0);
+        // Envelope dominates the (cliff-shaped) looping curve.
+        for (x, y) in &pts {
+            assert!(env.value(*x) >= y - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "miss ratio must be in [0, 1]")]
+    fn rejects_bad_miss_ratio() {
+        PerfModel::default().ipc(1.5);
+    }
+}

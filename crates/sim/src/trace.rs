@@ -1,0 +1,220 @@
+//! Synthetic memory reference traces.
+//!
+//! A production deployment would profile real threads; we stand in with
+//! three canonical access patterns whose miss-ratio curves span the shapes
+//! seen in practice (cf. the cache-partitioning literature the paper
+//! cites):
+//!
+//! * **Zipf** — skewed reuse: a small hot set plus a long tail; the MRC
+//!   falls steeply then flattens (strongly concave hit curve);
+//! * **Looping** — cyclic sweep over a working set; the MRC is a cliff at
+//!   the working-set size (the classic LRU pathology);
+//! * **Streaming** — no reuse at all; caching is useless (flat utility).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A sequence of accessed cache-line addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Accessed line ids, in program order.
+    pub accesses: Vec<u64>,
+}
+
+impl Trace {
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` when the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of distinct lines touched.
+    pub fn distinct_lines(&self) -> usize {
+        let mut v = self.accesses.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+}
+
+/// Specification of a synthetic workload's access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// Zipf-distributed accesses over `lines` distinct lines with
+    /// exponent `s > 0` (larger = more skew).
+    Zipf {
+        /// Number of distinct cache lines.
+        lines: usize,
+        /// Zipf exponent.
+        s: f64,
+    },
+    /// Cyclic sweep over `lines` distinct lines.
+    Looping {
+        /// Working-set size in lines.
+        lines: usize,
+    },
+    /// Every access touches a fresh line (no reuse).
+    Streaming,
+    /// Two-phase behavior: the first half of the trace follows a small
+    /// hot Zipf set, the second half sweeps a large loop — the classic
+    /// phase change that invalidates a stale partition (drives the
+    /// `aa_core::online` drift scenario).
+    Phased {
+        /// Hot-set size of the first phase.
+        hot_lines: usize,
+        /// Loop working-set size of the second phase.
+        loop_lines: usize,
+    },
+}
+
+impl TraceSpec {
+    /// Generate a trace with `length` accesses.
+    pub fn generate<R: Rng + ?Sized>(&self, length: usize, rng: &mut R) -> Trace {
+        let accesses = match *self {
+            TraceSpec::Zipf { lines, s } => {
+                assert!(lines > 0, "need at least one line");
+                assert!(s > 0.0, "Zipf exponent must be positive");
+                // Precompute the CDF once; inverse-CDF sample per access.
+                let weights: Vec<f64> = (1..=lines).map(|k| (k as f64).powf(-s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut cdf = Vec::with_capacity(lines);
+                let mut acc = 0.0;
+                for w in &weights {
+                    acc += w / total;
+                    cdf.push(acc);
+                }
+                (0..length)
+                    .map(|_| {
+                        let u: f64 = rng.gen();
+                        cdf.partition_point(|&c| c < u) as u64
+                    })
+                    .collect()
+            }
+            TraceSpec::Looping { lines } => {
+                assert!(lines > 0, "need at least one line");
+                (0..length).map(|i| (i % lines) as u64).collect()
+            }
+            TraceSpec::Streaming => (0..length as u64).collect(),
+            TraceSpec::Phased { hot_lines, loop_lines } => {
+                assert!(hot_lines > 0 && loop_lines > 0, "phases need lines");
+                let half = length / 2;
+                let mut acc = TraceSpec::Zipf { lines: hot_lines, s: 1.2 }
+                    .generate(half, rng)
+                    .accesses;
+                // Disjoint line ids for the second phase: a genuine
+                // working-set change, not a re-visit.
+                acc.extend(
+                    (0..length - half).map(|i| (hot_lines + i % loop_lines) as u64),
+                );
+                acc
+            }
+        };
+        Trace { accesses }
+    }
+
+    /// Split a phased trace's two halves (generic helper: first half /
+    /// second half of any trace).
+    pub fn split_phases(trace: &Trace) -> (Trace, Trace) {
+        let half = trace.len() / 2;
+        (
+            Trace { accesses: trace.accesses[..half].to_vec() },
+            Trace { accesses: trace.accesses[half..].to_vec() },
+        )
+    }
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceSpec::Zipf { .. } => "zipf",
+            TraceSpec::Looping { .. } => "looping",
+            TraceSpec::Streaming => "streaming",
+            TraceSpec::Phased { .. } => "phased",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = TraceSpec::Zipf { lines: 100, s: 1.2 }.generate(10_000, &mut rng);
+        assert_eq!(t.len(), 10_000);
+        // Line 0 (hottest) should dominate: ≥ 10% of accesses.
+        let hot = t.accesses.iter().filter(|&&a| a == 0).count();
+        assert!(hot > 1000, "hot line only {hot} accesses");
+        // But the tail is exercised too.
+        assert!(t.distinct_lines() > 50);
+    }
+
+    #[test]
+    fn looping_cycles_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = TraceSpec::Looping { lines: 7 }.generate(21, &mut rng);
+        assert_eq!(t.distinct_lines(), 7);
+        assert_eq!(&t.accesses[0..7], &t.accesses[7..14]);
+    }
+
+    #[test]
+    fn streaming_never_reuses() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = TraceSpec::Streaming.generate(500, &mut rng);
+        assert_eq!(t.distinct_lines(), 500);
+    }
+
+    #[test]
+    fn zipf_indices_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = TraceSpec::Zipf { lines: 10, s: 1.0 }.generate(1000, &mut rng);
+        assert!(t.accesses.iter().all(|&a| a < 10));
+    }
+
+    #[test]
+    fn seeded_generation_reproduces() {
+        let spec = TraceSpec::Zipf { lines: 50, s: 0.8 };
+        let a = spec.generate(100, &mut StdRng::seed_from_u64(5));
+        let b = spec.generate(100, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = TraceSpec::Streaming.generate(0, &mut rng);
+        assert!(t.is_empty());
+        assert_eq!(t.distinct_lines(), 0);
+    }
+
+    #[test]
+    fn phased_trace_changes_working_set() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = TraceSpec::Phased { hot_lines: 16, loop_lines: 64 }.generate(2000, &mut rng);
+        let (a, b) = TraceSpec::split_phases(&t);
+        // Phase 1 stays inside the hot set; phase 2 never touches it.
+        assert!(a.accesses.iter().all(|&l| l < 16));
+        assert!(b.accesses.iter().all(|&l| l >= 16));
+        assert_eq!(b.distinct_lines(), 64);
+    }
+
+    #[test]
+    fn phased_mrc_differs_between_phases() {
+        // The whole point: a partition sized for phase 1 is wrong for
+        // phase 2.
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = TraceSpec::Phased { hot_lines: 8, loop_lines: 128 }.generate(4000, &mut rng);
+        let (a, b) = TraceSpec::split_phases(&t);
+        let mrc_a = crate::mrc::stack_distances(&a);
+        let mrc_b = crate::mrc::stack_distances(&b);
+        // 8 lines suffice for phase 1 but do nothing for phase 2's loop.
+        assert!(mrc_a.miss_ratio(8) < 0.05, "{}", mrc_a.miss_ratio(8));
+        assert!(mrc_b.miss_ratio(8) > 0.95, "{}", mrc_b.miss_ratio(8));
+    }
+}

@@ -1,0 +1,222 @@
+//! Shape validators: sampling-based checks that a [`Utility`]
+//! implementation really is nonnegative, nondecreasing and concave.
+//!
+//! These back the crate's own unit tests and the workspace's property
+//! tests; the workload generator also runs them on every randomly
+//! generated function (the paper's generation procedure guarantees the
+//! shape by construction — we verify rather than trust).
+
+use crate::traits::Utility;
+
+/// A violation of the AA utility-model contract found by sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShapeViolation {
+    /// `value(x) < 0` at the reported point.
+    Negative {
+        /// Sample point.
+        x: f64,
+        /// Offending value.
+        value: f64,
+    },
+    /// `value` decreased between two sample points.
+    Decreasing {
+        /// Left sample point.
+        x0: f64,
+        /// Right sample point.
+        x1: f64,
+        /// Value at `x0`.
+        v0: f64,
+        /// Value at `x1` (smaller than `v0`).
+        v1: f64,
+    },
+    /// The midpoint test `f((a+b)/2) ≥ (f(a)+f(b))/2` failed.
+    NotConcave {
+        /// Left endpoint of the failing interval.
+        a: f64,
+        /// Right endpoint of the failing interval.
+        b: f64,
+        /// `f((a+b)/2)`.
+        mid_value: f64,
+        /// Chord midpoint `(f(a)+f(b))/2` (larger than `mid_value`).
+        chord: f64,
+    },
+    /// `value` returned NaN or ±∞.
+    NonFinite {
+        /// Sample point.
+        x: f64,
+    },
+}
+
+impl std::fmt::Display for ShapeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeViolation::Negative { x, value } => {
+                write!(f, "f({x}) = {value} < 0")
+            }
+            ShapeViolation::Decreasing { x0, x1, v0, v1 } => {
+                write!(f, "f decreases: f({x0}) = {v0} > f({x1}) = {v1}")
+            }
+            ShapeViolation::NotConcave { a, b, mid_value, chord } => {
+                write!(
+                    f,
+                    "concavity fails on [{a}, {b}]: f(mid) = {mid_value} < chord midpoint {chord}"
+                )
+            }
+            ShapeViolation::NonFinite { x } => write!(f, "f({x}) is not finite"),
+        }
+    }
+}
+
+/// Evenly spaced sample points over `[0, cap]`, inclusive of both ends.
+pub fn sample_points(cap: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "need at least the two endpoints");
+    let step = cap / (count - 1) as f64;
+    (0..count)
+        .map(|i| (i as f64 * step).min(cap))
+        .collect()
+}
+
+/// Check nonnegativity, monotonicity and (midpoint) concavity of `f` at the
+/// given sorted sample points, with mixed absolute/relative tolerance
+/// `tol`. Returns the first violation found.
+pub fn check_concave_shape<U: Utility + ?Sized>(
+    f: &U,
+    points: &[f64],
+    tol: f64,
+) -> Result<(), ShapeViolation> {
+    let scale = f.max_value().abs().max(1.0);
+    let slack = tol * scale;
+    for &x in points {
+        let v = f.value(x);
+        if !v.is_finite() {
+            return Err(ShapeViolation::NonFinite { x });
+        }
+        if v < -slack {
+            return Err(ShapeViolation::Negative { x, value: v });
+        }
+    }
+    for w in points.windows(2) {
+        let (v0, v1) = (f.value(w[0]), f.value(w[1]));
+        if v0 > v1 + slack {
+            return Err(ShapeViolation::Decreasing {
+                x0: w[0],
+                x1: w[1],
+                v0,
+                v1,
+            });
+        }
+    }
+    // Midpoint concavity over every pair two apart (uses the sample grid
+    // itself, so no extra evaluations at unaligned points are needed).
+    for w in points.windows(3) {
+        let (a, mid, b) = (w[0], w[1], w[2]);
+        // Only a valid midpoint test when the grid is (nearly) uniform.
+        if ((mid - a) - (b - mid)).abs() > 1e-9 * (b - a).abs().max(1.0) {
+            continue;
+        }
+        let chord = 0.5 * (f.value(a) + f.value(b));
+        let mv = f.value(mid);
+        if mv < chord - slack {
+            return Err(ShapeViolation::NotConcave {
+                a,
+                b,
+                mid_value: mv,
+                chord,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Panic with a descriptive message if `f` violates the utility contract at
+/// the given sample points. Convenience wrapper for tests.
+pub fn assert_concave_shape<U: Utility + ?Sized>(f: &U, points: &[f64], tol: f64) {
+    if let Err(v) = check_concave_shape(f, points, tol) {
+        panic!("utility shape violation: {v} (function: {f:?})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::clamp_domain;
+
+    struct Raw<F: Fn(f64) -> f64 + Send + Sync>(F, f64);
+
+    impl<F: Fn(f64) -> f64 + Send + Sync> Utility for Raw<F> {
+        fn value(&self, x: f64) -> f64 {
+            (self.0)(clamp_domain(x, self.1))
+        }
+        fn derivative(&self, x: f64) -> f64 {
+            let h = 1e-6 * self.1;
+            let x = clamp_domain(x, self.1 - h);
+            (self.value(x + h) - self.value(x)) / h
+        }
+        fn cap(&self) -> f64 {
+            self.1
+        }
+    }
+
+    impl<F: Fn(f64) -> f64 + Send + Sync> std::fmt::Debug for Raw<F> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Raw(cap={})", self.1)
+        }
+    }
+
+    #[test]
+    fn accepts_sqrt() {
+        let f = Raw(|x: f64| x.sqrt(), 4.0);
+        assert!(check_concave_shape(&f, &sample_points(4.0, 129), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn rejects_convex() {
+        let f = Raw(|x: f64| x * x, 4.0);
+        let err = check_concave_shape(&f, &sample_points(4.0, 129), 1e-9).unwrap_err();
+        assert!(matches!(err, ShapeViolation::NotConcave { .. }));
+    }
+
+    #[test]
+    fn rejects_decreasing() {
+        let f = Raw(|x: f64| 10.0 - x, 4.0);
+        let err = check_concave_shape(&f, &sample_points(4.0, 129), 1e-9).unwrap_err();
+        assert!(matches!(err, ShapeViolation::Decreasing { .. }));
+    }
+
+    #[test]
+    fn rejects_negative() {
+        let f = Raw(|x: f64| x - 1.0, 4.0);
+        let err = check_concave_shape(&f, &sample_points(4.0, 129), 1e-9).unwrap_err();
+        assert!(matches!(err, ShapeViolation::Negative { .. }));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let f = Raw(|x: f64| if x > 2.0 { f64::NAN } else { x }, 4.0);
+        let err = check_concave_shape(&f, &sample_points(4.0, 129), 1e-9).unwrap_err();
+        assert!(matches!(err, ShapeViolation::NonFinite { .. }));
+    }
+
+    #[test]
+    fn sample_points_cover_endpoints() {
+        let pts = sample_points(10.0, 11);
+        assert_eq!(pts.first(), Some(&0.0));
+        assert_eq!(pts.last(), Some(&10.0));
+        assert_eq!(pts.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "utility shape violation")]
+    fn assert_panics_on_violation() {
+        let f = Raw(|x: f64| x * x, 4.0);
+        assert_concave_shape(&f, &sample_points(4.0, 65), 1e-9);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = ShapeViolation::Negative { x: 1.0, value: -0.5 };
+        assert!(v.to_string().contains("< 0"));
+        let v = ShapeViolation::NonFinite { x: 2.0 };
+        assert!(v.to_string().contains("not finite"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Upper concave envelope of a measured curve.
+//!
+//! Measured utility data (e.g. hits-per-access as a function of allocated
+//! cache ways from the `aa-sim` simulator) is nondecreasing but not always
+//! exactly concave. The AA model requires concavity, so deployments fit the
+//! *least concave majorant* — the upper convex hull of the points — and
+//! hand that to the solver. Because real miss-ratio curves are nearly
+//! concave, the envelope hugs the data; tests quantify the gap.
+
+use crate::piecewise::{PiecewiseError, PiecewiseLinear};
+
+/// Compute the upper concave envelope of `(x, y)` samples and return it as
+/// a [`PiecewiseLinear`] utility.
+///
+/// Requirements on the input: at least two points, strictly increasing
+/// finite `x` starting at `0`, finite nonnegative `y`. The y-values need
+/// *not* be monotone or concave; the envelope is both by construction
+/// (monotone because the envelope of nonnegative data that ends at its
+/// running maximum never needs to decrease — any decreasing hull edge is
+/// replaced by a flat extension at the running maximum).
+pub fn concave_envelope(points: &[(f64, f64)]) -> Result<PiecewiseLinear, PiecewiseError> {
+    if points.len() < 2 {
+        return Err(PiecewiseError::TooFewPoints);
+    }
+    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+        return Err(PiecewiseError::NonFinite);
+    }
+    if points[0].0 != 0.0 {
+        return Err(PiecewiseError::DomainMustStartAtZero);
+    }
+    if points.iter().any(|&(_, y)| y < 0.0) {
+        return Err(PiecewiseError::NegativeValue);
+    }
+    for w in points.windows(2) {
+        if w[1].0 <= w[0].0 {
+            return Err(PiecewiseError::NonIncreasingX);
+        }
+    }
+
+    // Monotonize: the least concave majorant of a utility curve must be
+    // nondecreasing, so replace each y by the running max suffix-wise —
+    // i.e. y'_i = max(y_i, y_{i+1}, …) reversed? No: the majorant must
+    // dominate the data and be nondecreasing, so take the running maximum
+    // from the left as a *lower* bound and simply lift each point to the
+    // running max of everything before it.
+    let mut lifted: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+    let mut running = 0.0_f64;
+    for &(x, y) in points {
+        running = running.max(y);
+        lifted.push((x, running));
+    }
+
+    // Upper hull (Andrew's monotone chain on the lifted points): keep
+    // turning clockwise (slopes nonincreasing).
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(lifted.len());
+    for &p in &lifted {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // b above segment a→p ⇒ keep b; else pop. cross ≥ 0 means
+            // a→b→p turns left or straight (b on/below chord), so b is
+            // redundant for the *upper* hull.
+            let cross = (b.0 - a.0) * (p.1 - a.1) - (p.0 - a.0) * (b.1 - a.1);
+            if cross >= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+
+    PiecewiseLinear::new(&hull)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility_test_helpers::assert_dominates;
+    use crate::traits::Utility;
+
+    /// Local helper namespace so the import above reads clearly.
+    mod aa_utility_test_helpers {
+        use crate::piecewise::PiecewiseLinear;
+        use crate::traits::Utility;
+
+        pub fn assert_dominates(env: &PiecewiseLinear, points: &[(f64, f64)]) {
+            for &(x, y) in points {
+                assert!(
+                    env.value(x) >= y - 1e-9,
+                    "envelope below data at x = {x}: {} < {y}",
+                    env.value(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concave_input_is_unchanged_at_samples() {
+        let pts = [(0.0, 0.0), (1.0, 3.0), (2.0, 5.0), (3.0, 6.0)];
+        let env = concave_envelope(&pts).unwrap();
+        for &(x, y) in &pts {
+            assert!((env.value(x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convex_bump_is_bridged() {
+        // The dip at x = 1 is below the chord 0→2; the envelope bridges it.
+        let pts = [(0.0, 0.0), (1.0, 0.5), (2.0, 4.0), (3.0, 5.0)];
+        let env = concave_envelope(&pts).unwrap();
+        assert_dominates(&env, &pts);
+        assert!(env.value(1.0) >= 2.0 - 1e-12); // on the 0→2 chord
+    }
+
+    #[test]
+    fn non_monotone_input_is_lifted() {
+        let pts = [(0.0, 0.0), (1.0, 3.0), (2.0, 2.0), (3.0, 2.5)];
+        let env = concave_envelope(&pts).unwrap();
+        assert_dominates(&env, &pts);
+        // Envelope stays at the running max after the peak.
+        assert!(env.value(3.0) >= 3.0 - 1e-12);
+        assert!(env.derivative(2.5) >= -1e-12);
+    }
+
+    #[test]
+    fn staircase_mrc_shape() {
+        // Typical hits-vs-ways curve: big early gains then a plateau.
+        let pts = [
+            (0.0, 0.0),
+            (1.0, 40.0),
+            (2.0, 70.0),
+            (3.0, 85.0),
+            (4.0, 92.0),
+            (5.0, 95.0),
+            (6.0, 96.0),
+            (7.0, 96.5),
+            (8.0, 96.6),
+        ];
+        let env = concave_envelope(&pts).unwrap();
+        assert_dominates(&env, &pts);
+        // Already concave ⇒ envelope interpolates exactly.
+        for &(x, y) in &pts {
+            assert!((env.value(x) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(concave_envelope(&[(0.0, 0.0)]).is_err());
+        assert!(concave_envelope(&[(1.0, 0.0), (2.0, 1.0)]).is_err());
+        assert!(concave_envelope(&[(0.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(concave_envelope(&[(0.0, -1.0), (1.0, 1.0)]).is_err());
+        assert!(concave_envelope(&[(0.0, 0.0), (f64::NAN, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn two_points_make_one_segment() {
+        let env = concave_envelope(&[(0.0, 1.0), (4.0, 3.0)]).unwrap();
+        assert_eq!(env.xs().len(), 2);
+        assert!((env.value(2.0) - 2.0).abs() < 1e-12);
+    }
+}

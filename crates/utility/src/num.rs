@@ -1,0 +1,122 @@
+//! Total-order float helpers.
+//!
+//! The AA algorithms sort threads by utility and keep servers in a max-heap
+//! keyed by remaining capacity, both of which need a total order on `f64`.
+//! [`OrdF64`] wraps a finite `f64` with `Ord` via `f64::total_cmp`, and the
+//! free functions here centralize tolerance-based comparisons so that every
+//! crate agrees on what "equal" means for resource amounts.
+
+use std::cmp::Ordering;
+
+/// A finite `f64` with a total order (via [`f64::total_cmp`]).
+///
+/// Construction does not reject NaN (so it can be used in hot paths without
+/// branching), but all values produced by this workspace are finite; the
+/// total order places NaN consistently rather than panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(x: f64) -> Self {
+        OrdF64(x)
+    }
+}
+
+/// `true` when `a` and `b` differ by at most `tol` absolutely, or by at most
+/// `tol` relative to the larger magnitude (covers both tiny and huge scales).
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+/// `true` when `a ≤ b` up to the mixed absolute/relative tolerance `tol`.
+pub fn approx_le(a: f64, b: f64, tol: f64) -> bool {
+    a <= b || approx_eq(a, b, tol)
+}
+
+/// `true` when `a ≥ b` up to the mixed absolute/relative tolerance `tol`.
+pub fn approx_ge(a: f64, b: f64, tol: f64) -> bool {
+    a >= b || approx_eq(a, b, tol)
+}
+
+/// Clamp `x` into `[lo, hi]`; `lo` wins if the interval is inverted by
+/// floating point drift.
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    if x < lo {
+        lo
+    } else if x > hi {
+        hi
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_sorts_like_f64_on_finite_values() {
+        let mut v = [OrdF64(3.0), OrdF64(-1.0), OrdF64(0.5), OrdF64(2.25)];
+        v.sort();
+        let raw: Vec<f64> = v.iter().map(|o| o.0).collect();
+        assert_eq!(raw, vec![-1.0, 0.5, 2.25, 3.0]);
+    }
+
+    #[test]
+    fn ordf64_handles_infinities() {
+        let mut v = [OrdF64(f64::INFINITY), OrdF64(0.0), OrdF64(f64::NEG_INFINITY)];
+        v.sort();
+        assert_eq!(v[0].0, f64::NEG_INFINITY);
+        assert_eq!(v[2].0, f64::INFINITY);
+    }
+
+    #[test]
+    fn ordf64_equality_matches_f64() {
+        assert_eq!(OrdF64(1.5), OrdF64(1.5));
+        assert_ne!(OrdF64(1.5), OrdF64(1.5 + 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_absolute_scale() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_scale() {
+        // 1e12 vs 1e12(1 + 1e-10): absolute diff is 100, relative 1e-10.
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+        assert!(!approx_eq(1e12, 1.001e12, 1e-9));
+    }
+
+    #[test]
+    fn approx_le_ge() {
+        assert!(approx_le(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_le(1.0 + 1e-12, 1.0, 1e-9));
+        assert!(!approx_le(1.1, 1.0, 1e-9));
+        assert!(approx_ge(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_ge(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn clamp_basics() {
+        assert_eq!(clamp(-1.0, 0.0, 2.0), 0.0);
+        assert_eq!(clamp(3.0, 0.0, 2.0), 2.0);
+        assert_eq!(clamp(1.0, 0.0, 2.0), 1.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the utility-function substrate.
+//!
+//! Every family shipped by `aa-utility` must satisfy the AA model contract
+//! (nonnegative, nondecreasing, concave) and the consistency laws between
+//! `value`, `derivative` and `inverse_derivative` for *arbitrary*
+//! parameters, not just the hand-picked ones in the unit tests.
+
+use aa_utility::check::{check_concave_shape, sample_points};
+use aa_utility::{
+    concave_envelope, CappedLinear, Linearized, LogUtility, Pchip, PiecewiseLinear, Power, Utility,
+};
+use proptest::prelude::*;
+
+const GRID: usize = 129;
+
+fn assert_contract<U: Utility>(f: &U) {
+    let pts = sample_points(f.cap(), GRID);
+    if let Err(v) = check_concave_shape(f, &pts, 1e-7) {
+        panic!("contract violated: {v} for {f:?}");
+    }
+}
+
+/// `inverse_derivative` really is the (sup-)inverse of `derivative`:
+/// just inside the returned point the derivative is ≥ λ, just past it
+/// the derivative is < λ.
+fn assert_inverse_derivative_consistent<U: Utility>(f: &U, lambda: f64) {
+    let cap = f.cap();
+    if cap <= 0.0 {
+        return;
+    }
+    let x = f.inverse_derivative(lambda);
+    assert!((0.0..=cap).contains(&x), "x(λ) = {x} outside [0, {cap}]");
+    let eps = cap * 1e-6;
+    if x > eps {
+        assert!(
+            f.derivative(x - eps) >= lambda - 1e-7 * lambda.abs().max(1.0),
+            "derivative just inside x(λ) must be ≥ λ: f'({}) = {} < λ = {lambda} ({f:?})",
+            x - eps,
+            f.derivative(x - eps),
+        );
+    }
+    if x < cap - eps {
+        assert!(
+            f.derivative(x + eps) <= lambda + 1e-7 * lambda.abs().max(1.0),
+            "derivative just past x(λ) must be ≤ λ: f'({}) = {} > λ = {lambda} ({f:?})",
+            x + eps,
+            f.derivative(x + eps),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn power_contract(scale in 0.0..50.0f64, beta in 0.01..1.0f64, cap in 0.1..1000.0f64) {
+        let f = Power::new(scale, beta, cap);
+        assert_contract(&f);
+    }
+
+    #[test]
+    fn power_inverse_derivative(
+        scale in 0.01..50.0f64,
+        beta in 0.05..0.99f64,
+        cap in 0.1..1000.0f64,
+        lambda in 0.001..100.0f64,
+    ) {
+        let f = Power::new(scale, beta, cap);
+        assert_inverse_derivative_consistent(&f, lambda);
+    }
+
+    #[test]
+    fn log_contract(scale in 0.0..50.0f64, rate in 0.0..10.0f64, cap in 0.1..1000.0f64) {
+        let f = LogUtility::new(scale, rate, cap);
+        assert_contract(&f);
+    }
+
+    #[test]
+    fn log_inverse_derivative(
+        scale in 0.01..50.0f64,
+        rate in 0.01..10.0f64,
+        cap in 0.1..1000.0f64,
+        lambda in 0.001..100.0f64,
+    ) {
+        let f = LogUtility::new(scale, rate, cap);
+        assert_inverse_derivative_consistent(&f, lambda);
+    }
+
+    #[test]
+    fn capped_contract(slope in 0.0..50.0f64, knee_frac in 0.0..=1.0f64, cap in 0.1..1000.0f64) {
+        let f = CappedLinear::new(slope, knee_frac * cap, cap);
+        assert_contract(&f);
+    }
+
+    #[test]
+    fn linearized_contract(
+        c_hat_frac in 0.0..=1.0f64,
+        v_hat in 0.0..100.0f64,
+        cap in 0.1..1000.0f64,
+    ) {
+        let g = Linearized::new(c_hat_frac * cap, v_hat, cap, 0.0);
+        assert_contract(&g);
+    }
+
+    #[test]
+    fn linearized_lower_bounds_source(
+        scale in 0.01..20.0f64,
+        beta in 0.1..1.0f64,
+        cap in 1.0..500.0f64,
+        c_hat_frac in 0.0..=1.0f64,
+    ) {
+        // Lemma V.4: f ≥ g everywhere, for any linearization point.
+        let f = Power::new(scale, beta, cap);
+        let g = Linearized::of(&f, c_hat_frac * cap);
+        for &x in &sample_points(cap, GRID) {
+            prop_assert!(f.value(x) >= g.value(x) - 1e-7 * f.max_value().max(1.0));
+        }
+    }
+
+    #[test]
+    fn piecewise_from_sorted_concave_points(
+        raw in prop::collection::vec((0.01..10.0f64, 0.0..5.0f64), 2..12)
+    ) {
+        // Build breakpoints with positive widths and nonincreasing slopes
+        // sorted descending, so construction must succeed.
+        let mut slopes: Vec<f64> = raw.iter().map(|r| r.1).collect();
+        slopes.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut pts = vec![(0.0, 0.0)];
+        for (i, r) in raw.iter().enumerate() {
+            x += r.0;
+            y += slopes[i] * r.0;
+            pts.push((x, y));
+        }
+        let f = PiecewiseLinear::new(&pts).unwrap();
+        assert_contract(&f);
+        // Every breakpoint is reproduced exactly.
+        for &(bx, by) in &pts {
+            prop_assert!((f.value(bx) - by).abs() <= 1e-9 * by.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn piecewise_inverse_derivative(
+        raw in prop::collection::vec((0.01..10.0f64, 0.0..5.0f64), 2..12),
+        lambda in 0.0..6.0f64,
+    ) {
+        let mut slopes: Vec<f64> = raw.iter().map(|r| r.1).collect();
+        slopes.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut pts = vec![(0.0, 0.0)];
+        for (i, r) in raw.iter().enumerate() {
+            x += r.0;
+            y += slopes[i] * r.0;
+            pts.push((x, y));
+        }
+        let f = PiecewiseLinear::new(&pts).unwrap();
+        assert_inverse_derivative_consistent(&f, lambda);
+    }
+
+    #[test]
+    fn pchip_paper_shape_is_concave_monotone(
+        v in 0.001..100.0f64,
+        w_frac in 0.0..=1.0f64,
+        cap in 1.0..2000.0f64,
+    ) {
+        // The workload generator's exact usage: (0,0), (C/2, v), (C, v+w)
+        // with w = w_frac · v ≤ v.
+        let w = w_frac * v;
+        let p = Pchip::new(&[(0.0, 0.0), (cap / 2.0, v), (cap, v + w)]).unwrap();
+        assert_contract(&p);
+        // Interpolation is exact at the control points.
+        prop_assert!((p.value(cap / 2.0) - v).abs() < 1e-9 * v.max(1.0));
+        prop_assert!((p.value(cap) - (v + w)).abs() < 1e-9 * (v + w).max(1.0));
+    }
+
+    #[test]
+    fn envelope_dominates_and_is_concave(
+        raw in prop::collection::vec(0.0..100.0f64, 2..20),
+    ) {
+        let pts: Vec<(f64, f64)> = raw.iter().enumerate()
+            .map(|(i, &y)| (i as f64, y))
+            .collect();
+        let env = concave_envelope(&pts).unwrap();
+        assert_contract(&env);
+        for &(x, y) in &pts {
+            prop_assert!(env.value(x) >= y - 1e-9 * y.abs().max(1.0),
+                "envelope below data at {x}");
+        }
+    }
+
+    #[test]
+    fn default_bisection_matches_closed_forms(
+        scale in 0.01..20.0f64,
+        rate in 0.01..5.0f64,
+        cap in 0.5..500.0f64,
+        lambda in 0.001..50.0f64,
+    ) {
+        // Wrap LogUtility hiding its closed-form override; the generic
+        // bisection in the trait must agree with it.
+        #[derive(Debug)]
+        struct Generic(LogUtility);
+        impl Utility for Generic {
+            fn value(&self, x: f64) -> f64 { self.0.value(x) }
+            fn derivative(&self, x: f64) -> f64 { self.0.derivative(x) }
+            fn cap(&self) -> f64 { self.0.cap() }
+        }
+        let f = LogUtility::new(scale, rate, cap);
+        let g = Generic(f);
+        let a = f.inverse_derivative(lambda);
+        let b = g.inverse_derivative(lambda);
+        prop_assert!((a - b).abs() <= 1e-6 * cap, "closed form {a} vs bisection {b}");
+    }
+}

@@ -1,0 +1,253 @@
+//! The base value distributions `H` of the paper's evaluation.
+//!
+//! Each distribution produces *positive* values (utilities are
+//! nonnegative and the generator divides by `v`), implemented from
+//! scratch on top of a uniform source — the approved dependency set has
+//! `rand` but not `rand_distr`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Upper support bound of the power-law distribution (see
+/// [`Distribution::PowerLaw`]).
+pub const POWERLAW_MAX: f64 = 1000.0;
+
+/// A base distribution for the `(v, w)` control values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform on `(0, 1)` (Figure 1(a)).
+    Uniform,
+    /// Normal with the given mean and standard deviation, resampled until
+    /// positive (the paper uses mean 1, std 1; utilities must be ≥ 0).
+    Normal {
+        /// Mean `μ`.
+        mean: f64,
+        /// Standard deviation `σ`.
+        std: f64,
+    },
+    /// Power law with density `∝ x^{−α}` on `1 ≤ x ≤ `[`POWERLAW_MAX`]
+    /// (Figure 2); requires `α > 1`. The support is bounded because the
+    /// paper's phrasing ("each value x has a probability λ·x^{−α} of
+    /// occurring, for some … normalization factor λ") describes a
+    /// normalized distribution over a bounded range — and because an
+    /// unbounded Pareto at α = 2 has infinite variance, under which no
+    /// 1000-trial average produces the paper's smooth curves.
+    PowerLaw {
+        /// Tail exponent `α`.
+        alpha: f64,
+    },
+    /// Two-point distribution (Figure 3): `ℓ = 1` with probability `γ`,
+    /// `h = θ·ℓ` otherwise.
+    Discrete {
+        /// Probability of the low value.
+        gamma: f64,
+        /// Ratio `h / ℓ`.
+        theta: f64,
+    },
+}
+
+impl Distribution {
+    /// The paper's Normal(1, 1).
+    pub fn paper_normal() -> Self {
+        Distribution::Normal { mean: 1.0, std: 1.0 }
+    }
+
+    /// Draw one positive value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Distribution::Uniform => {
+                // (0, 1): reject exact zero so v > 0 always.
+                loop {
+                    let u: f64 = rng.gen();
+                    if u > 0.0 {
+                        return u;
+                    }
+                }
+            }
+            Distribution::Normal { mean, std } => {
+                assert!(std >= 0.0, "std must be nonnegative");
+                // Box–Muller, resampled until positive (truncated normal).
+                loop {
+                    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt()
+                        * (2.0 * std::f64::consts::PI * u2).cos();
+                    let x = mean + std * z;
+                    if x > 0.0 {
+                        return x;
+                    }
+                }
+            }
+            Distribution::PowerLaw { alpha } => {
+                assert!(alpha > 1.0, "power law needs α > 1, got {alpha}");
+                // Inverse CDF of the truncated Pareto on [1, B]:
+                // F(x) = (1 − x^{1−α}) / (1 − B^{1−α}).
+                let u: f64 = rng.gen();
+                let tail = 1.0 - POWERLAW_MAX.powf(1.0 - alpha);
+                (1.0 - u * tail).powf(-1.0 / (alpha - 1.0))
+            }
+            Distribution::Discrete { gamma, theta } => {
+                assert!((0.0..=1.0).contains(&gamma), "γ must be in [0, 1], got {gamma}");
+                assert!(theta >= 1.0, "θ = h/ℓ must be ≥ 1, got {theta}");
+                if rng.gen::<f64>() < gamma {
+                    1.0
+                } else {
+                    theta
+                }
+            }
+        }
+    }
+
+    /// Draw the `(v, w)` pair with `w ≤ v`: two i.i.d. samples,
+    /// order-statistics style (equivalent in law to conditioning the pair
+    /// on `w ≤ v`).
+    pub fn sample_vw<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        let a = self.sample(rng);
+        let b = self.sample(rng);
+        if a >= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Short stable name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Normal { .. } => "normal",
+            Distribution::PowerLaw { .. } => "powerlaw",
+            Distribution::Discrete { .. } => "discrete",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 20_000;
+
+    fn mean_of(d: Distribution, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..N).map(|_| d.sample(&mut rng)).sum::<f64>() / N as f64
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let m = mean_of(Distribution::Uniform, 1);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = Distribution::Uniform.sample(&mut rng);
+            assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_positive_and_mean_shifted_up() {
+        let d = Distribution::paper_normal();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+        // Truncating N(1,1) at 0 raises the mean above 1.
+        let m = mean_of(d, 4);
+        assert!(m > 1.0 && m < 1.5, "mean {m}");
+    }
+
+    #[test]
+    fn powerlaw_support_and_heavy_tail() {
+        let d = Distribution::PowerLaw { alpha: 2.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut max = 0.0_f64;
+        for _ in 0..N {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=super::POWERLAW_MAX).contains(&x));
+            max = max.max(x);
+        }
+        // P(X > 50) ≈ 1.9% at α = 2 with B = 1000: extremes do show up.
+        assert!(max > 50.0, "max only {max}");
+    }
+
+    #[test]
+    fn powerlaw_tail_exponent_sanity() {
+        // Truncated Pareto at α = 3, B = 1000:
+        // P(X > 2) = (2^{−2} − B^{−2}) / (1 − B^{−2}) ≈ 0.2500.
+        let d = Distribution::PowerLaw { alpha: 3.0 };
+        let mut rng = StdRng::seed_from_u64(6);
+        let frac = (0..N).filter(|_| d.sample(&mut rng) > 2.0).count() as f64 / N as f64;
+        assert!((frac - 0.25).abs() < 0.02, "P(X>2) ≈ {frac}, expect ≈0.25");
+    }
+
+    #[test]
+    fn discrete_two_values_with_gamma_frequency() {
+        let d = Distribution::Discrete { gamma: 0.85, theta: 5.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lows = 0;
+        for _ in 0..N {
+            let x = d.sample(&mut rng);
+            assert!(x == 1.0 || x == 5.0);
+            if x == 1.0 {
+                lows += 1;
+            }
+        }
+        let frac = lows as f64 / N as f64;
+        assert!((frac - 0.85).abs() < 0.01, "low fraction {frac}");
+    }
+
+    #[test]
+    fn vw_ordering_holds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for d in [
+            Distribution::Uniform,
+            Distribution::paper_normal(),
+            Distribution::PowerLaw { alpha: 2.0 },
+            Distribution::Discrete { gamma: 0.5, theta: 3.0 },
+        ] {
+            for _ in 0..500 {
+                let (v, w) = d.sample_vw(&mut rng);
+                assert!(w <= v, "{}: w = {w} > v = {v}", d.name());
+                assert!(w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_sampling_reproduces() {
+        let d = Distribution::PowerLaw { alpha: 2.5 };
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "α > 1")]
+    fn powerlaw_rejects_shallow_alpha() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Distribution::PowerLaw { alpha: 1.0 }.sample(&mut rng);
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(Distribution::Uniform.name(), "uniform");
+        assert_eq!(Distribution::paper_normal().name(), "normal");
+        assert_eq!(Distribution::PowerLaw { alpha: 2.0 }.name(), "powerlaw");
+        assert_eq!(
+            Distribution::Discrete { gamma: 0.5, theta: 2.0 }.name(),
+            "discrete"
+        );
+    }
+}

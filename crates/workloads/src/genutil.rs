@@ -1,0 +1,181 @@
+//! Random concave utility construction (paper §VII).
+//!
+//! Draw `(v, w)` with `w ≤ v` from the base distribution, then
+//! interpolate the control points `(0, 0)`, `(C/2, v)`, `(C, v + w)` with
+//! monotone PCHIP. The conditioning gives the control polygon
+//! nonincreasing slopes (`2v/C ≥ 2w/C`), so the interpolant is concave
+//! for the paper's data; a post-hoc shape check guards against numerical
+//! degeneracies and falls back to the exact piecewise-linear interpolant
+//! of the same points (concave by construction) if it ever fires.
+
+use std::sync::Arc;
+
+use aa_utility::check::{check_concave_shape, sample_points};
+use aa_utility::{DynUtility, Pchip, PiecewiseLinear};
+use rand::Rng;
+
+use crate::distributions::Distribution;
+
+/// A generated utility together with its control values (kept for
+/// experiment diagnostics).
+#[derive(Debug, Clone)]
+pub struct GeneratedUtility {
+    /// The interpolated utility function.
+    pub utility: DynUtility,
+    /// Value at `C/2`.
+    pub v: f64,
+    /// Increment from `C/2` to `C` (so `f(C) = v + w`).
+    pub w: f64,
+    /// `true` when the PCHIP interpolant passed the concavity check;
+    /// `false` when the piecewise-linear fallback was used.
+    pub smooth: bool,
+}
+
+/// Shape-check grid size. Coarse is fine: PCHIP on three concave points
+/// only misbehaves grossly if at all.
+const CHECK_GRID: usize = 33;
+
+/// Generate one random utility on `[0, capacity]`.
+pub fn generate_utility<R: Rng + ?Sized>(
+    dist: &Distribution,
+    capacity: f64,
+    rng: &mut R,
+) -> GeneratedUtility {
+    assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+    let (v, w) = dist.sample_vw(rng);
+    let points = [(0.0, 0.0), (capacity / 2.0, v), (capacity, v + w)];
+    let pchip = Pchip::new(&points).expect("paper control points are valid");
+    if check_concave_shape(&pchip, &sample_points(capacity, CHECK_GRID), 1e-7).is_ok() {
+        GeneratedUtility {
+            utility: Arc::new(pchip),
+            v,
+            w,
+            smooth: true,
+        }
+    } else {
+        let pwl = PiecewiseLinear::new(&points)
+            .expect("concave control polygon is a valid piecewise-linear utility");
+        GeneratedUtility {
+            utility: Arc::new(pwl),
+            v,
+            w,
+            smooth: false,
+        }
+    }
+}
+
+/// Generate `n` utilities.
+pub fn generate_many<R: Rng + ?Sized>(
+    dist: &Distribution,
+    capacity: f64,
+    n: usize,
+    rng: &mut R,
+) -> Vec<GeneratedUtility> {
+    (0..n).map(|_| generate_utility(dist, capacity, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility::check::assert_concave_shape;
+    use aa_utility::Utility;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const ALL: [Distribution; 4] = [
+        Distribution::Uniform,
+        Distribution::Normal { mean: 1.0, std: 1.0 },
+        Distribution::PowerLaw { alpha: 2.0 },
+        Distribution::Discrete { gamma: 0.85, theta: 5.0 },
+    ];
+
+    #[test]
+    fn generated_utilities_satisfy_model_contract() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in ALL {
+            for _ in 0..50 {
+                let g = generate_utility(&d, 1000.0, &mut rng);
+                assert_concave_shape(
+                    g.utility.as_ref(),
+                    &sample_points(1000.0, 129),
+                    1e-6,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_points_are_interpolated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for d in ALL {
+            let g = generate_utility(&d, 100.0, &mut rng);
+            let f = g.utility.as_ref();
+            assert!(f.value(0.0).abs() < 1e-9);
+            assert!((f.value(50.0) - g.v).abs() < 1e-9 * g.v.max(1.0));
+            assert!((f.value(100.0) - (g.v + g.w)).abs() < 1e-9 * (g.v + g.w).max(1.0));
+        }
+    }
+
+    #[test]
+    fn w_le_v_always() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for d in ALL {
+            for _ in 0..200 {
+                let g = generate_utility(&d, 10.0, &mut rng);
+                assert!(g.w <= g.v);
+            }
+        }
+    }
+
+    #[test]
+    fn cap_matches_capacity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generate_utility(&Distribution::Uniform, 77.0, &mut rng);
+        assert_eq!(g.utility.cap(), 77.0);
+    }
+
+    #[test]
+    fn generate_many_counts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gs = generate_many(&Distribution::Uniform, 10.0, 13, &mut rng);
+        assert_eq!(gs.len(), 13);
+    }
+
+    #[test]
+    fn seeded_generation_reproduces() {
+        let d = Distribution::PowerLaw { alpha: 2.0 };
+        let a = {
+            let mut rng = StdRng::seed_from_u64(6);
+            generate_utility(&d, 10.0, &mut rng)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(6);
+            generate_utility(&d, 10.0, &mut rng)
+        };
+        assert_eq!(a.v, b.v);
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.utility.value(3.3), b.utility.value(3.3));
+    }
+
+    #[test]
+    fn discrete_distribution_yields_three_possible_maxima() {
+        // (v, w) ∈ {(1,1), (θ,1), (θ,θ)} for the two-point distribution.
+        let d = Distribution::Discrete { gamma: 0.5, theta: 5.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let g = generate_utility(&d, 10.0, &mut rng);
+            let max = g.v + g.w;
+            assert!(
+                [2.0, 6.0, 10.0].iter().any(|&m| (max - m).abs() < 1e-12),
+                "unexpected max {max}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_bad_capacity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        generate_utility(&Distribution::Uniform, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,122 @@
+//! Instance builders for the paper's experimental sweeps.
+//!
+//! All experiments in §VII fix `m = 8` servers and sweep `β = n/m`
+//! (threads per server), the power-law exponent `α`, or the discrete
+//! distribution's `γ` / `θ`. [`InstanceSpec`] captures one point of such a
+//! sweep and generates as many random instances as needed from a seeded
+//! RNG.
+
+use aa_core::{Problem, ProblemError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::distributions::Distribution;
+use crate::genutil::generate_many;
+
+/// One experiment configuration: `m` servers × capacity `C`, `n = β·m`
+/// threads drawn from `dist`.
+///
+/// # Example
+///
+/// ```
+/// use aa_workloads::{Distribution, InstanceSpec};
+/// use rand::SeedableRng;
+///
+/// // Figure 2(a)'s setup at β = 5.
+/// let spec = InstanceSpec::paper(Distribution::PowerLaw { alpha: 2.0 }, 5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2016);
+/// let problem = spec.generate(&mut rng).unwrap();
+/// assert_eq!(problem.servers(), 8);
+/// assert_eq!(problem.len(), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Number of servers `m` (the paper uses 8).
+    pub servers: usize,
+    /// Threads per server `β` (the paper sweeps 1..=15).
+    pub beta: usize,
+    /// Per-server capacity `C` (the paper uses 1000).
+    pub capacity: f64,
+    /// Base distribution for utility generation.
+    pub dist: Distribution,
+}
+
+impl InstanceSpec {
+    /// The paper's defaults: `m = 8`, `C = 1000`.
+    pub fn paper(dist: Distribution, beta: usize) -> Self {
+        InstanceSpec {
+            servers: 8,
+            beta,
+            capacity: 1000.0,
+            dist,
+        }
+    }
+
+    /// Number of threads `n = β·m`.
+    pub fn threads(&self) -> usize {
+        self.servers * self.beta
+    }
+
+    /// Generate one random instance.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Problem, ProblemError> {
+        let utilities = generate_many(&self.dist, self.capacity, self.threads(), rng)
+            .into_iter()
+            .map(|g| g.utility)
+            .collect();
+        Problem::new(self.servers, self.capacity, utilities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_defaults() {
+        let s = InstanceSpec::paper(Distribution::Uniform, 5);
+        assert_eq!(s.servers, 8);
+        assert_eq!(s.capacity, 1000.0);
+        assert_eq!(s.threads(), 40);
+    }
+
+    #[test]
+    fn generates_valid_problems() {
+        let s = InstanceSpec::paper(Distribution::PowerLaw { alpha: 2.0 }, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = s.generate(&mut rng).unwrap();
+        assert_eq!(p.servers(), 8);
+        assert_eq!(p.len(), 24);
+        assert_eq!(p.capacity(), 1000.0);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let s = InstanceSpec::paper(Distribution::Uniform, 2);
+        let a = s.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        let b = s.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        for (fa, fb) in a.threads().iter().zip(b.threads()) {
+            assert_eq!(fa.value(123.0), fb.value(123.0));
+        }
+    }
+
+    #[test]
+    fn solvers_run_on_generated_instances() {
+        use aa_core::solver::{Algo2, Solver};
+        let s = InstanceSpec::paper(Distribution::Discrete { gamma: 0.85, theta: 5.0 }, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = s.generate(&mut rng).unwrap();
+        let a = Algo2.solve(&p);
+        a.validate(&p).unwrap();
+        assert!(a.total_utility(&p) > 0.0);
+    }
+
+    #[test]
+    fn spec_serializes() {
+        let s = InstanceSpec::paper(Distribution::Normal { mean: 1.0, std: 1.0 }, 7);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: InstanceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

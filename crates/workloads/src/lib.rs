@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # aa-workloads — the paper's synthetic workload generator (§VII)
+//!
+//! The evaluation draws each thread's utility at random: two values
+//! `v ≥ w` from a base distribution `H`, then a smooth concave function
+//! through the control points `(0, 0)`, `(C/2, v)`, `(C, v + w)` via
+//! monotone PCHIP interpolation (our Matlab-`pchip` replacement; see
+//! DESIGN.md for the reading of the generation sentence). The `w ≤ v`
+//! conditioning is exactly what makes the control polygon concave.
+//!
+//! Four base distributions, as in the paper:
+//!
+//! * **Uniform**`(0, 1)` — Figure 1(a);
+//! * **Normal**`(μ = 1, σ = 1)`, truncated to positive values —
+//!   Figure 1(b);
+//! * **PowerLaw**`(α)` with density `∝ x^{−α}` on `x ≥ 1` — Figure 2;
+//! * **Discrete**`(γ, θ)` taking value `ℓ = 1` with probability `γ` and
+//!   `h = θ` otherwise — Figure 3.
+//!
+//! [`InstanceSpec`] bundles the sweep parameters (`m`, `β = n/m`, `C`,
+//! distribution) and generates reproducible [`Problem`](aa_core::Problem)s from a seeded
+//! RNG.
+
+pub mod distributions;
+pub mod genutil;
+pub mod instance;
+
+pub use distributions::Distribution;
+pub use genutil::{generate_utility, GeneratedUtility};
+pub use instance::InstanceSpec;

@@ -1,0 +1,73 @@
+//! Property tests for the workload generator: every function it can ever
+//! emit satisfies the AA utility contract, for arbitrary distribution
+//! parameters and seeds.
+
+use aa_utility::check::{check_concave_shape, sample_points};
+use aa_workloads::{generate_utility, Distribution, InstanceSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        (0.1..5.0f64, 0.1..3.0f64)
+            .prop_map(|(mean, std)| Distribution::Normal { mean, std }),
+        (1.2..4.0f64).prop_map(|alpha| Distribution::PowerLaw { alpha }),
+        (0.0..=1.0f64, 1.0..20.0f64)
+            .prop_map(|(gamma, theta)| Distribution::Discrete { gamma, theta }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generated utilities are nonnegative, nondecreasing, concave, zero
+    /// at zero, and hit their control values.
+    #[test]
+    fn generated_utilities_satisfy_contract(
+        dist in any_distribution(),
+        capacity in 1.0..5000.0f64,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate_utility(&dist, capacity, &mut rng);
+        let f = g.utility.as_ref();
+        prop_assert!(f.value(0.0).abs() < 1e-9);
+        prop_assert!(g.w <= g.v);
+        prop_assert!(
+            (f.value(capacity) - (g.v + g.w)).abs() <= 1e-9 * (g.v + g.w).max(1.0)
+        );
+        let res = check_concave_shape(f, &sample_points(capacity, 65), 1e-6);
+        prop_assert!(res.is_ok(), "{:?} (dist {dist:?}, smooth {})", res.unwrap_err(), g.smooth);
+    }
+
+    /// Instances from any spec build and solve within the guarantee.
+    #[test]
+    fn any_spec_solves_within_guarantee(
+        dist in any_distribution(),
+        servers in 1usize..6,
+        beta in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let spec = InstanceSpec { servers, beta, capacity: 100.0, dist };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = spec.generate(&mut rng).unwrap();
+        let a = aa_core::algo2::solve(&p);
+        prop_assert!(a.validate(&p).is_ok());
+        let bound = aa_core::superopt::super_optimal(&p).utility;
+        prop_assert!(
+            a.total_utility(&p) >= aa_core::ALPHA * bound - 1e-6 * bound.max(1.0)
+        );
+    }
+
+    /// The base distributions only produce positive finite values.
+    #[test]
+    fn samples_positive_finite(dist in any_distribution(), seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = dist.sample(&mut rng);
+            prop_assert!(x.is_finite() && x > 0.0, "{x} from {dist:?}");
+        }
+    }
+}

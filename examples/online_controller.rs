@@ -1,0 +1,73 @@
+//! The epoch controller in action: four repair policies racing through a
+//! workload whose working sets change mid-run.
+//!
+//! ```text
+//! cargo run --release --example online_controller
+//! ```
+
+use aa::core::solver::Algo2;
+use aa::sim::controller::total_measured;
+use aa::sim::trace::TraceSpec;
+use aa::sim::{Controller, Multicore, RepairPolicy, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let machine = Multicore {
+        cores: 4,
+        ways_per_cache: 16,
+        lines_per_way: 16,
+    };
+    let epochs = 6;
+
+    // Threads that flip working sets a third of the way in.
+    let mut rng = StdRng::seed_from_u64(2016);
+    let mut traces: Vec<Trace> = Vec::new();
+    for i in 0..8 {
+        let early =
+            TraceSpec::Zipf { lines: 24 + 8 * i, s: 1.2 }.generate(12_000, &mut rng);
+        let late = TraceSpec::Zipf { lines: 200 - 16 * i, s: 1.0 }.generate(24_000, &mut rng);
+        let mut acc = early.accesses;
+        acc.extend(late.accesses.iter().map(|&l| l + 10_000)); // fresh lines
+        traces.push(Trace { accesses: acc });
+    }
+
+    println!(
+        "machine: {} cores × {}-way caches; {} threads; {} epochs; phase change after epoch {}\n",
+        machine.cores,
+        machine.ways_per_cache,
+        traces.len(),
+        epochs,
+        epochs / 3
+    );
+
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "policy", "total hits/k", "migrations"
+    );
+    for (name, policy) in [
+        ("never repair", RepairPolicy::Never),
+        ("re-split in place", RepairPolicy::InPlace),
+        ("≤ 2 migrations/epoch", RepairPolicy::Migrations(2)),
+        ("full re-solve", RepairPolicy::Resolve),
+    ] {
+        let controller = Controller { machine, policy };
+        let reports = controller.run(&traces, epochs, &Algo2);
+        let migrations: usize = reports.iter().map(|r| r.migrations).sum();
+        println!(
+            "{:<22} {:>12.0} {:>12}",
+            name,
+            total_measured(&reports),
+            migrations
+        );
+    }
+
+    // Epoch-by-epoch view for the in-place policy.
+    let controller = Controller { machine, policy: RepairPolicy::InPlace };
+    let reports = controller.run(&traces, epochs, &Algo2);
+    println!("\nin-place policy, per epoch:");
+    println!("{:<7} {:>12}", "epoch", "hits/k");
+    for r in &reports {
+        println!("{:<7} {:>12.0}", r.epoch, r.measured);
+    }
+}

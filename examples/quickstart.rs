@@ -1,0 +1,48 @@
+//! Quickstart: define threads, solve, inspect the assignment.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use aa::core::solver::{Solver, Algo2};
+use aa::core::{superopt, Problem, ALPHA};
+use aa::utility::{CappedLinear, LogUtility, Power};
+
+fn main() {
+    // Two servers, 10 units of one resource each (think: cache ways,
+    // memory GB, CPU shares — anything divisible).
+    // Five threads with different diminishing-returns profiles.
+    let problem = Problem::builder(2, 10.0)
+        .thread(Arc::new(Power::new(4.0, 0.5, 10.0))) // 4·√x  — steep start
+        .thread(Arc::new(Power::new(1.0, 0.9, 10.0))) // ≈ linear
+        .thread(Arc::new(LogUtility::new(3.0, 1.0, 10.0))) // 3·ln(1+x)
+        .thread(Arc::new(LogUtility::new(0.5, 2.0, 10.0))) // small log
+        .thread(Arc::new(CappedLinear::new(2.0, 3.0, 10.0))) // 2·min(x,3)
+        .build()
+        .expect("valid problem");
+
+    // Algorithm 2 from the paper: O(n (log mC)^2), guaranteed within
+    // α = 2(√2 − 1) ≈ 0.828 of the optimal total utility.
+    let solution = Algo2.solve(&problem);
+    solution.validate(&problem).expect("feasible by construction");
+
+    println!("thread  server  allocation  utility");
+    for i in 0..problem.len() {
+        println!(
+            "{:>6}  {:>6}  {:>10.3}  {:>7.3}",
+            i,
+            solution.server[i],
+            solution.amount[i],
+            problem.utility_of(i, solution.amount[i])
+        );
+    }
+
+    let total = solution.total_utility(&problem);
+    let bound = superopt::super_optimal(&problem).utility;
+    println!("\ntotal utility:        {total:.4}");
+    println!("super-optimal bound:  {bound:.4}");
+    println!("ratio:                {:.4} (guaranteed ≥ {ALPHA:.4})", total / bound);
+    assert!(total >= ALPHA * bound - 1e-9);
+}

@@ -1,0 +1,77 @@
+//! Theorem IV.1 round-trips: PARTITION instances decided through the AA
+//! reduction (E11 in DESIGN.md).
+
+use aa::core::reduction::{reduce_partition, solve_partition, ReductionError};
+use aa::core::solver::{Algo2, Solver};
+use aa::core::ALPHA;
+
+#[test]
+fn classic_solvable_instances() {
+    let cases: Vec<Vec<f64>> = vec![
+        vec![1.0, 1.0],
+        vec![2.0, 1.0, 1.0],
+        vec![3.0, 1.0, 1.0, 2.0, 2.0, 1.0],
+        vec![4.0, 5.0, 6.0, 7.0, 8.0], // 15 + 15: {7,8} vs {4,5,6}
+        vec![1.5, 2.5, 2.0, 2.0],      // 4 vs 4
+    ];
+    for numbers in cases {
+        let (s1, s2) = solve_partition(&numbers)
+            .unwrap()
+            .unwrap_or_else(|| panic!("no partition found for {numbers:?}"));
+        let sum1: f64 = s1.iter().map(|&i| numbers[i]).sum();
+        let sum2: f64 = s2.iter().map(|&i| numbers[i]).sum();
+        assert!((sum1 - sum2).abs() < 1e-6, "{numbers:?}: {sum1} vs {sum2}");
+        let mut all: Vec<usize> = s1.iter().chain(&s2).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..numbers.len()).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn classic_unsolvable_instances() {
+    let cases: Vec<Vec<f64>> = vec![
+        vec![2.0, 2.0, 3.0],       // total 7
+        vec![1.0, 2.0, 4.0, 5.1],  // irrational-ish split
+        vec![3.0, 3.0, 3.0],       // total 9
+    ];
+    for numbers in cases {
+        assert!(
+            solve_partition(&numbers).unwrap().is_none(),
+            "{numbers:?} should have no partition"
+        );
+    }
+}
+
+#[test]
+fn reduction_utility_identities() {
+    // On a solvable instance, OPT = Σc; the approximation is ≥ α·Σc.
+    let numbers = [3.0, 1.0, 2.0, 2.0];
+    let red = reduce_partition(&numbers).unwrap();
+    let approx = Algo2.solve(&red.problem).total_utility(&red.problem);
+    assert!(approx >= ALPHA * red.target - 1e-9);
+    assert!(approx <= red.target + 1e-9);
+}
+
+#[test]
+fn error_paths() {
+    assert_eq!(
+        reduce_partition(&[1.0]).unwrap_err(),
+        ReductionError::TooFewNumbers
+    );
+    assert!(matches!(
+        reduce_partition(&[0.0, 1.0]).unwrap_err(),
+        ReductionError::BadNumber(_)
+    ));
+    assert!(matches!(
+        reduce_partition(&[9.0, 1.0, 1.0]).unwrap_err(),
+        ReductionError::NumberExceedsHalfSum(_)
+    ));
+}
+
+#[test]
+fn near_miss_instances_are_rejected() {
+    // Total 10 but the best split is 5.1 / 4.9 — must be detected as
+    // unsolvable, exercising the exactness of the threshold.
+    let numbers = [4.9, 2.0, 1.6, 1.5];
+    assert!(solve_partition(&numbers).unwrap().is_none());
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration of the simulation substrate with the solver:
+//! the cache-partitioning and hosting pipelines end to end.
+
+use aa::core::solver::{Algo2, Rr, Solver, Uu};
+use aa::sim::hosting::{place, Fleet, Service};
+use aa::sim::trace::TraceSpec;
+use aa::sim::Multicore;
+use aa::utility::{LogUtility, Power};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn traces(seed: u64) -> Vec<aa::sim::Trace> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Vec::new();
+    for i in 0..3 {
+        t.push(TraceSpec::Zipf { lines: 80 + 40 * i, s: 1.0 + 0.1 * i as f64 }.generate(8000, &mut rng));
+    }
+    for i in 0..3 {
+        t.push(TraceSpec::Looping { lines: 30 + 20 * i }.generate(8000, &mut rng));
+    }
+    t.push(TraceSpec::Streaming.generate(8000, &mut rng));
+    t
+}
+
+#[test]
+fn cache_pipeline_predictions_are_upper_bounds() {
+    let machine = Multicore { cores: 2, ways_per_cache: 12, lines_per_way: 8 };
+    let ts = traces(1);
+    for solver in [&Algo2 as &dyn Solver, &Uu as &dyn Solver] {
+        let out = machine.evaluate(&ts, solver);
+        // The concave envelope dominates the measured curve, so the model
+        // can only be optimistic.
+        assert!(
+            out.measured <= out.predicted + 1e-6,
+            "measured {} above predicted {}",
+            out.measured,
+            out.predicted
+        );
+        assert!(out.measured > 0.0);
+    }
+}
+
+#[test]
+fn algo2_no_worse_than_baselines_in_simulation() {
+    let machine = Multicore { cores: 2, ways_per_cache: 12, lines_per_way: 8 };
+    let ts = traces(2);
+    let smart = machine.evaluate(&ts, &Algo2).measured;
+    for baseline in [&Uu as &dyn Solver, &Rr as &dyn Solver] {
+        let b = machine.evaluate(&ts, baseline).measured;
+        assert!(
+            smart >= b - 1e-6,
+            "algo2 measured {smart} below {} {b}",
+            baseline.name()
+        );
+    }
+}
+
+#[test]
+fn streaming_threads_get_no_ways_from_algo2() {
+    let machine = Multicore { cores: 2, ways_per_cache: 8, lines_per_way: 8 };
+    let ts = traces(3);
+    let out = machine.evaluate(&ts, &Algo2);
+    // The last trace streams; dedicating cache to it is pure waste and
+    // Algorithm 2's super-optimal allocation gives it nothing.
+    assert_eq!(out.ways[6], 0, "streaming thread was given cache");
+}
+
+#[test]
+fn hosting_pipeline_revenue_ordering() {
+    let fleet = Fleet { hosts: 2, capacity: 32.0 };
+    let services: Vec<Service> = (0..8)
+        .map(|i| Service {
+            name: format!("svc-{i}"),
+            revenue: if i % 2 == 0 {
+                Arc::new(LogUtility::new(4.0 + i as f64, 0.3, 32.0)) as aa::utility::DynUtility
+            } else {
+                Arc::new(Power::new(1.0 + i as f64 * 0.2, 0.6, 32.0)) as aa::utility::DynUtility
+            },
+            min_footprint: if i < 4 { 1.0 } else { 0.0 },
+        })
+        .collect();
+    let smart = place(&fleet, &services, &Algo2);
+    let dumb = place(&fleet, &services, &Rr);
+    assert!(smart.realized_revenue >= dumb.realized_revenue - 1e-9);
+    assert!(smart.realized_revenue <= smart.predicted_revenue + 1e-9);
+}
+
+#[test]
+fn phase_change_recovered_by_online_repair() {
+    // End-to-end drift scenario: profile phase 1, partition for it, then
+    // the workload enters phase 2. Re-profiling and running the online
+    // repair recovers most of the lost throughput without re-solving.
+    use aa::core::online::reallocate_in_place;
+
+    let machine = Multicore { cores: 2, ways_per_cache: 12, lines_per_way: 8 };
+    let mut rng = StdRng::seed_from_u64(9);
+    let phased: Vec<aa::sim::Trace> = vec![
+        TraceSpec::Phased { hot_lines: 12, loop_lines: 80 }.generate(8000, &mut rng),
+        TraceSpec::Phased { hot_lines: 60, loop_lines: 16 }.generate(8000, &mut rng),
+        TraceSpec::Zipf { lines: 60, s: 1.0 }.generate(8000, &mut rng),
+        TraceSpec::Looping { lines: 40 }.generate(8000, &mut rng),
+    ];
+    let phase1: Vec<aa::sim::Trace> = phased.iter().map(|t| TraceSpec::split_phases(t).0).collect();
+    let phase2: Vec<aa::sim::Trace> = phased.iter().map(|t| TraceSpec::split_phases(t).1).collect();
+
+    // Solve for phase 1.
+    let p1 = machine.build_problem(&phase1);
+    let stale = aa::core::solver::Solver::solve(&Algo2, &p1);
+
+    // Phase 2 arrives: the stale plan, measured on phase-2 behavior.
+    let p2 = machine.build_problem(&phase2);
+    let stale_ways = machine.round_ways(&p2, &stale);
+    let stale_measured = machine.measure(&phase2, &stale.server, &stale_ways);
+
+    // Zero-migration repair against the new profiles.
+    let repaired = reallocate_in_place(&p2, &stale);
+    let repaired_ways = machine.round_ways(&p2, &repaired);
+    let repaired_measured = machine.measure(&phase2, &repaired.server, &repaired_ways);
+
+    // A fresh solve for comparison. Both fresh and repaired optimize the
+    // concave-envelope *model*, not the simulator. On cliff-shaped
+    // (looping) curves the envelope is very optimistic at intermediate
+    // allocations — the model happily splits a cache between two cliff
+    // threads even though the simulator then gives neither any hits — so
+    // a model-optimal fresh plan can genuinely *measure* worse than the
+    // repaired stale plan. We assert only what the repair contract
+    // promises: never lose to doing nothing, and both plans stay within
+    // the model's predicted ceiling.
+    let fresh = machine.evaluate(&phase2, &Algo2);
+
+    assert!(
+        repaired_measured >= stale_measured - 1e-9,
+        "repair lost throughput: {repaired_measured} vs {stale_measured}"
+    );
+    assert!(fresh.measured <= fresh.predicted + 1e-9);
+    let repaired_predicted = repaired.total_utility(&p2);
+    assert!(repaired_measured <= repaired_predicted + 1e-9);
+}
