@@ -18,11 +18,16 @@
 //! This module holds all logic (file formats, solver registry, driver
 //! functions) so it is unit-testable; `main.rs` is a thin argv wrapper.
 
+use aa_core::churn::ClusterEvent;
 use aa_core::solver::{
     Algo1, Algo2, Algo2FairShare, Algo2Refined, Algo2SingleSort, BranchAndBound, BruteForce, Rr,
     Ru, Solver, Ur, Uu,
 };
 use aa_core::{superopt, Problem, ALPHA};
+use aa_sim::controller::RepairPolicy;
+use aa_sim::faults::{
+    generate_script, run_script, ChurnReport, FaultScript, FaultScriptConfig, ScriptedEvent,
+};
 use aa_utility::{SpecError, UtilitySpec};
 use aa_workloads::{Distribution, InstanceSpec};
 use rand::rngs::StdRng;
@@ -78,12 +83,15 @@ pub enum CliError {
     UnknownSolver(String),
     /// I/O failure.
     Io(std::io::Error),
+    /// A churn run failed (unrepairable event or invalid intermediate
+    /// assignment).
+    Churn(String),
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Parse(e) => write!(f, "could not parse problem file: {e}"),
+            CliError::Parse(e) => write!(f, "could not parse input file: {e}"),
             CliError::Spec { thread, source } => {
                 write!(f, "thread {thread}: invalid utility: {source}")
             }
@@ -92,6 +100,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "unknown solver {name:?}; run `aa-solve solvers` for the list")
             }
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Churn(msg) => write!(f, "churn run failed: {msg}"),
         }
     }
 }
@@ -247,6 +256,131 @@ pub fn generate_document(opts: &GenerateOpts) -> ProblemFile {
 /// Sanity constant re-exported for the binary's summary line.
 pub const GUARANTEE: f64 = ALPHA;
 
+// ---- churn: fault scripts from files or seeds ----
+
+/// One scheduled cluster event, as written in a script file. Arrival
+/// utilities are [`UtilitySpec`]s so scripts are self-contained JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum EventSpec {
+    /// Server `server` fails at `epoch`.
+    ServerDown {
+        /// Epoch the event fires.
+        epoch: usize,
+        /// Failing server (index valid at that point of the script).
+        server: usize,
+    },
+    /// One server rejoins at `epoch`.
+    ServerUp {
+        /// Epoch the event fires.
+        epoch: usize,
+    },
+    /// Cluster-wide capacity becomes `capacity` at `epoch`.
+    CapacityChanged {
+        /// Epoch the event fires.
+        epoch: usize,
+        /// The new per-server capacity.
+        capacity: f64,
+    },
+    /// A thread with the given utility arrives at `epoch`.
+    ThreadArrived {
+        /// Epoch the event fires.
+        epoch: usize,
+        /// The arriving thread's utility curve.
+        utility: UtilitySpec,
+    },
+    /// Thread `thread` departs at `epoch`.
+    ThreadDeparted {
+        /// Epoch the event fires.
+        epoch: usize,
+        /// Departing thread (index valid at that point of the script).
+        thread: usize,
+    },
+}
+
+/// A fault script document: what `aa-solve churn --script` reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptFile {
+    /// Epochs the run spans (extended if an event is scheduled later).
+    pub epochs: usize,
+    /// The scheduled events, applied per epoch in listed order.
+    pub events: Vec<EventSpec>,
+}
+
+/// Build a runnable [`FaultScript`] from a parsed script file.
+pub fn build_script(file: &ScriptFile) -> Result<FaultScript, CliError> {
+    let mut events = Vec::with_capacity(file.events.len());
+    let mut epochs = file.epochs.max(1);
+    for (i, spec) in file.events.iter().enumerate() {
+        let (epoch, event) = match spec {
+            EventSpec::ServerDown { epoch, server } => {
+                (*epoch, ClusterEvent::ServerDown { server: *server })
+            }
+            EventSpec::ServerUp { epoch } => (*epoch, ClusterEvent::ServerUp),
+            EventSpec::CapacityChanged { epoch, capacity } => {
+                (*epoch, ClusterEvent::CapacityChanged { capacity: *capacity })
+            }
+            EventSpec::ThreadArrived { epoch, utility } => {
+                let built = utility
+                    .build()
+                    .map_err(|source| CliError::Spec { thread: i, source })?;
+                (*epoch, ClusterEvent::ThreadArrived { utility: built })
+            }
+            EventSpec::ThreadDeparted { epoch, thread } => {
+                (*epoch, ClusterEvent::ThreadDeparted { thread: *thread })
+            }
+        };
+        epochs = epochs.max(epoch + 1);
+        events.push(ScriptedEvent { epoch, event });
+    }
+    Ok(FaultScript { events, epochs })
+}
+
+/// Options for `aa-solve churn`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOpts {
+    /// Repair policy driven through the script.
+    pub policy: RepairPolicy,
+    /// Solver used for the initial plan and the retention reference.
+    pub solver: String,
+    /// Seed for script generation (ignored when a script file is given).
+    pub seed: u64,
+    /// Generator configuration (ignored when a script file is given).
+    pub config: FaultScriptConfig,
+}
+
+impl Default for ChurnOpts {
+    fn default() -> Self {
+        ChurnOpts {
+            policy: RepairPolicy::Migrations(2),
+            solver: "algo2".to_string(),
+            seed: 2016,
+            config: FaultScriptConfig::default(),
+        }
+    }
+}
+
+/// Parse a problem document, run a churn script against it, and return
+/// the retention report. `script_json` overrides seeded generation.
+pub fn churn_document(
+    problem_json: &str,
+    script_json: Option<&str>,
+    opts: &ChurnOpts,
+) -> Result<ChurnReport, CliError> {
+    let file: ProblemFile = serde_json::from_str(problem_json)?;
+    let problem = build_problem(&file)?;
+    let script = match script_json {
+        Some(json) => {
+            let file: ScriptFile = serde_json::from_str(json)?;
+            build_script(&file)?
+        }
+        None => generate_script(&problem, &opts.config, opts.seed),
+    };
+    let solver = solver_by_name(&opts.solver)?;
+    run_script(&problem, &script, opts.policy, solver.as_ref())
+        .map_err(|e| CliError::Churn(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +477,84 @@ mod tests {
     fn generation_is_deterministic() {
         let opts = GenerateOpts::default();
         assert_eq!(generate_document(&opts), generate_document(&opts));
+    }
+
+    #[test]
+    fn churn_with_generated_script_runs() {
+        let report = churn_document(&tiny_problem_json(), None, &ChurnOpts::default()).unwrap();
+        assert_eq!(report.epochs.len(), FaultScriptConfig::default().epochs);
+        assert!(report.mean_retention.is_finite());
+        for e in &report.epochs {
+            assert!(e.utility >= e.naive_utility - 1e-9 || e.events == 0);
+        }
+        // Report round-trips through JSON.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ChurnReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.epochs.len(), report.epochs.len());
+    }
+
+    #[test]
+    fn churn_with_script_file_runs() {
+        let script = serde_json::to_string(&ScriptFile {
+            epochs: 6,
+            events: vec![
+                EventSpec::ServerDown { epoch: 1, server: 0 },
+                EventSpec::ThreadArrived {
+                    epoch: 2,
+                    utility: UtilitySpec::Power { scale: 2.0, beta: 0.5, cap: 10.0 },
+                },
+                EventSpec::ServerUp { epoch: 3 },
+                EventSpec::ThreadDeparted { epoch: 4, thread: 1 },
+                EventSpec::CapacityChanged { epoch: 5, capacity: 8.0 },
+            ],
+        })
+        .unwrap();
+        let report =
+            churn_document(&tiny_problem_json(), Some(&script), &ChurnOpts::default()).unwrap();
+        assert_eq!(report.epochs.len(), 6);
+        // Down at 1 evacuates; up at 3 restores the second server.
+        assert!(report.total_evacuations >= 1);
+        assert_eq!(report.epochs[3].servers, 2);
+        assert_eq!(report.epochs[5].threads, 3);
+    }
+
+    #[test]
+    fn churn_script_with_bad_event_is_reported() {
+        let script = serde_json::to_string(&ScriptFile {
+            epochs: 2,
+            events: vec![EventSpec::ServerDown { epoch: 0, server: 99 }],
+        })
+        .unwrap();
+        let err = churn_document(&tiny_problem_json(), Some(&script), &ChurnOpts::default())
+            .unwrap_err();
+        assert!(matches!(err, CliError::Churn(_)), "{err}");
+    }
+
+    #[test]
+    fn script_files_round_trip() {
+        let file = ScriptFile {
+            epochs: 3,
+            events: vec![
+                EventSpec::ServerUp { epoch: 0 },
+                EventSpec::ThreadArrived {
+                    epoch: 1,
+                    utility: UtilitySpec::Log { scale: 1.0, rate: 2.0, cap: 4.0 },
+                },
+            ],
+        };
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: ScriptFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, file);
+    }
+
+    #[test]
+    fn late_events_extend_the_epoch_count() {
+        let script = build_script(&ScriptFile {
+            epochs: 2,
+            events: vec![EventSpec::ServerUp { epoch: 9 }],
+        })
+        .unwrap();
+        assert_eq!(script.epochs, 10);
     }
 
     #[test]

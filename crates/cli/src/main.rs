@@ -2,7 +2,10 @@
 
 use std::process::ExitCode;
 
-use aa_cli::{generate_document, solve_document, GenerateOpts, SOLVER_NAMES};
+use aa_cli::{churn_document, generate_document, solve_document, ChurnOpts, GenerateOpts,
+             SOLVER_NAMES};
+use aa_sim::controller::RepairPolicy;
+use aa_sim::faults::FaultScriptConfig;
 use aa_workloads::Distribution;
 
 const USAGE: &str = "\
@@ -11,6 +14,10 @@ usage:
   aa-solve generate [--servers M] [--beta B] [--capacity C]
                     [--dist uniform|normal|powerlaw|discrete]
                     [--alpha A] [--gamma G] [--theta T] [--seed S] [--pretty]
+  aa-solve churn <problem.json> [--script script.json] [--epochs N]
+                 [--policy never|in-place|migrations|resolve] [--budget K]
+                 [--solver NAME] [--seed S] [--crash-rate F] [--recovery-rate F]
+                 [--flap-rate F] [--arrival-rate F] [--departure-rate F] [--pretty]
   aa-solve solvers
 ";
 
@@ -33,6 +40,7 @@ fn run() -> Result<(), String> {
     match command.as_str() {
         "solve" => cmd_solve(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "churn" => cmd_churn(&args[1..]),
         "solvers" => {
             for name in SOLVER_NAMES {
                 println!("{name}");
@@ -92,6 +100,63 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         solution.upper_bound,
         solution.bound_ratio,
         aa_cli::GUARANTEE
+    );
+    Ok(())
+}
+
+fn cmd_churn(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing problem file path")?;
+    let budget: usize = parsed_flag(args, "--budget", 2)?;
+    let policy = match flag_value(args, "--policy")?.unwrap_or("migrations") {
+        "never" => RepairPolicy::Never,
+        "in-place" => RepairPolicy::InPlace,
+        "migrations" => RepairPolicy::Migrations(budget),
+        "resolve" => RepairPolicy::Resolve,
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let defaults = FaultScriptConfig::default();
+    let opts = ChurnOpts {
+        policy,
+        solver: flag_value(args, "--solver")?.unwrap_or("algo2").to_string(),
+        seed: parsed_flag(args, "--seed", 2016)?,
+        config: FaultScriptConfig {
+            epochs: parsed_flag(args, "--epochs", defaults.epochs)?,
+            crash_rate: parsed_flag(args, "--crash-rate", defaults.crash_rate)?,
+            recovery_rate: parsed_flag(args, "--recovery-rate", defaults.recovery_rate)?,
+            flap_rate: parsed_flag(args, "--flap-rate", defaults.flap_rate)?,
+            arrival_rate: parsed_flag(args, "--arrival-rate", defaults.arrival_rate)?,
+            departure_rate: parsed_flag(args, "--departure-rate", defaults.departure_rate)?,
+            ..defaults
+        },
+    };
+
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let script_json = match flag_value(args, "--script")? {
+        Some(script_path) => Some(
+            std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let report = churn_document(&json, script_json.as_deref(), &opts)
+        .map_err(|e| e.to_string())?;
+    let out = if args.iter().any(|a| a == "--pretty") {
+        serde_json::to_string_pretty(&report)
+    } else {
+        serde_json::to_string(&report)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("{out}");
+    eprintln!(
+        "epochs={} mean_retention={:.4} min_retention={:.4} degraded={} evacuated={} migrated={}",
+        report.epochs.len(),
+        report.mean_retention,
+        report.min_retention,
+        report.degraded_epochs,
+        report.total_evacuations,
+        report.total_migrations
     );
     Ok(())
 }

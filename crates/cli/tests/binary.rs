@@ -74,6 +74,87 @@ fn solver_list_and_each_solver_runs() {
 }
 
 #[test]
+fn churn_with_generated_script() {
+    let dir = tempdir();
+    let path = dir.join("churn-gen.json");
+    let gen = bin()
+        .args(["generate", "--servers", "3", "--beta", "3", "--capacity", "50", "--seed", "7"])
+        .output()
+        .unwrap();
+    std::fs::write(&path, &gen.stdout).unwrap();
+
+    let out = bin()
+        .args([
+            "churn", path.to_str().unwrap(), "--epochs", "8", "--seed", "42",
+            "--policy", "migrations", "--budget", "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(report["epochs"].as_array().unwrap().len(), 8);
+    let mean = report["mean_retention"].as_f64().unwrap();
+    assert!(mean.is_finite() && mean > 0.0, "mean retention {mean}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mean_retention="), "missing summary: {err}");
+}
+
+#[test]
+fn churn_with_script_file() {
+    let dir = tempdir();
+    let problem_path = dir.join("churn-problem.json");
+    let script_path = dir.join("churn-script.json");
+    let gen = bin()
+        .args(["generate", "--servers", "3", "--beta", "3", "--capacity", "50", "--seed", "9"])
+        .output()
+        .unwrap();
+    std::fs::write(&problem_path, &gen.stdout).unwrap();
+    std::fs::write(
+        &script_path,
+        r#"{
+          "epochs": 6,
+          "events": [
+            {"kind": "server_down", "epoch": 1, "server": 2},
+            {"kind": "thread_arrived", "epoch": 2,
+             "utility": {"kind": "power", "scale": 2.0, "beta": 0.5, "cap": 50.0}},
+            {"kind": "server_up", "epoch": 3},
+            {"kind": "thread_departed", "epoch": 4, "thread": 0},
+            {"kind": "capacity_changed", "epoch": 5, "capacity": 40.0}
+          ]
+        }"#,
+    )
+    .unwrap();
+
+    let out = bin()
+        .args([
+            "churn", problem_path.to_str().unwrap(),
+            "--script", script_path.to_str().unwrap(), "--pretty",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(report["epochs"].as_array().unwrap().len(), 6);
+}
+
+#[test]
+fn churn_rejects_unknown_policy() {
+    let dir = tempdir();
+    let path = dir.join("churn-policy.json");
+    let gen = bin()
+        .args(["generate", "--servers", "2", "--beta", "1", "--capacity", "10"])
+        .output()
+        .unwrap();
+    std::fs::write(&path, &gen.stdout).unwrap();
+    let out = bin()
+        .args(["churn", path.to_str().unwrap(), "--policy", "hope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("hope"));
+}
+
+#[test]
 fn malformed_input_fails_cleanly() {
     let dir = tempdir();
     let path = dir.join("broken.json");

@@ -80,7 +80,9 @@ fn assign_in_order(problem: &Problem, demands: &[f64], order: &[usize]) -> Assig
     let mut server = vec![0_usize; demands.len()];
     let mut amount = vec![0.0_f64; demands.len()];
     for &i in order {
-        let (OrdF64(cj), Reverse(j)) = heap.pop().expect("m ≥ 1 servers");
+        // Total even for an (unrepresentable) empty server set: threads
+        // that cannot be placed keep server 0 / amount 0 from the init.
+        let Some((OrdF64(cj), Reverse(j))) = heap.pop() else { break };
         let c = demands[i].min(cj);
         server[i] = j;
         amount[i] = c;

@@ -99,7 +99,9 @@ pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> A
     let mut server = vec![0_usize; n];
     let mut amount = vec![0.0_f64; n];
     for &i in &order {
-        let (OrdF64(cj), Reverse(j)) = heap.pop().expect("m ≥ 1 servers");
+        // Total even for an (unrepresentable) empty server set: threads
+        // that cannot be placed keep server 0 / amount 0 from the init.
+        let Some((OrdF64(cj), Reverse(j))) = heap.pop() else { break };
         let c = so.amounts[i].min(cj);
         server[i] = j;
         amount[i] = c;

@@ -241,7 +241,9 @@ pub fn solve(problem: &HeteroProblem) -> HeteroAssignment {
     let mut server = vec![0_usize; n];
     let mut amount = vec![0.0_f64; n];
     for &i in &order {
-        let (OrdF64(cj), Reverse(j)) = heap.pop().expect("m ≥ 1 servers");
+        // Total even for an (unrepresentable) empty server set: threads
+        // that cannot be placed keep server 0 / amount 0 from the init.
+        let Some((OrdF64(cj), Reverse(j))) = heap.pop() else { break };
         let c = c_hat[i].min(cj);
         server[i] = j;
         amount[i] = c;

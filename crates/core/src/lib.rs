@@ -29,6 +29,7 @@
 //! | [`stats`] | fairness / balance diagnostics for assignments |
 //! | [`hetero`] | §VIII future work: heterogeneous capacities |
 //! | [`online`] | §VIII future work: drifting utilities, local repair |
+//! | [`churn`] | cluster events (server loss/recovery, thread churn) and budgeted repair (not in the paper) |
 //!
 //! Both approximation algorithms guarantee total utility at least
 //! [`ALPHA`]` = 2(√2 − 1) ≈ 0.828` times the optimum (Theorems V.16 and
@@ -38,6 +39,7 @@
 pub mod ablation;
 pub mod algo1;
 pub mod algo2;
+pub mod churn;
 pub mod discrete;
 pub mod exact;
 pub mod exact_bb;
@@ -53,7 +55,9 @@ pub mod stats;
 pub mod superopt;
 pub mod tightness;
 
+pub use churn::{ClusterEvent, MigrationBudget, Repair, RepairError, RepairReport};
 pub use problem::{Assignment, AssignmentError, Problem, ProblemBuilder, ProblemError};
+pub use solver::{SolveError, Solver};
 
 /// The approximation ratio `α = 2(√2 − 1) ≈ 0.8284` guaranteed by
 /// Algorithms 1 and 2 (Theorems V.16 and VI.1).

@@ -51,11 +51,15 @@ pub fn improve_with_migrations(
         // currently lightest-loaded server (one destination instead of
         // m−1 keeps each round at n re-split evaluations).
         let loads = best.server_loads(problem);
-        let (dest, _) = loads
+        let Some((dest, _)) = loads
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1).then_with(|| a.0.cmp(&b.0)))
-            .expect("m ≥ 1");
+        else {
+            // Unreachable for a built problem (m ≥ 1), but total anyway:
+            // nowhere to migrate means nothing left to improve.
+            break;
+        };
 
         let mut improved: Option<(Assignment, f64)> = None;
         for i in 0..problem.len() {

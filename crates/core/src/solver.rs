@@ -8,8 +8,60 @@
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use crate::problem::{Assignment, Problem};
+use crate::problem::{Assignment, AssignmentError, Problem};
 use crate::{ablation, algo1, algo2, exact, exact_bb, heuristics, refine};
+
+/// Typed failure from the panic-free solve path ([`Solver::try_solve`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The instance exceeds an exact solver's enumeration limit.
+    TooLarge {
+        /// Threads in the instance.
+        threads: usize,
+        /// The solver's hard limit.
+        limit: usize,
+    },
+    /// A thread's utility curve evaluates to NaN/∞ on its domain (e.g. a
+    /// profiled curve built from corrupt measurements).
+    NonFiniteUtility {
+        /// Offending thread index.
+        thread: usize,
+    },
+    /// The solver produced an infeasible assignment (solver bug or
+    /// numerically hostile input); the offending check is attached.
+    Infeasible(AssignmentError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::TooLarge { threads, limit } => {
+                write!(f, "instance has {threads} threads, exact limit is {limit}")
+            }
+            SolveError::NonFiniteUtility { thread } => {
+                write!(f, "thread {thread}'s utility curve is non-finite on its domain")
+            }
+            SolveError::Infeasible(e) => write!(f, "solver produced infeasible output: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Reject curves that return NaN/∞ utility anywhere a solver will
+/// evaluate them (0, half cap, effective cap).
+fn check_finite_utilities(problem: &Problem) -> Result<(), SolveError> {
+    for i in 0..problem.len() {
+        let cap = problem.effective_cap(i);
+        let probes = [0.0, 0.5 * cap, cap];
+        if !cap.is_finite()
+            || probes.iter().any(|&x| !problem.utility_of(i, x).is_finite())
+        {
+            return Err(SolveError::NonFiniteUtility { thread: i });
+        }
+    }
+    Ok(())
+}
 
 /// An AA solver: produces a feasible assignment for any problem.
 pub trait Solver {
@@ -25,6 +77,28 @@ pub trait Solver {
     fn solve(&self, problem: &Problem) -> Assignment {
         let mut rng = StdRng::seed_from_u64(0x5eed);
         self.solve_with(problem, &mut rng)
+    }
+
+    /// Panic-free solve: screens hostile input (non-finite utility
+    /// curves), applies solver-specific limits (see the exact solvers'
+    /// overrides), and checks the output's feasibility, returning a
+    /// typed [`SolveError`] instead of aborting. Controllers driving
+    /// live clusters should prefer this entry point.
+    fn try_solve_with(
+        &self,
+        problem: &Problem,
+        rng: &mut dyn RngCore,
+    ) -> Result<Assignment, SolveError> {
+        check_finite_utilities(problem)?;
+        let a = self.solve_with(problem, rng);
+        a.validate(problem).map_err(SolveError::Infeasible)?;
+        Ok(a)
+    }
+
+    /// [`Solver::try_solve_with`] under the fixed default seed.
+    fn try_solve(&self, problem: &Problem) -> Result<Assignment, SolveError> {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        self.try_solve_with(problem, &mut rng)
     }
 }
 
@@ -117,6 +191,22 @@ impl Solver for BruteForce {
     fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
         exact::solve(problem)
     }
+    fn try_solve_with(
+        &self,
+        problem: &Problem,
+        rng: &mut dyn RngCore,
+    ) -> Result<Assignment, SolveError> {
+        if problem.len() > exact::MAX_THREADS {
+            return Err(SolveError::TooLarge {
+                threads: problem.len(),
+                limit: exact::MAX_THREADS,
+            });
+        }
+        check_finite_utilities(problem)?;
+        let a = self.solve_with(problem, rng);
+        a.validate(problem).map_err(SolveError::Infeasible)?;
+        Ok(a)
+    }
 }
 
 /// Ablation: Algorithm 2 without the density re-sort of the tail.
@@ -156,6 +246,22 @@ impl Solver for BranchAndBound {
     }
     fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
         exact_bb::solve(problem)
+    }
+    fn try_solve_with(
+        &self,
+        problem: &Problem,
+        rng: &mut dyn RngCore,
+    ) -> Result<Assignment, SolveError> {
+        if problem.len() > exact_bb::MAX_THREADS {
+            return Err(SolveError::TooLarge {
+                threads: problem.len(),
+                limit: exact_bb::MAX_THREADS,
+            });
+        }
+        check_finite_utilities(problem)?;
+        let a = self.solve_with(problem, rng);
+        a.validate(problem).map_err(SolveError::Infeasible)?;
+        Ok(a)
     }
 }
 
@@ -255,6 +361,83 @@ mod tests {
     fn paper_lineup_order() {
         let names: Vec<&str> = paper_lineup().iter().map(|s| s.name()).collect();
         assert_eq!(names, vec!["algo2", "uu", "ur", "ru", "rr"]);
+    }
+
+    #[test]
+    fn try_solve_matches_solve_on_good_input() {
+        let p = problem();
+        for s in [&Algo1 as &dyn Solver, &Algo2, &Uu, &BruteForce, &BranchAndBound] {
+            assert_eq!(s.try_solve(&p).unwrap(), s.solve(&p), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn try_solve_rejects_oversized_exact_instances_without_panicking() {
+        let p = Problem::builder(2, 1.0)
+            .threads((0..exact::MAX_THREADS + 1).map(|_| {
+                Arc::new(Power::new(1.0, 0.5, 1.0)) as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            BruteForce.try_solve(&p).unwrap_err(),
+            SolveError::TooLarge { limit, .. } if limit == exact::MAX_THREADS
+        ));
+        let p = Problem::builder(2, 1.0)
+            .threads((0..exact_bb::MAX_THREADS + 1).map(|_| {
+                Arc::new(Power::new(1.0, 0.5, 1.0)) as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            BranchAndBound.try_solve(&p).unwrap_err(),
+            SolveError::TooLarge { limit, .. } if limit == exact_bb::MAX_THREADS
+        ));
+        // Approximation algorithms take the same instance in stride.
+        assert!(Algo2.try_solve(&p).is_ok());
+    }
+
+    #[test]
+    fn try_solve_rejects_nan_curves() {
+        #[derive(Debug)]
+        struct Corrupt;
+        impl aa_utility::Utility for Corrupt {
+            fn value(&self, _x: f64) -> f64 {
+                f64::NAN
+            }
+            fn derivative(&self, _x: f64) -> f64 {
+                f64::NAN
+            }
+            fn cap(&self) -> f64 {
+                4.0
+            }
+        }
+        let p = Problem::builder(2, 8.0)
+            .thread(Arc::new(Power::new(1.0, 0.5, 8.0)))
+            .thread(Arc::new(Corrupt))
+            .build()
+            .unwrap();
+        assert_eq!(
+            Algo2.try_solve(&p).unwrap_err(),
+            SolveError::NonFiniteUtility { thread: 1 }
+        );
+    }
+
+    #[test]
+    fn try_solve_handles_all_zero_utilities() {
+        // Degenerate but well-formed input: every curve is identically
+        // zero. Must return a feasible assignment, not abort.
+        let p = Problem::builder(2, 8.0)
+            .threads((0..4).map(|_| {
+                Arc::new(Power::new(0.0, 0.5, 8.0)) as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap();
+        for s in [&Algo1 as &dyn Solver, &Algo2, &Uu, &Rr, &Algo2Refined] {
+            let a = s.try_solve(&p).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            a.validate(&p).unwrap();
+            assert_eq!(a.total_utility(&p), 0.0);
+        }
     }
 
     #[test]

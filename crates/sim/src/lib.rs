@@ -32,6 +32,7 @@
 
 pub mod cache;
 pub mod controller;
+pub mod faults;
 pub mod hosting;
 pub mod mrc;
 pub mod multicore;

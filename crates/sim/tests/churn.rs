@@ -1,0 +1,91 @@
+//! End-to-end property tests of the fault harness: any seeded script the
+//! generator can emit must run to completion with every epoch feasible
+//! and retention at least the naive-evacuation baseline.
+
+use std::sync::Arc;
+
+use aa_core::solver::Algo2;
+use aa_core::Problem;
+use aa_sim::controller::RepairPolicy;
+use aa_sim::faults::{generate_script, run_script, FaultScriptConfig};
+use aa_utility::{DynUtility, LogUtility, Power};
+use proptest::prelude::*;
+
+fn any_utility(cap: f64) -> impl Strategy<Value = DynUtility> {
+    prop_oneof![
+        (0.1..10.0f64, 0.2..1.0f64)
+            .prop_map(move |(s, b)| Arc::new(Power::new(s, b, cap)) as DynUtility),
+        (0.1..10.0f64, 0.1..4.0f64)
+            .prop_map(move |(s, r)| Arc::new(LogUtility::new(s, r, cap)) as DynUtility),
+    ]
+}
+
+fn small_problem() -> impl Strategy<Value = Problem> {
+    (2usize..5, 2usize..8, 1.0..30.0f64).prop_flat_map(|(m, n, cap)| {
+        prop::collection::vec(any_utility(cap), n)
+            .prop_map(move |threads| Problem::new(m, cap, threads).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the generator emits, the harness survives it: no panics,
+    /// every epoch validated internally, retention is finite and positive,
+    /// and the repair policy never loses to the naive baseline.
+    #[test]
+    fn generated_scripts_run_and_beat_naive(
+        p in small_problem(),
+        seed in 0u64..1_000_000,
+        budget in 0usize..4,
+    ) {
+        let cfg = FaultScriptConfig {
+            epochs: 8,
+            ..FaultScriptConfig::default()
+        };
+        let script = generate_script(&p, &cfg, seed);
+        prop_assert_eq!(script.epochs, 8);
+
+        let report = run_script(&p, &script, RepairPolicy::Migrations(budget), &Algo2)
+            .expect("every generator-emittable script must run");
+        prop_assert_eq!(report.epochs.len(), 8);
+
+        for e in &report.epochs {
+            prop_assert!(
+                e.retention.is_finite() && e.retention > 0.0,
+                "epoch {}: bad retention {}", e.epoch, e.retention
+            );
+            let tol = 1e-9 * e.naive_utility.abs().max(1.0);
+            prop_assert!(
+                e.utility >= e.naive_utility - tol,
+                "epoch {}: repair {} lost to naive {}", e.epoch, e.utility, e.naive_utility
+            );
+        }
+        prop_assert!(report.min_retention <= report.mean_retention + 1e-12);
+    }
+
+    /// The generator is deterministic in its seed and never emits a script
+    /// that crashes the last server or departs the last thread.
+    #[test]
+    fn generator_is_deterministic_and_envelope_safe(
+        p in small_problem(),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = FaultScriptConfig::default();
+        let a = generate_script(&p, &cfg, seed);
+        let b = generate_script(&p, &cfg, seed);
+        prop_assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            prop_assert_eq!(x.epoch, y.epoch);
+        }
+
+        // Replaying the script keeps the cluster inside the envelope.
+        let report = run_script(&p, &a, RepairPolicy::InPlace, &Algo2).unwrap();
+        for e in &report.epochs {
+            prop_assert!(e.servers >= cfg.min_servers, "epoch {}: {} servers", e.epoch, e.servers);
+            prop_assert!(e.threads >= cfg.min_threads, "epoch {}: {} threads", e.epoch, e.threads);
+            prop_assert!(e.servers <= cfg.max_servers);
+            prop_assert!(e.threads <= cfg.max_threads);
+        }
+    }
+}

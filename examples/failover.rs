@@ -1,0 +1,92 @@
+//! Failover walkthrough: a server crashes, the runtime repairs the plan
+//! under a migration budget, then the cluster heals and a full fault
+//! script compares every repair policy.
+//!
+//! ```text
+//! cargo run --release --example failover
+//! ```
+
+use std::sync::Arc;
+
+use aa::core::churn::{repair_after, ClusterEvent, MigrationBudget};
+use aa::core::solver::{Algo2, Solver};
+use aa::core::Problem;
+use aa::sim::faults::{generate_script, run_script, FaultScriptConfig};
+use aa::sim::RepairPolicy;
+use aa::utility::{LogUtility, Power};
+
+fn main() {
+    // Three servers, ten units each, eight threads with mixed curves.
+    let mut builder = Problem::builder(3, 10.0);
+    for i in 0..4 {
+        builder = builder.thread(Arc::new(Power::new(1.0 + i as f64, 0.5, 10.0)));
+    }
+    for i in 0..4 {
+        builder = builder.thread(Arc::new(LogUtility::new(2.0 + i as f64, 1.0, 10.0)));
+    }
+    let problem = builder.build().unwrap();
+
+    let solver = Algo2;
+    let plan = solver.solve(&problem);
+    let healthy = plan.total_utility(&problem);
+    println!("healthy cluster: 3 servers, utility {healthy:.3}");
+
+    // --- Act 1: server 1 crashes. Its threads must evacuate. ---------
+    let crash = ClusterEvent::ServerDown { server: 1 };
+    let repair = repair_after(&problem, &plan, &crash, MigrationBudget::new(2)).unwrap();
+    println!(
+        "\nserver 1 down: evacuated {} threads, {} budgeted migrations",
+        repair.report.evacuated, repair.report.migrated
+    );
+    println!(
+        "  repaired utility {:.3} vs naive evacuation {:.3} (retention {:.1}%)",
+        repair.report.utility,
+        repair.report.naive_utility,
+        100.0 * repair.report.utility / healthy
+    );
+    repair.assignment.validate(&repair.problem).unwrap();
+
+    // --- Act 2: a replacement server joins; the plan spreads back out.
+    let heal = repair_after(
+        &repair.problem,
+        &repair.assignment,
+        &ClusterEvent::ServerUp,
+        MigrationBudget::new(4),
+    )
+    .unwrap();
+    println!(
+        "\nreplacement joins: {} migrations, utility back to {:.3} ({:.1}% of healthy)",
+        heal.report.migrated,
+        heal.report.utility,
+        100.0 * heal.report.utility / healthy
+    );
+
+    // --- Act 3: sixteen epochs of seeded churn, one line per policy. -
+    let cfg = FaultScriptConfig::default();
+    let script = generate_script(&problem, &cfg, 2016);
+    println!(
+        "\nfault script: {} events over {} epochs (seed 2016)",
+        script.events.len(),
+        script.epochs
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>11}",
+        "policy", "mean ret.", "min ret.", "degraded", "migrations"
+    );
+    for (name, policy) in [
+        ("never repair", RepairPolicy::Never),
+        ("rescale in place", RepairPolicy::InPlace),
+        ("≤ 2 migrations", RepairPolicy::Migrations(2)),
+        ("full re-solve", RepairPolicy::Resolve),
+    ] {
+        let report = run_script(&problem, &script, policy, &solver).unwrap();
+        println!(
+            "{:<22} {:>10.4} {:>10.4} {:>10} {:>11}",
+            name,
+            report.mean_retention,
+            report.min_retention,
+            report.degraded_epochs,
+            report.total_migrations
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline stub of `rand_chacha`.
+//!
+//! The workspace manifests depend on this crate name; nothing in the
+//! code uses a ChaCha stream specifically (only determinism per seed),
+//! so the generators here are thin wrappers over the `rand` stub's
+//! [`StdRng`](rand::rngs::StdRng).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_like {
+    ($($name:ident),*) => {$(
+        /// Deterministic seeded generator (stub; xoshiro-backed).
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(StdRng);
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                $name(StdRng::from_seed(seed))
+            }
+        }
+    )*};
+}
+
+chacha_like!(ChaCha8Rng, ChaCha12Rng, ChaCha20Rng);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

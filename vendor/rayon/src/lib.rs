@@ -1,0 +1,90 @@
+//! Offline stub of `rayon`.
+//!
+//! `par_iter` / `into_par_iter` / `par_iter_mut` return the ordinary
+//! sequential `std` iterators, so every adaptor (`map`, `zip`, `sum`,
+//! `collect`, …) the workspace chains on them is just the `Iterator`
+//! method of the same name. Results are bit-identical to the parallel
+//! versions (the workspace only relies on order-stable map/collect
+//! pipelines), at the cost of running on one core — an acceptable trade
+//! in an environment where the real crate cannot be downloaded.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// Sequential stand-in for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for core::ops::Range<usize> {
+        type Item = usize;
+        type Iter = core::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for core::ops::Range<u64> {
+        type Item = u64;
+        type Iter = core::ops::Range<u64>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Sequential stand-in for rayon's `par_iter` / `par_iter_mut` on
+    /// slices and anything that derefs to one.
+    pub trait ParallelSlice<T> {
+        /// Shared "parallel" iteration.
+        fn par_iter(&self) -> core::slice::Iter<'_, T>;
+        /// Mutable "parallel" iteration.
+        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> core::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> ParallelSlice<T> for Vec<T> {
+        fn par_iter(&self) -> core::slice::Iter<'_, T> {
+            self.as_slice().iter()
+        }
+        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
+            self.as_mut_slice().iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pipelines_match_sequential() {
+        let v = vec![1.0_f64, 2.0, 3.0];
+        let doubled: Vec<f64> = v.par_iter().map(|x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+        let s: f64 = v.par_iter().zip(&doubled).map(|(a, b)| a + b).sum();
+        assert_eq!(s, 18.0);
+        let idx: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,573 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` over
+//! the `serde` stub's value-tree traits, written directly against
+//! `proc_macro` (no `syn`/`quote`, which cannot be downloaded in this
+//! environment). Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields;
+//! * enums with unit, tuple, and struct variants;
+//! * external tagging (serde's default) and internal tagging via
+//!   `#[serde(tag = "…")]`;
+//! * `#[serde(rename_all = "snake_case")]` on enums.
+//!
+//! Anything else (generics, unions, other serde attributes) produces a
+//! compile error naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed form of the deriving item.
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(tag = "…")]` on the item, if any.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "snake_case")]` on the item?
+    snake_case: bool,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut snake_case = false;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut tag, &mut snake_case)?;
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde stub derive does not support generics on `{name}`"));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "serde stub derive only supports brace-bodied items; `{name}` has {other:?}"
+            ))
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)?),
+        "enum" => Shape::Enum(parse_variants(body)?),
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+
+    Ok(Item { name, shape, tag, snake_case })
+}
+
+/// Extract `tag = "…"` / `rename_all = "snake_case"` from an attribute
+/// body if it is a `serde(...)` attribute; ignore every other attribute.
+fn parse_serde_attr(
+    attr: TokenStream,
+    tag: &mut Option<String>,
+    snake_case: &mut bool,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                let key = match &inner[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        j += 1;
+                        continue;
+                    }
+                    other => return Err(format!("unsupported serde attribute: {other}")),
+                };
+                match (inner.get(j + 1), inner.get(j + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let value = lit.to_string().trim_matches('"').to_string();
+                        match key.as_str() {
+                            "tag" => *tag = Some(value),
+                            "rename_all" => {
+                                if value != "snake_case" {
+                                    return Err(format!(
+                                        "serde stub supports only rename_all = \"snake_case\", got {value:?}"
+                                    ));
+                                }
+                                *snake_case = true;
+                            }
+                            other => {
+                                return Err(format!("unsupported serde attribute `{other}`"))
+                            }
+                        }
+                        j += 3;
+                    }
+                    _ => return Err(format!("unsupported serde attribute form at `{key}`")),
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()), // #[doc], #[derive], … — not ours.
+    }
+}
+
+/// Parse `name: Type, …` field lists (types skipped, commas inside
+/// `<…>` accounted for; parenthesized types are opaque groups already).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments) and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Skip the type: until a top-level comma (angle depth 0).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_elems(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Discriminants (`= expr`) are not supported with data-carrying
+        // serde enums in this workspace; skip until comma just in case.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Number of top-level comma-separated elements in a tuple-variant body.
+fn count_tuple_elems(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut elems = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                elems += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        elems -= 1;
+    }
+    elems
+}
+
+// ---- codegen ----
+
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_wire_name(item: &Item, variant: &str) -> String {
+    if item.snake_case {
+        snake(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| gen_serialize_variant(item, v))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_serialize_variant(item: &Item, v: &Variant) -> String {
+    let enum_name = &item.name;
+    let vname = &v.name;
+    let wire = variant_wire_name(item, vname);
+    match (&v.kind, &item.tag) {
+        (VariantKind::Unit, None) => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str({wire:?}.to_string()),\n"
+        ),
+        (VariantKind::Unit, Some(tag)) => format!(
+            "{enum_name}::{vname} => ::serde::Value::Obj(vec![({tag:?}.to_string(), ::serde::Value::Str({wire:?}.to_string()))]),\n"
+        ),
+        (VariantKind::Tuple(1), None) => format!(
+            "{enum_name}::{vname}(ref __f0) => ::serde::Value::Obj(vec![({wire:?}.to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+        ),
+        (VariantKind::Tuple(n), None) => {
+            let binders: Vec<String> = (0..*n).map(|k| format!("ref __f{k}")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Obj(vec![({wire:?}.to_string(), ::serde::Value::Arr(vec![{}]))]),\n",
+                binders.join(", "),
+                elems.join(", ")
+            )
+        }
+        (VariantKind::Tuple(_), Some(_)) => format!(
+            "compile_error!(\"internal tagging cannot represent tuple variant {enum_name}::{vname}\"),\n"
+        ),
+        (VariantKind::Struct(fields), tag) => {
+            let binders: Vec<String> = fields.iter().map(|f| format!("ref {f}")).collect();
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!("obj.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n")
+                })
+                .collect();
+            let head = match tag {
+                Some(tag) => format!(
+                    "obj.push(({tag:?}.to_string(), ::serde::Value::Str({wire:?}.to_string())));\n"
+                ),
+                None => String::new(),
+            };
+            let finish = match tag {
+                Some(_) => "::serde::Value::Obj(obj)".to_string(),
+                None => format!(
+                    "::serde::Value::Obj(vec![({wire:?}.to_string(), ::serde::Value::Obj(obj))])"
+                ),
+            };
+            format!(
+                "{enum_name}::{vname} {{ {} }} => {{\n\
+                     let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {head}{pushes}{finish}\n\
+                 }}\n",
+                binders.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(obj, {f:?}, {name:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let obj = ::serde::expect_obj(v, {name:?})?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => match &item.tag {
+            Some(tag) => gen_deserialize_tagged(item, variants, tag),
+            None => gen_deserialize_external(item, variants),
+        },
+    }
+}
+
+fn gen_deserialize_external(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let wire = variant_wire_name(item, &v.name);
+            format!("{wire:?} => Ok({name}::{}),\n", v.name)
+        })
+        .collect();
+    let keyed_arms: String = variants
+        .iter()
+        .map(|v| {
+            let wire = variant_wire_name(item, &v.name);
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!("{wire:?} => Ok({name}::{vname}),\n"),
+                VariantKind::Tuple(1) => format!(
+                    "{wire:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                ),
+                VariantKind::Tuple(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!("::serde::Deserialize::from_value(&items[{k}])?")
+                        })
+                        .collect();
+                    format!(
+                        "{wire:?} => {{\n\
+                             let items = inner.as_array().ok_or_else(|| format!(\"{name}::{vname}: expected array\"))?;\n\
+                             if items.len() != {n} {{ return Err(format!(\"{name}::{vname}: expected {n} elements, got {{}}\", items.len())); }}\n\
+                             Ok({name}::{vname}({}))\n\
+                         }}\n",
+                        gets.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::de_field(obj, {f:?}, {name:?})?,\n")
+                        })
+                        .collect();
+                    format!(
+                        "{wire:?} => {{\n\
+                             let obj = ::serde::expect_obj(inner, {name:?})?;\n\
+                             Ok({name}::{vname} {{ {inits} }})\n\
+                         }}\n"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(format!(\"unknown {name} variant {{other:?}}\")),\n\
+                     }},\n\
+                     ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                         let (key, inner) = &entries[0];\n\
+                         #[allow(unused_variables)]\n\
+                         match key.as_str() {{\n\
+                             {keyed_arms}\
+                             other => Err(format!(\"unknown {name} variant {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(format!(\"{name}: expected string or single-key object, found {{other:?}}\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_tagged(item: &Item, variants: &[Variant], tag: &str) -> String {
+    let name = &item.name;
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let wire = variant_wire_name(item, &v.name);
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!("{wire:?} => Ok({name}::{vname}),\n"),
+                VariantKind::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::de_field(obj, {f:?}, {name:?})?,\n")
+                        })
+                        .collect();
+                    format!("{wire:?} => Ok({name}::{vname} {{ {inits} }}),\n")
+                }
+                VariantKind::Tuple(_) => format!(
+                    "{wire:?} => Err(\"internal tagging cannot represent tuple variant {name}::{vname}\".to_string()),\n"
+                ),
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let obj = ::serde::expect_obj(v, {name:?})?;\n\
+                 let tag: String = ::serde::de_field(obj, {tag:?}, {name:?})?;\n\
+                 match tag.as_str() {{\n\
+                     {arms}\
+                     other => Err(format!(\"unknown {name} variant {{other:?}}\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
