@@ -13,6 +13,13 @@
 //! (their demand jumps across the bracket — piecewise-linear utilities hit
 //! this case at every kink). For strictly concave smooth utilities the
 //! bracket collapse alone reaches machine precision.
+//!
+//! [`allocate`] and [`allocate_par`] share every line of algorithmic
+//! logic — the parallel entry point only swaps the per-thread map
+//! (`inverse_derivative`, `cap`, `value`) from a sequential loop to a
+//! pool fan-out, and the vendored `rayon`'s determinism contract
+//! (order-stable collect, sequential reduction) makes the two
+//! **bit-identical** for every thread count.
 
 use aa_utility::Utility;
 use rayon::prelude::*;
@@ -24,38 +31,60 @@ use crate::Allocation;
 const MAX_ITERS: u32 = 128;
 
 /// Thread-count threshold past which [`allocate_par`] fans the per-λ
-/// demand evaluation out with rayon. Below it the sequential path is
-/// faster (the fork-join overhead exceeds the work).
+/// demand evaluation out over the thread pool. Below it the sequential
+/// path is faster (the fork-join overhead exceeds the work); results are
+/// identical either way.
 pub const PAR_THRESHOLD: usize = 4096;
 
-/// Allocate `budget` among `utils` maximizing total utility, each thread
-/// additionally capped at its own [`Utility::cap`]. Returns the allocation
-/// and the achieved utility.
-///
-/// Guarantees (up to floating point):
-///
-/// * feasibility: `amounts[i] ∈ [0, utils[i].cap()]` and
-///   `Σ amounts ≤ budget`;
-/// * exhaustion (the paper's Lemma V.3): if `budget ≤ Σ caps`, then
-///   `Σ amounts = budget` — nondecreasing utilities never benefit from
-///   leaving resource on the table;
-/// * optimality: utilities' marginal values are equalized at the returned
-///   price; validated against [`segment`](crate::segment) (exact for
-///   piecewise-linear) and [`exact_dp`](crate::exact_dp) in tests.
-///
-/// # Example
-///
-/// ```
-/// use aa_allocator::bisection::allocate;
-/// use aa_utility::Power;
-///
-/// // Two identical √x threads share 8 units: the optimum is the even split.
-/// let threads = vec![Power::new(1.0, 0.5, 10.0), Power::new(1.0, 0.5, 10.0)];
-/// let alloc = allocate(&threads, 8.0);
-/// assert!((alloc.amounts[0] - 4.0).abs() < 1e-6);
-/// assert!((alloc.amounts[1] - 4.0).abs() < 1e-6);
-/// ```
-pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
+/// Per-thread evaluation strategy: everything the bisection needs from
+/// the utility slice, as whole-slice maps so the parallel strategy can
+/// fan each one out. Each map is a pure per-element function, so the
+/// sequential and parallel strategies return identical vectors.
+trait EvalStrategy<U: Utility> {
+    /// `cap_i` for every thread.
+    fn caps(utils: &[U]) -> Vec<f64>;
+    /// `x_i(λ) = f_i′⁻¹(λ)` for every thread.
+    fn demands(utils: &[U], lambda: f64) -> Vec<f64>;
+    /// `Σ f_i(x_i)` (summed in index order).
+    fn total_utility(utils: &[U], amounts: &[f64]) -> f64;
+}
+
+/// Plain sequential loops.
+struct Seq;
+
+impl<U: Utility> EvalStrategy<U> for Seq {
+    fn caps(utils: &[U]) -> Vec<f64> {
+        utils.iter().map(|f| f.cap()).collect()
+    }
+    fn demands(utils: &[U], lambda: f64) -> Vec<f64> {
+        utils.iter().map(|f| f.inverse_derivative(lambda)).collect()
+    }
+    fn total_utility(utils: &[U], amounts: &[f64]) -> f64 {
+        crate::total_utility(utils, amounts)
+    }
+}
+
+/// Pool fan-out per map. Requires `U: Sync`; bit-identical to [`Seq`].
+struct Par;
+
+impl<U: Utility + Sync> EvalStrategy<U> for Par {
+    fn caps(utils: &[U]) -> Vec<f64> {
+        utils.par_iter().map(|f| f.cap()).collect()
+    }
+    fn demands(utils: &[U], lambda: f64) -> Vec<f64> {
+        utils.par_iter().map(|f| f.inverse_derivative(lambda)).collect()
+    }
+    fn total_utility(utils: &[U], amounts: &[f64]) -> f64 {
+        utils
+            .par_iter()
+            .zip(amounts)
+            .map(|(f, &x)| f.value(x))
+            .sum()
+    }
+}
+
+/// The full algorithm, generic over the evaluation strategy.
+fn allocate_with<U: Utility, E: EvalStrategy<U>>(utils: &[U], budget: f64) -> Allocation {
     assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
     let n = utils.len();
     if n == 0 {
@@ -66,17 +95,15 @@ pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
     }
 
     // Ample budget: everyone saturates.
-    let caps: Vec<f64> = utils.iter().map(|f| f.cap()).collect();
+    let caps: Vec<f64> = E::caps(utils);
     let total_cap: f64 = caps.iter().sum();
     if budget >= total_cap {
         let amounts = caps;
-        let utility = crate::total_utility(utils, &amounts);
+        let utility = E::total_utility(utils, &amounts);
         return Allocation { amounts, utility };
     }
 
-    let demand = |lambda: f64| -> f64 {
-        utils.iter().map(|f| f.inverse_derivative(lambda)).sum()
-    };
+    let demand = |lambda: f64| -> f64 { E::demands(utils, lambda).iter().sum() };
 
     // Bracket the price. At λ = 0 demand is Σ caps > budget (checked
     // above). Grow λ_hi geometrically until demand fits under the budget;
@@ -113,11 +140,11 @@ pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
     // Base allocation at the high price (fits in the budget), then spread
     // the leftover over threads whose demand is elastic across the bracket
     // — the marginal threads sitting exactly at the price.
-    let mut amounts: Vec<f64> = utils.iter().map(|f| f.inverse_derivative(hi)).collect();
+    let mut amounts: Vec<f64> = E::demands(utils, hi);
     let spent: f64 = amounts.iter().sum();
     let mut leftover = budget - spent;
     if leftover > 0.0 {
-        let lo_amounts: Vec<f64> = utils.iter().map(|f| f.inverse_derivative(lo)).collect();
+        let lo_amounts: Vec<f64> = E::demands(utils, lo);
         let slack: Vec<f64> = lo_amounts
             .iter()
             .zip(&amounts)
@@ -138,8 +165,8 @@ pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
         // with remaining cap; utilities are nondecreasing so this never
         // hurts. Ensures Lemma V.3 (full budget use) exactly.
         if leftover > 0.0 {
-            for (amt, f) in amounts.iter_mut().zip(utils) {
-                let room = f.cap() - *amt;
+            for (amt, &cap) in amounts.iter_mut().zip(&caps) {
+                let room = cap - *amt;
                 if room > 0.0 {
                     let add = room.min(leftover);
                     *amt += add;
@@ -152,113 +179,57 @@ pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
         }
     }
 
-    let utility = crate::total_utility(utils, &amounts);
+    let utility = E::total_utility(utils, &amounts);
     Allocation { amounts, utility }
 }
 
-/// [`allocate`] with the per-λ demand sums evaluated in parallel
-/// (rayon) once `utils.len() ≥ `[`PAR_THRESHOLD`]; identical results up
-/// to floating-point summation order.
+/// Allocate `budget` among `utils` maximizing total utility, each thread
+/// additionally capped at its own [`Utility::cap`]. Returns the allocation
+/// and the achieved utility.
+///
+/// Guarantees (up to floating point):
+///
+/// * feasibility: `amounts[i] ∈ [0, utils[i].cap()]` and
+///   `Σ amounts ≤ budget`;
+/// * exhaustion (the paper's Lemma V.3): if `budget ≤ Σ caps`, then
+///   `Σ amounts = budget` — nondecreasing utilities never benefit from
+///   leaving resource on the table;
+/// * optimality: utilities' marginal values are equalized at the returned
+///   price; validated against [`segment`](crate::segment) (exact for
+///   piecewise-linear) and [`exact_dp`](crate::exact_dp) in tests.
+///
+/// # Example
+///
+/// ```
+/// use aa_allocator::bisection::allocate;
+/// use aa_utility::Power;
+///
+/// // Two identical √x threads share 8 units: the optimum is the even split.
+/// let threads = vec![Power::new(1.0, 0.5, 10.0), Power::new(1.0, 0.5, 10.0)];
+/// let alloc = allocate(&threads, 8.0);
+/// assert!((alloc.amounts[0] - 4.0).abs() < 1e-6);
+/// assert!((alloc.amounts[1] - 4.0).abs() < 1e-6);
+/// ```
+pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
+    allocate_with::<U, Seq>(utils, budget)
+}
+
+/// [`allocate`] with the per-λ demand evaluation fanned out over the
+/// thread pool once `utils.len() ≥ `[`PAR_THRESHOLD`]. **Bit-identical**
+/// to [`allocate`] for every thread count (`AA_NUM_THREADS`, or a scoped
+/// `rayon::with_threads`): the two share one implementation, and the
+/// vendored pool materializes per-thread values in index order and sums
+/// them sequentially.
 ///
 /// The bisection performs ~130 demand evaluations, each an independent
-/// map-reduce over all threads — embarrassingly parallel at web-scale
-/// instance sizes (`n` in the hundreds of thousands), where the
-/// super-optimal allocation is the entire running time of Algorithm 2.
+/// map over all threads — embarrassingly parallel at web-scale instance
+/// sizes (`n` in the hundreds of thousands), where the super-optimal
+/// allocation is the entire running time of Algorithm 2.
 pub fn allocate_par<U: Utility + Sync>(utils: &[U], budget: f64) -> Allocation {
-    assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
-    let n = utils.len();
-    if n < PAR_THRESHOLD {
+    if utils.len() < PAR_THRESHOLD {
         return allocate(utils, budget);
     }
-
-    let caps: Vec<f64> = utils.par_iter().map(|f| f.cap()).collect();
-    let total_cap: f64 = caps.iter().sum();
-    if budget >= total_cap {
-        let amounts = caps;
-        let utility = utils
-            .par_iter()
-            .zip(&amounts)
-            .map(|(f, &x)| f.value(x))
-            .sum();
-        return Allocation { amounts, utility };
-    }
-
-    let demand = |lambda: f64| -> f64 {
-        utils
-            .par_iter()
-            .map(|f| f.inverse_derivative(lambda))
-            .sum()
-    };
-
-    let mut lo = 0.0_f64;
-    let mut hi = 1.0_f64;
-    let mut grow = 0;
-    while demand(hi) > budget {
-        lo = hi;
-        hi *= 2.0;
-        grow += 1;
-        assert!(
-            grow < 1100,
-            "could not bracket the marginal price; utility derivatives do not decay"
-        );
-    }
-    for _ in 0..MAX_ITERS {
-        let mid = 0.5 * (lo + hi);
-        if mid <= lo || mid >= hi {
-            break;
-        }
-        if demand(mid) > budget {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-
-    let mut amounts: Vec<f64> = utils
-        .par_iter()
-        .map(|f| f.inverse_derivative(hi))
-        .collect();
-    let spent: f64 = amounts.iter().sum();
-    let mut leftover = budget - spent;
-    if leftover > 0.0 {
-        let lo_amounts: Vec<f64> = utils
-            .par_iter()
-            .map(|f| f.inverse_derivative(lo))
-            .collect();
-        let slack: Vec<f64> = lo_amounts
-            .iter()
-            .zip(&amounts)
-            .map(|(&a, &b)| (a - b).max(0.0))
-            .collect();
-        let total_slack: f64 = slack.iter().sum();
-        if total_slack > 0.0 {
-            let frac = (leftover / total_slack).min(1.0);
-            for (amt, s) in amounts.iter_mut().zip(&slack) {
-                *amt += frac * s;
-            }
-            leftover -= frac * total_slack;
-        }
-        if leftover > 0.0 {
-            for (amt, f) in amounts.iter_mut().zip(utils) {
-                let room = f.cap() - *amt;
-                if room > 0.0 {
-                    let add = room.min(leftover);
-                    *amt += add;
-                    leftover -= add;
-                    if leftover <= 0.0 {
-                        break;
-                    }
-                }
-            }
-        }
-    }
-
-    let utility = utils
-        .par_iter()
-        .zip(&amounts)
-        .map(|(f, &x)| f.value(x))
-        .sum();
-    Allocation { amounts, utility }
+    allocate_with::<U, Par>(utils, budget)
 }
 
 #[cfg(test)]
@@ -421,6 +392,19 @@ mod par_tests {
     use super::*;
     use aa_utility::{LogUtility, Power, Utility};
 
+    fn mixed_pool(n: usize) -> Vec<Box<dyn Utility + Send + Sync>> {
+        (0..n)
+            .map(|i| {
+                let s = 0.5 + (i % 17) as f64 * 0.3;
+                if i % 2 == 0 {
+                    Box::new(Power::new(s, 0.6, 100.0)) as Box<dyn Utility + Send + Sync>
+                } else {
+                    Box::new(LogUtility::new(s, 0.4, 100.0))
+                }
+            })
+            .collect()
+    }
+
     #[test]
     fn small_inputs_take_the_sequential_path() {
         let utils = vec![Power::new(1.0, 0.5, 10.0), Power::new(2.0, 0.5, 10.0)];
@@ -430,29 +414,28 @@ mod par_tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_above_threshold() {
-        // Mixed families, > PAR_THRESHOLD threads.
-        let utils: Vec<Box<dyn Utility + Send + Sync>> = (0..PAR_THRESHOLD + 100)
-            .map(|i| {
-                let s = 0.5 + (i % 17) as f64 * 0.3;
-                if i % 2 == 0 {
-                    Box::new(Power::new(s, 0.6, 100.0)) as Box<dyn Utility + Send + Sync>
-                } else {
-                    Box::new(LogUtility::new(s, 0.4, 100.0))
-                }
-            })
-            .collect();
+    fn parallel_is_bit_identical_above_threshold() {
+        // Above the threshold the parallel strategy actually runs; the
+        // determinism contract promises *exact* equality, not closeness.
+        let utils = mixed_pool(PAR_THRESHOLD + 100);
         let budget = 0.3 * 100.0 * utils.len() as f64;
         let seq = allocate(&utils, budget);
         let par = allocate_par(&utils, budget);
-        assert!(
-            (seq.utility - par.utility).abs() <= 1e-6 * seq.utility,
-            "seq {} vs par {}",
-            seq.utility,
-            par.utility
-        );
+        assert_eq!(seq.utility.to_bits(), par.utility.to_bits());
+        assert_eq!(seq.amounts.len(), par.amounts.len());
         for (a, b) in seq.amounts.iter().zip(&par.amounts) {
-            assert!((a - b).abs() < 1e-6, "amounts diverged: {a} vs {b}");
+            assert_eq!(a.to_bits(), b.to_bits(), "amounts diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts() {
+        let utils = mixed_pool(PAR_THRESHOLD + 37);
+        let budget = 0.2 * 100.0 * utils.len() as f64;
+        let reference = rayon::with_threads(1, || allocate_par(&utils, budget));
+        for threads in [2, 4, 8] {
+            let got = rayon::with_threads(threads, || allocate_par(&utils, budget));
+            assert_eq!(reference, got, "{threads} threads");
         }
     }
 
@@ -464,5 +447,15 @@ mod par_tests {
         let budget = 10_000.0;
         let a = allocate_par(&utils, budget);
         assert!((a.total_allocated() - budget).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parallel_saturation_fast_path_matches() {
+        // budget ≥ Σ caps takes the early-return branch in both paths.
+        let utils = mixed_pool(PAR_THRESHOLD + 3);
+        let budget = 101.0 * utils.len() as f64;
+        let seq = allocate(&utils, budget);
+        let par = allocate_par(&utils, budget);
+        assert_eq!(seq, par);
     }
 }

@@ -20,10 +20,10 @@
 
 use aa_core::churn::ClusterEvent;
 use aa_core::solver::{
-    Algo1, Algo2, Algo2FairShare, Algo2Refined, Algo2SingleSort, BranchAndBound, BruteForce, Rr,
-    Ru, Solver, Ur, Uu,
+    batch_seed, Algo1, Algo2, Algo2FairShare, Algo2Refined, Algo2SingleSort, BranchAndBound,
+    BruteForce, Rr, Ru, Solver, Ur, Uu,
 };
-use aa_core::{superopt, Problem, ALPHA};
+use aa_core::{algo2, superopt, Problem, ALPHA};
 use aa_sim::controller::RepairPolicy;
 use aa_sim::faults::{
     generate_script, run_script, ChurnReport, FaultScript, FaultScriptConfig, ScriptedEvent,
@@ -119,8 +119,9 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// The solver registry: stable names → instances.
-pub fn solver_by_name(name: &str) -> Result<Box<dyn Solver>, CliError> {
+/// The solver registry: stable names → instances. Boxed `Send + Sync`
+/// so the instance can drive the parallel batch/churn entry points.
+pub fn solver_by_name(name: &str) -> Result<Box<dyn Solver + Send + Sync>, CliError> {
     Ok(match name {
         "algo1" => Box::new(Algo1),
         "algo2" => Box::new(Algo2),
@@ -381,6 +382,164 @@ pub fn churn_document(
         .map_err(|e| CliError::Churn(e.to_string()))
 }
 
+// ---- bench: the reproducible solver benchmark matrix ----
+
+/// Schema version of [`BenchReport`]; bump on breaking JSON changes.
+pub const BENCH_VERSION: u32 = 1;
+
+/// Options for `aa-solve bench`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchOpts {
+    /// Run only the small matrix entries (CI smoke mode).
+    pub small: bool,
+    /// Base seed; every entry derives its own instance seed from it.
+    pub seed: u64,
+    /// Timed repetitions per entry; the minimum wall time is reported.
+    pub reps: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts { small: false, seed: 2016, reps: 3 }
+    }
+}
+
+/// One cell of the benchmark matrix: a seeded instance of one workload
+/// distribution at one size, solved sequentially and in parallel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Workload distribution name (`uniform`/`normal`/`powerlaw`/`discrete`).
+    pub dist: String,
+    /// Size label: `small` or `large`.
+    pub size: String,
+    /// Servers `m`.
+    pub servers: usize,
+    /// Threads `n`.
+    pub threads: usize,
+    /// Instance seed (derived from the base seed and the entry index).
+    pub seed: u64,
+    /// Minimum wall time of the sequential solve, milliseconds.
+    pub seq_millis: f64,
+    /// Minimum wall time of the parallel solve, milliseconds.
+    pub par_millis: f64,
+    /// `seq_millis / par_millis`.
+    pub speedup: f64,
+    /// Total utility of the sequential solve.
+    pub seq_utility: f64,
+    /// Total utility of the parallel solve — must equal `seq_utility`.
+    pub par_utility: f64,
+    /// Whether the sequential and parallel assignments are exactly equal
+    /// (the determinism contract says this is always `true`).
+    pub identical: bool,
+    /// The super-optimal upper bound `F̂`.
+    pub so_bound: f64,
+    /// `seq_utility / so_bound` (≥ α by Theorem VI.1).
+    pub ratio_vs_so: f64,
+}
+
+/// The benchmark document written to `BENCH_solver.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_VERSION`]).
+    pub version: u32,
+    /// Solver benchmarked (`algo2` — the paper's headline algorithm).
+    pub solver: String,
+    /// Effective pool thread count the parallel entries ran with.
+    pub pool_threads: usize,
+    /// Hardware threads the host reports (`available_parallelism`).
+    /// Speedup expectations only apply when this is ≥ 4.
+    pub hardware_threads: usize,
+    /// Base seed of the matrix.
+    pub seed: u64,
+    /// One entry per (distribution × size) cell.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// The four paper workload distributions, in reporting order.
+fn bench_distributions() -> Vec<(&'static str, Distribution)> {
+    vec![
+        ("uniform", Distribution::Uniform),
+        ("normal", Distribution::paper_normal()),
+        ("powerlaw", Distribution::PowerLaw { alpha: 2.0 }),
+        ("discrete", Distribution::Discrete { gamma: 0.85, theta: 5.0 }),
+    ]
+}
+
+/// Matrix sizes: the small cell stays under the allocator's parallel
+/// threshold (it measures overhead, not speedup); the large cell's
+/// `n = 8192` clears [`aa_allocator::bisection::PAR_THRESHOLD`] so the
+/// pool path genuinely runs.
+fn bench_sizes(small_only: bool) -> Vec<(&'static str, usize, usize)> {
+    if small_only {
+        vec![("small", 8, 8)]
+    } else {
+        vec![("small", 8, 8), ("large", 16, 512)]
+    }
+}
+
+fn time_best<F: FnMut() -> aa_core::Assignment>(reps: usize, mut f: F) -> (f64, aa_core::Assignment) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        let a = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(a);
+    }
+    (best, out.expect("reps ≥ 1"))
+}
+
+/// Run the fixed benchmark matrix: every paper distribution × every size
+/// × {sequential, parallel} Algorithm 2, on instances derived
+/// deterministically from `opts.seed`. Timing varies run to run; every
+/// other field is reproducible, and `identical` is `true` in every entry
+/// by the determinism contract (the binary test and CI smoke job fail
+/// otherwise).
+pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
+    let mut entries = Vec::new();
+    let mut index = 0_usize;
+    for (size, servers, beta) in bench_sizes(opts.small) {
+        for (dist_name, dist) in bench_distributions() {
+            let spec = InstanceSpec { servers, beta, capacity: 1000.0, dist };
+            let entry_seed = batch_seed(opts.seed, index);
+            index += 1;
+            let mut rng = StdRng::seed_from_u64(entry_seed);
+            let problem = spec
+                .generate(&mut rng)
+                .map_err(CliError::Problem)?;
+
+            let (seq_millis, seq) = time_best(opts.reps, || algo2::solve(&problem));
+            let (par_millis, par) = time_best(opts.reps, || algo2::solve_par(&problem));
+            let seq_utility = seq.total_utility(&problem);
+            let par_utility = par.total_utility(&problem);
+            let so_bound = superopt::super_optimal(&problem).utility;
+            entries.push(BenchEntry {
+                dist: dist_name.to_string(),
+                size: size.to_string(),
+                servers,
+                threads: spec.threads(),
+                seed: entry_seed,
+                seq_millis,
+                par_millis,
+                speedup: seq_millis / par_millis.max(1e-9),
+                seq_utility,
+                par_utility,
+                identical: seq == par,
+                so_bound,
+                ratio_vs_so: if so_bound > 0.0 { seq_utility / so_bound } else { 1.0 },
+            });
+        }
+    }
+    Ok(BenchReport {
+        version: BENCH_VERSION,
+        solver: "algo2".to_string(),
+        pool_threads: rayon::current_num_threads(),
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed: opts.seed,
+        entries,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +687,37 @@ mod tests {
         let err = churn_document(&tiny_problem_json(), Some(&script), &ChurnOpts::default())
             .unwrap_err();
         assert!(matches!(err, CliError::Churn(_)), "{err}");
+    }
+
+    #[test]
+    fn bench_small_matrix_is_identical_and_within_guarantee() {
+        let opts = BenchOpts { small: true, seed: 7, reps: 1 };
+        let report = bench_document(&opts).unwrap();
+        assert_eq!(report.version, BENCH_VERSION);
+        assert_eq!(report.entries.len(), 4); // four distributions × one size
+        for e in &report.entries {
+            assert!(e.identical, "{}: seq/par assignments diverged", e.dist);
+            assert_eq!(e.seq_utility.to_bits(), e.par_utility.to_bits(), "{}", e.dist);
+            assert!(e.ratio_vs_so >= GUARANTEE - 1e-9, "{}: {}", e.dist, e.ratio_vs_so);
+            assert!(e.ratio_vs_so <= 1.0 + 1e-9);
+            assert!(e.seq_millis >= 0.0 && e.par_millis >= 0.0);
+            assert_eq!(e.threads, 64);
+        }
+        // Utilities (not timings) are seed-reproducible.
+        let again = bench_document(&opts).unwrap();
+        for (a, b) in report.entries.iter().zip(&again.entries) {
+            assert_eq!(a.seq_utility.to_bits(), b.seq_utility.to_bits());
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn bench_report_round_trips_through_json() {
+        let report = bench_document(&BenchOpts { small: true, seed: 1, reps: 1 }).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries.len(), report.entries.len());
+        assert_eq!(back.solver, "algo2");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use std::process::ExitCode;
 
-use aa_cli::{churn_document, generate_document, solve_document, ChurnOpts, GenerateOpts,
-             SOLVER_NAMES};
+use aa_cli::{bench_document, churn_document, generate_document, solve_document, BenchOpts,
+             ChurnOpts, GenerateOpts, SOLVER_NAMES};
 use aa_sim::controller::RepairPolicy;
 use aa_sim::faults::FaultScriptConfig;
 use aa_workloads::Distribution;
@@ -18,6 +18,8 @@ usage:
                  [--policy never|in-place|migrations|resolve] [--budget K]
                  [--solver NAME] [--seed S] [--crash-rate F] [--recovery-rate F]
                  [--flap-rate F] [--arrival-rate F] [--departure-rate F] [--pretty]
+  aa-solve bench [--small] [--out BENCH_solver.json] [--seed S] [--reps R]
+                 [--threads N] [--pretty]
   aa-solve solvers
 ";
 
@@ -41,6 +43,7 @@ fn run() -> Result<(), String> {
         "solve" => cmd_solve(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "churn" => cmd_churn(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "solvers" => {
             for name in SOLVER_NAMES {
                 println!("{name}");
@@ -158,6 +161,49 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
         report.total_evacuations,
         report.total_migrations
     );
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let defaults = BenchOpts::default();
+    let opts = BenchOpts {
+        small: args.iter().any(|a| a == "--small"),
+        seed: parsed_flag(args, "--seed", defaults.seed)?,
+        reps: parsed_flag(args, "--reps", defaults.reps)?,
+    };
+    let out_path = flag_value(args, "--out")?.unwrap_or("BENCH_solver.json");
+    let threads: usize = parsed_flag(args, "--threads", 0)?;
+
+    let report = if threads > 0 {
+        rayon::with_threads(threads, || bench_document(&opts))
+    } else {
+        bench_document(&opts)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let json = if args.iter().any(|a| a == "--pretty") {
+        serde_json::to_string_pretty(&report)
+    } else {
+        serde_json::to_string(&report)
+    }
+    .map_err(|e| e.to_string())?;
+    std::fs::write(out_path, json.as_bytes()).map_err(|e| format!("{out_path}: {e}"))?;
+
+    eprintln!(
+        "bench: solver={} pool_threads={} hardware_threads={} seed={} → {out_path}",
+        report.solver, report.pool_threads, report.hardware_threads, report.seed
+    );
+    for e in &report.entries {
+        eprintln!(
+            "  {:<9} {:<6} n={:<6} seq={:>9.3}ms par={:>9.3}ms speedup={:>5.2}x \
+             ratio={:.4} identical={}",
+            e.dist, e.size, e.threads, e.seq_millis, e.par_millis, e.speedup,
+            e.ratio_vs_so, e.identical
+        );
+    }
+    if report.entries.iter().any(|e| !e.identical) {
+        return Err("determinism violation: a parallel solve diverged from sequential".into());
+    }
     Ok(())
 }
 

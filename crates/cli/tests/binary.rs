@@ -202,3 +202,86 @@ fn pretty_flag_pretty_prints() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains('\n') && text.contains("  "), "not pretty-printed");
 }
+
+#[test]
+fn bench_small_writes_valid_schema_with_matching_utilities() {
+    let dir = tempdir();
+    let out_path = dir.join("BENCH_solver.json");
+    let out = bin()
+        .args([
+            "bench", "--small", "--reps", "1", "--seed", "5",
+            "--out", out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The human summary goes to stderr; the JSON goes to the file.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("speedup="), "missing summary: {err}");
+
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(report["version"].as_u64(), Some(1));
+    assert_eq!(report["solver"], "algo2");
+    assert!(report["pool_threads"].as_u64().unwrap() >= 1);
+    assert!(report["hardware_threads"].as_u64().unwrap() >= 1);
+    assert_eq!(report["seed"].as_u64(), Some(5));
+
+    let entries = report["entries"].as_array().unwrap();
+    assert_eq!(entries.len(), 4, "four distributions in the small matrix");
+    let mut dists: Vec<&str> = entries.iter().map(|e| e["dist"].as_str().unwrap()).collect();
+    dists.sort_unstable();
+    assert_eq!(dists, ["discrete", "normal", "powerlaw", "uniform"]);
+    for e in entries {
+        for field in [
+            "seq_millis", "par_millis", "speedup", "seq_utility", "par_utility",
+            "so_bound", "ratio_vs_so",
+        ] {
+            assert!(e[field].as_f64().is_some(), "missing {field}: {e:?}");
+        }
+        assert_eq!(e["size"], "small");
+        assert_eq!(e["threads"].as_u64(), Some(64));
+        // The determinism contract, visible from outside the process.
+        assert_eq!(e["identical"].as_bool(), Some(true));
+        assert_eq!(
+            e["seq_utility"].as_f64().unwrap(),
+            e["par_utility"].as_f64().unwrap(),
+            "sequential and parallel utilities diverged: {e:?}"
+        );
+        let ratio = e["ratio_vs_so"].as_f64().unwrap();
+        assert!((0.828..=1.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+    }
+}
+
+#[test]
+fn bench_thread_override_changes_reported_pool_size_not_results() {
+    let dir = tempdir();
+    let a_path = dir.join("bench-t1.json");
+    let b_path = dir.join("bench-t4.json");
+    for (threads, path) in [("1", &a_path), ("4", &b_path)] {
+        let out = bin()
+            .args([
+                "bench", "--small", "--reps", "1", "--seed", "9",
+                "--threads", threads, "--out", path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let a: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&a_path).unwrap()).unwrap();
+    let b: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&b_path).unwrap()).unwrap();
+    assert_eq!(a["pool_threads"].as_u64(), Some(1));
+    assert_eq!(b["pool_threads"].as_u64(), Some(4));
+    for (ea, eb) in a["entries"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .zip(b["entries"].as_array().unwrap())
+    {
+        assert_eq!(ea["seq_utility"], eb["seq_utility"], "thread count changed output");
+        assert_eq!(ea["par_utility"], eb["par_utility"], "thread count changed output");
+    }
+}

@@ -14,15 +14,27 @@
 
 use aa_utility::{Linearized, Utility};
 
-use crate::linearize::linearize;
+use crate::linearize::{linearize, linearize_par};
 use crate::problem::{Assignment, Problem};
-use crate::superopt::{super_optimal, SuperOptimal};
+use crate::superopt::{super_optimal, super_optimal_par, SuperOptimal};
 
 /// Run the complete Algorithm 1 pipeline: super-optimal allocation →
 /// linearization → greedy assignment.
 pub fn solve(problem: &Problem) -> Assignment {
     let so = super_optimal(problem);
     let gs = linearize(problem, &so);
+    assign_with(problem, &so, &gs)
+}
+
+/// [`solve`] with the super-optimal allocation and linearization fanned
+/// out over the thread pool; the `O(mn²)`-flavor greedy itself stays
+/// sequential (it is inherently order-dependent). **Bit-identical** to
+/// [`solve`] for every thread count — the pool materializes per-thread
+/// values in index order and reduces sequentially — which the
+/// differential test suite asserts exactly.
+pub fn solve_par(problem: &Problem) -> Assignment {
+    let so = super_optimal_par(problem);
+    let gs = linearize_par(problem, &so);
     assign_with(problem, &so, &gs)
 }
 
@@ -313,6 +325,19 @@ mod tests {
         let a = solve(&p);
         let b = solve(&p);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn solve_par_is_bit_identical() {
+        let p = Problem::builder(3, 6.0)
+            .threads((0..40).map(|i| arc(Power::new(1.0 + (i % 5) as f64, 0.6, 6.0))))
+            .build()
+            .unwrap();
+        let seq = solve(&p);
+        for threads in [1, 2, 8] {
+            let par = rayon::with_threads(threads, || solve_par(&p));
+            assert_eq!(seq, par, "{threads} threads");
+        }
     }
 
     #[test]

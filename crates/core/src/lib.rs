@@ -57,7 +57,7 @@ pub mod tightness;
 
 pub use churn::{ClusterEvent, MigrationBudget, Repair, RepairError, RepairReport};
 pub use problem::{Assignment, AssignmentError, Problem, ProblemBuilder, ProblemError};
-pub use solver::{SolveError, Solver};
+pub use solver::{batch_seed, solve_batch, try_solve_batch, SolveError, Solver};
 
 /// The approximation ratio `α = 2(√2 − 1) ≈ 0.8284` guaranteed by
 /// Algorithms 1 and 2 (Theorems V.16 and VI.1).

@@ -12,9 +12,16 @@
 //!   `α = 2(√2 − 1)` guarantee.
 
 use aa_utility::{Linearized, Utility};
+use rayon::prelude::*;
 
 use crate::problem::Problem;
 use crate::superopt::SuperOptimal;
+
+/// Thread-count threshold past which [`linearize_par`] fans the
+/// per-thread `g_i` construction out over the pool. Each element costs a
+/// single `f.value(ĉ_i)` evaluation, so small instances are cheaper
+/// sequentially.
+pub const PAR_THRESHOLD: usize = 4096;
 
 /// Build the linearized utilities `g_1 … g_n` from a super-optimal
 /// allocation. `g_i` has domain `[0, C]`.
@@ -27,6 +34,35 @@ pub fn linearize(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
     problem
         .threads()
         .iter()
+        .zip(&so.amounts)
+        .map(|(f, &c_hat)| {
+            Linearized::new(
+                c_hat,
+                f.value(c_hat),
+                problem.capacity(),
+                f.value(0.0),
+            )
+        })
+        .collect()
+}
+
+/// [`linearize`] with the per-thread `g_i` construction fanned out over
+/// the thread pool once the instance has at least [`PAR_THRESHOLD`]
+/// threads. **Bit-identical** to [`linearize`] for every thread count:
+/// each `g_i` depends only on `(f_i, ĉ_i, C)` and the pool's `collect`
+/// writes results into their input positions.
+pub fn linearize_par(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
+    assert_eq!(
+        so.amounts.len(),
+        problem.len(),
+        "super-optimal allocation must cover every thread"
+    );
+    if problem.len() < PAR_THRESHOLD {
+        return linearize(problem, so);
+    }
+    problem
+        .threads()
+        .par_iter()
         .zip(&so.amounts)
         .map(|(f, &c_hat)| {
             Linearized::new(
@@ -100,6 +136,24 @@ mod tests {
             (linearized_superopt_utility(&gs) - so.utility).abs()
                 < 1e-9 * so.utility.max(1.0)
         );
+    }
+
+    #[test]
+    fn par_path_is_bit_identical() {
+        // Above the threshold so the parallel branch actually runs.
+        let n = super::PAR_THRESHOLD + 13;
+        let p = Problem::builder(4, 8.0)
+            .threads((0..n).map(|i| {
+                Arc::new(Power::new(1.0 + (i % 7) as f64, 0.5, 8.0)) as _
+            }))
+            .build()
+            .unwrap();
+        let so = super_optimal(&p);
+        let seq = linearize(&p, &so);
+        for threads in [1, 2, 8] {
+            let par = rayon::with_threads(threads, || linearize_par(&p, &so));
+            assert_eq!(seq, par, "{threads} threads");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use rayon::prelude::*;
 
 use crate::problem::{Assignment, AssignmentError, Problem};
 use crate::{ablation, algo1, algo2, exact, exact_bb, heuristics, refine};
@@ -100,6 +101,79 @@ pub trait Solver {
         let mut rng = StdRng::seed_from_u64(0x5eed);
         self.try_solve_with(problem, &mut rng)
     }
+
+    /// Solve every instance, fanning the batch out over the thread pool.
+    /// See [`solve_batch`] (the free function) for the determinism and
+    /// seeding contract.
+    fn solve_batch(&self, problems: &[Problem], seed: u64) -> Vec<Assignment>
+    where
+        Self: Sized + Sync,
+    {
+        solve_batch(self, problems, seed)
+    }
+
+    /// Panic-free batched solve; see [`try_solve_batch`].
+    fn try_solve_batch(
+        &self,
+        problems: &[Problem],
+        seed: u64,
+    ) -> Vec<Result<Assignment, SolveError>>
+    where
+        Self: Sized + Sync,
+    {
+        try_solve_batch(self, problems, seed)
+    }
+}
+
+/// The RNG seed for instance `index` of a batch solved under `seed`:
+/// a SplitMix64 step keyed by the index, so every instance draws from an
+/// independent, *position-determined* stream. Scheduling cannot perturb
+/// any instance's randomness, which is what makes batched results
+/// bit-identical to a sequential loop at every thread count.
+pub fn batch_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Solve a batch of independent instances with one solver, fanned out
+/// over the thread pool. Instance `k` is solved with a fresh
+/// `StdRng::seed_from_u64(batch_seed(seed, k))`, so the output is
+/// **bit-identical** to the equivalent sequential loop for every thread
+/// count — randomized solvers included. This is the fan-out entry point
+/// the simulator and experiment harness build on.
+pub fn solve_batch<S: Solver + Sync + ?Sized>(
+    solver: &S,
+    problems: &[Problem],
+    seed: u64,
+) -> Vec<Assignment> {
+    problems
+        .par_iter()
+        .zip(0..problems.len())
+        .map(|(p, k)| {
+            let mut rng = StdRng::seed_from_u64(batch_seed(seed, k));
+            solver.solve_with(p, &mut rng)
+        })
+        .collect()
+}
+
+/// [`solve_batch`] through the panic-free [`Solver::try_solve_with`]
+/// path: each instance yields `Ok(assignment)` or its own typed
+/// [`SolveError`] — one hostile instance cannot take down the batch.
+pub fn try_solve_batch<S: Solver + Sync + ?Sized>(
+    solver: &S,
+    problems: &[Problem],
+    seed: u64,
+) -> Vec<Result<Assignment, SolveError>> {
+    problems
+        .par_iter()
+        .zip(0..problems.len())
+        .map(|(p, k)| {
+            let mut rng = StdRng::seed_from_u64(batch_seed(seed, k));
+            solver.try_solve_with(p, &mut rng)
+        })
+        .collect()
 }
 
 /// Algorithm 1 (paper §V): `O(mn² + n(log mC)²)`, α-approximation.
@@ -438,6 +512,81 @@ mod tests {
             a.validate(&p).unwrap();
             assert_eq!(a.total_utility(&p), 0.0);
         }
+    }
+
+    fn batch(n: usize) -> Vec<Problem> {
+        (0..n)
+            .map(|k| {
+                Problem::builder(2 + k % 3, 4.0 + k as f64)
+                    .threads((0..3 + k % 5).map(|i| {
+                        Arc::new(Power::new(1.0 + (i + k) as f64, 0.5, 4.0 + k as f64))
+                            as aa_utility::DynUtility
+                    }))
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solve_batch_matches_sequential_loop_exactly() {
+        // Including a randomized solver: position-determined seeding makes
+        // the batch path bit-identical to the obvious sequential loop.
+        let problems = batch(9);
+        for s in [&Algo2 as &(dyn Solver + Sync), &Rr] {
+            let expected: Vec<Assignment> = problems
+                .iter()
+                .enumerate()
+                .map(|(k, p)| {
+                    let mut rng = StdRng::seed_from_u64(batch_seed(7, k));
+                    s.solve_with(p, &mut rng)
+                })
+                .collect();
+            for threads in [1, 2, 8] {
+                let got = rayon::with_threads(threads, || solve_batch(s, &problems, 7));
+                assert_eq!(expected, got, "{} at {threads} threads", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_batch_trait_method_delegates() {
+        let problems = batch(4);
+        assert_eq!(Algo2.solve_batch(&problems, 3), solve_batch(&Algo2, &problems, 3));
+    }
+
+    #[test]
+    fn batch_seeds_differ_per_instance() {
+        // Identical problems, randomized solver: instances must not share
+        // a random stream (they'd collapse to n copies of one draw).
+        let p = problem();
+        let problems: Vec<Problem> = (0..6).map(|_| p.clone()).collect();
+        let got = solve_batch(&Rr, &problems, 42);
+        assert!(
+            got.windows(2).any(|w| w[0] != w[1]),
+            "all six instances drew identical randomness"
+        );
+    }
+
+    #[test]
+    fn try_solve_batch_isolates_failures() {
+        // One oversized instance among good ones: only it errors.
+        let mut problems = batch(3);
+        problems.insert(
+            1,
+            Problem::builder(2, 1.0)
+                .threads((0..exact::MAX_THREADS + 1).map(|_| {
+                    Arc::new(Power::new(1.0, 0.5, 1.0)) as aa_utility::DynUtility
+                }))
+                .build()
+                .unwrap(),
+        );
+        let got = try_solve_batch(&BruteForce, &problems, 0);
+        assert_eq!(got.len(), 4);
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(SolveError::TooLarge { .. })));
+        assert!(got[2].is_ok());
+        assert!(got[3].is_ok());
     }
 
     #[test]

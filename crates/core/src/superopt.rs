@@ -52,11 +52,14 @@ pub fn super_optimal(problem: &Problem) -> SuperOptimal {
     }
 }
 
-/// [`super_optimal`] with the demand evaluation parallelized (rayon) for
-/// very large thread counts — see
-/// [`aa_allocator::bisection::allocate_par`].
-/// Falls back to the sequential path below the parallel threshold, so it
-/// is always safe to call.
+/// [`super_optimal`] with the demand evaluation fanned out over the
+/// thread pool for very large thread counts — see
+/// [`aa_allocator::bisection::allocate_par`]. **Bit-identical** to
+/// [`super_optimal`] for every thread count: the parallel allocator
+/// shares one implementation with the sequential one and the vendored
+/// pool materializes per-thread values in index order before reducing
+/// sequentially. Falls back to the sequential path below the parallel
+/// threshold, so it is always safe to call.
 pub fn super_optimal_par(problem: &Problem) -> SuperOptimal {
     let views = problem.capped_threads();
     let budget = problem.servers() as f64 * problem.capacity();
@@ -136,6 +139,19 @@ mod tests {
         for a in &candidates {
             a.validate(&p).unwrap();
             assert!(a.total_utility(&p) <= so.utility + 1e-9);
+        }
+    }
+
+    #[test]
+    fn par_path_is_bit_identical() {
+        let p = Problem::builder(3, 7.0)
+            .threads((0..64).map(|i| arc(Power::new(1.0 + (i % 9) as f64, 0.6, 7.0))))
+            .build()
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let seq = super_optimal(&p);
+            let par = rayon::with_threads(threads, || super_optimal_par(&p));
+            assert_eq!(seq, par, "{threads} threads");
         }
     }
 

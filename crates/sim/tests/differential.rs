@@ -1,0 +1,92 @@
+//! Differential tests of the churn repair path under parallelism.
+//!
+//! `run_script` evaluates each epoch's (maintained, fresh) utility pair
+//! as a `rayon::join`, and `run_scripts_batch` fans whole runs out over
+//! the pool. Neither may change a single reported number: for random
+//! clusters and seeded fault scripts, every report must be **exactly
+//! equal** to the one produced at one thread.
+
+use std::sync::Arc;
+
+use aa_core::solver::Algo2;
+use aa_core::Problem;
+use aa_sim::controller::RepairPolicy;
+use aa_sim::faults::{
+    generate_script, run_script, run_scripts_batch, FaultScript, FaultScriptConfig,
+};
+use aa_utility::{DynUtility, LogUtility, Power};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn cluster() -> impl Strategy<Value = Problem> {
+    (2usize..6, 4usize..14, 2.0..20.0f64).prop_flat_map(|(m, n, cap)| {
+        prop::collection::vec((0.2..5.0f64, 0.3..0.9f64), n).prop_map(move |params| {
+            let threads: Vec<DynUtility> = params
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, b))| {
+                    if i % 2 == 0 {
+                        Arc::new(Power::new(s, b, cap)) as DynUtility
+                    } else {
+                        Arc::new(LogUtility::new(s, b, cap)) as DynUtility
+                    }
+                })
+                .collect();
+            Problem::new(m, cap, threads).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn churn_reports_are_identical_across_thread_counts(
+        p in cluster(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = FaultScriptConfig { epochs: 10, ..FaultScriptConfig::default() };
+        let script = generate_script(&p, &cfg, seed);
+        for policy in [
+            RepairPolicy::Never,
+            RepairPolicy::InPlace,
+            RepairPolicy::Migrations(2),
+            RepairPolicy::Resolve,
+        ] {
+            let reference = rayon::with_threads(1, || {
+                run_script(&p, &script, policy, &Algo2)
+            });
+            for threads in THREAD_COUNTS {
+                let got = rayon::with_threads(threads, || {
+                    run_script(&p, &script, policy, &Algo2)
+                });
+                prop_assert_eq!(
+                    &reference, &got,
+                    "policy {:?} diverged at {} threads", policy, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn script_batches_equal_individual_runs(
+        p in cluster(),
+        base_seed in 0u64..1000,
+    ) {
+        let cfg = FaultScriptConfig { epochs: 8, ..FaultScriptConfig::default() };
+        let scripts: Vec<FaultScript> = (0..4)
+            .map(|k| generate_script(&p, &cfg, base_seed + k))
+            .collect();
+        let expected: Vec<_> = scripts
+            .iter()
+            .map(|s| run_script(&p, s, RepairPolicy::Migrations(1), &Algo2))
+            .collect();
+        for threads in THREAD_COUNTS {
+            let got = rayon::with_threads(threads, || {
+                run_scripts_batch(&p, &scripts, RepairPolicy::Migrations(1), &Algo2)
+            });
+            prop_assert_eq!(&expected, &got, "batch diverged at {} threads", threads);
+        }
+    }
+}

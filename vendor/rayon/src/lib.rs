@@ -1,76 +1,51 @@
-//! Offline stub of `rayon`.
+//! Offline, in-tree replacement for `rayon`, backed by a real
+//! `std::thread` worker pool.
 //!
-//! `par_iter` / `into_par_iter` / `par_iter_mut` return the ordinary
-//! sequential `std` iterators, so every adaptor (`map`, `zip`, `sum`,
-//! `collect`, …) the workspace chains on them is just the `Iterator`
-//! method of the same name. Results are bit-identical to the parallel
-//! versions (the workspace only relies on order-stable map/collect
-//! pipelines), at the cost of running on one core — an acceptable trade
-//! in an environment where the real crate cannot be downloaded.
+//! Earlier revisions of this stub aliased `par_iter` to the sequential
+//! `std` iterators; this version actually fans work out. The API is the
+//! subset the workspace uses, with rayon-compatible names:
+//!
+//! * [`prelude::IntoParallelIterator`] for `Vec<T>`, `&[T]`, `&Vec<T>`,
+//!   `&mut [T]`, and `Range<usize>/u32/u64`;
+//! * [`prelude::ParallelSlice`] providing `par_iter` / `par_iter_mut`;
+//! * adaptors `map` / `zip`, consumers `collect` / `sum` / `for_each` /
+//!   `count`;
+//! * [`join`], [`current_num_threads`], and the non-rayon extension
+//!   [`with_threads`] (a scoped per-thread parallelism override used by
+//!   the differential test suites).
+//!
+//! # Execution model
+//!
+//! A small persistent pool of `std::thread` workers is spawned lazily
+//! and grown on demand up to the effective thread count, which is
+//! resolved per call: [`with_threads`] override → `AA_NUM_THREADS` env
+//! var → `std::thread::available_parallelism()`. Work is split into
+//! contiguous index chunks (≈4 chunks per thread) claimed off an atomic
+//! cursor; the calling thread participates, and the call returns only
+//! when every chunk is done, so closures may borrow from the caller's
+//! stack. Panics in any chunk cancel the rest and resurface on the
+//! caller. Parallel calls made from inside a worker run inline, so
+//! nested parallelism cannot deadlock.
+//!
+//! # Determinism contract
+//!
+//! Scheduling decides only *where* each index is computed. `collect`
+//! writes results into their input positions and `sum` materializes
+//! values in index order before folding them sequentially, so every
+//! result — including floating-point reductions — is **bit-identical**
+//! for every thread count. `AA_NUM_THREADS` may change timing, never
+//! output; the workspace's differential tests enforce exactly this.
+
+mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, join, with_threads};
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude::*`.
-
-    /// Sequential stand-in for rayon's `IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Convert into a "parallel" (here: sequential) iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    impl IntoParallelIterator for core::ops::Range<usize> {
-        type Item = usize;
-        type Iter = core::ops::Range<usize>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
-        }
-    }
-
-    impl IntoParallelIterator for core::ops::Range<u64> {
-        type Item = u64;
-        type Iter = core::ops::Range<u64>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
-        }
-    }
-
-    /// Sequential stand-in for rayon's `par_iter` / `par_iter_mut` on
-    /// slices and anything that derefs to one.
-    pub trait ParallelSlice<T> {
-        /// Shared "parallel" iteration.
-        fn par_iter(&self) -> core::slice::Iter<'_, T>;
-        /// Mutable "parallel" iteration.
-        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> core::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    impl<T> ParallelSlice<T> for Vec<T> {
-        fn par_iter(&self) -> core::slice::Iter<'_, T> {
-            self.as_slice().iter()
-        }
-        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
-            self.as_mut_slice().iter_mut()
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+    };
 }
 
 #[cfg(test)]
@@ -86,5 +61,14 @@ mod tests {
         assert_eq!(s, 18.0);
         let idx: Vec<usize> = (0..4usize).into_par_iter().collect();
         assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn env_override_is_reported() {
+        // AA_NUM_THREADS is read once per process; all this test can
+        // assert portably is that the resolved count is positive and the
+        // scoped override wins over it.
+        assert!(crate::current_num_threads() >= 1);
+        crate::with_threads(3, || assert_eq!(crate::current_num_threads(), 3));
     }
 }

@@ -1,0 +1,465 @@
+//! The persistent worker pool and the chunked fork-join executor.
+//!
+//! One global pool of `std::thread` workers is spawned lazily and kept
+//! for the life of the process. Parallel calls split their index space
+//! into chunks, enqueue helper jobs that pull chunks off a shared atomic
+//! cursor, and participate from the calling thread; the call returns
+//! only after every chunk has been processed, which is what makes it
+//! sound to run borrowed closures on `'static` worker threads.
+//!
+//! # Thread-count resolution
+//!
+//! Effective parallelism for a call is resolved in this order:
+//!
+//! 1. a scoped [`with_threads`] override on the calling thread;
+//! 2. the `AA_NUM_THREADS` environment variable (read once, at first
+//!    use; `0`, empty, or unparsable values fall through);
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! # Determinism
+//!
+//! The executor only decides *which thread* computes each index — never
+//! the index→result mapping, and consumers in [`crate::iter`] always
+//! reassemble results in index order. Output is therefore bit-identical
+//! for every thread count, including 1.
+//!
+//! # Panics
+//!
+//! A panic inside a parallel region is caught where it happens, the
+//! remaining chunks are cancelled, and the payload is re-thrown on the
+//! calling thread once every in-flight helper has stopped touching
+//! borrowed data (first panic wins; later ones are discarded).
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A queued helper job. Jobs are `'static`: borrowed state is reached
+/// through an [`Arc`]-shared header plus an erased pointer that the
+/// blocking protocol keeps alive (see [`for_each_index`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Workers successfully spawned so far.
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set for the lifetime of every pool worker: parallel calls made
+    /// *from inside* a job run inline instead of re-entering the pool,
+    /// so nested parallelism can never deadlock on a full queue.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Scoped [`with_threads`] override for the current thread.
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), workers: 0 }),
+        work_ready: Condvar::new(),
+    })
+}
+
+/// The process-wide default thread count: `AA_NUM_THREADS` if set to a
+/// positive integer, otherwise the hardware parallelism.
+fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        if let Ok(raw) = std::env::var("AA_NUM_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// The number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(configured_threads)
+}
+
+/// Run `f` with parallel calls on this thread capped at `n` threads
+/// (`n = 1` forces the inline sequential path). The override is scoped:
+/// it is restored even if `f` panics, and it does not leak to other
+/// threads. Results are unaffected either way — only timing changes.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Ensure at least `want` workers exist; returns how many exist now.
+/// Spawn failures are tolerated — the caller falls back to running the
+/// queued jobs inline if the pool could not grow at all.
+fn ensure_workers(want: usize) -> usize {
+    let p = pool();
+    let mut state = p.state.lock().expect("pool mutex");
+    while state.workers < want {
+        let spawned = std::thread::Builder::new()
+            .name(format!("aa-rayon-{}", state.workers))
+            .spawn(worker_loop);
+        match spawned {
+            Ok(_) => state.workers += 1,
+            Err(_) => break,
+        }
+    }
+    state.workers
+}
+
+fn worker_loop() {
+    IS_WORKER.with(|w| w.set(true));
+    let p = pool();
+    loop {
+        let job = {
+            let mut state = p.state.lock().expect("pool mutex");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                state = p.work_ready.wait(state).expect("pool mutex");
+            }
+        };
+        // Jobs never unwind: each one wraps its work in `catch_unwind`
+        // and parks the payload in the call's shared header.
+        job();
+    }
+}
+
+fn submit(job: Job) {
+    let p = pool();
+    p.state.lock().expect("pool mutex").queue.push_back(job);
+    p.work_ready.notify_one();
+}
+
+/// Shared per-call header coordinating the caller and its helpers.
+struct CallHeader {
+    /// Next unclaimed index; set to `len` to cancel remaining chunks.
+    cursor: AtomicUsize,
+    len: usize,
+    chunk: usize,
+    /// Helpers that have not yet finished.
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    /// First panic payload observed by any participant.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl CallHeader {
+    /// Claim the next chunk of indices, or `None` when exhausted.
+    fn claim(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Record a panic (first wins) and cancel all unclaimed chunks.
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        self.cursor.store(self.len, Ordering::Relaxed);
+        let mut slot = self.panic.lock().expect("panic mutex");
+        slot.get_or_insert(payload);
+    }
+
+    fn helper_finished(&self) {
+        let mut pending = self.pending.lock().expect("pending mutex");
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait_for_helpers(&self) {
+        let mut pending = self.pending.lock().expect("pending mutex");
+        while *pending > 0 {
+            pending = self.all_done.wait(pending).expect("pending mutex");
+        }
+    }
+}
+
+/// Pull chunks off `header` and run `op` over them, catching panics.
+fn run_chunks<F: Fn(usize) + Sync>(op: &F, header: &CallHeader) {
+    while let Some(range) = header.claim() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for i in range {
+                op(i);
+            }
+        }));
+        if let Err(payload) = result {
+            header.record_panic(payload);
+            return;
+        }
+    }
+}
+
+/// Indices per chunk for a call of `len` indices on `threads` threads.
+/// Oversubscribe 4× so uneven per-index costs still balance; chunk
+/// boundaries never influence results, only scheduling.
+fn chunk_size(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads * 4).max(1)
+}
+
+/// Run `op(i)` for every `i in 0..len`, fanning out over the pool.
+///
+/// Each index is invoked exactly once. The call blocks until all work
+/// (including cancelled helpers) has finished, so `op` may borrow from
+/// the caller's stack. Panics inside `op` propagate to the caller.
+pub(crate) fn for_each_index<F: Fn(usize) + Sync>(len: usize, op: F) {
+    let threads = current_num_threads();
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk_size(len, threads);
+    // Inline fast path: single-threaded config, nested call from a
+    // worker, or too little work to be worth a fork-join.
+    if threads <= 1 || IS_WORKER.with(Cell::get) || chunk >= len {
+        match catch_unwind(AssertUnwindSafe(|| {
+            for i in 0..len {
+                op(i);
+            }
+        })) {
+            Ok(()) => return,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    let chunks = len.div_ceil(chunk);
+    let want_helpers = (threads - 1).min(chunks - 1);
+    let helpers = want_helpers.min(ensure_workers(want_helpers));
+
+    let header = Arc::new(CallHeader {
+        cursor: AtomicUsize::new(0),
+        len,
+        chunk,
+        pending: Mutex::new(helpers),
+        all_done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    // SAFETY: `op` lives on this stack frame. The erased pointer handed
+    // to helper jobs is only dereferenced before the matching
+    // `helper_finished`, and this frame does not return (or unwind past
+    // `wait_for_helpers`) until `pending` reaches zero — so the pointer
+    // never dangles. The `fn`-pointer `runner` re-monomorphizes the
+    // callee for `F`, keeping the job object itself `'static`.
+    let op_addr = &op as *const F as usize;
+    fn helper_body<F: Fn(usize) + Sync>(op_addr: usize, header: &CallHeader) {
+        let op = unsafe { &*(op_addr as *const F) };
+        run_chunks(op, header);
+    }
+    let runner: fn(usize, &CallHeader) = helper_body::<F>;
+    for _ in 0..helpers {
+        let header = Arc::clone(&header);
+        submit(Box::new(move || {
+            runner(op_addr, &header);
+            header.helper_finished();
+        }));
+    }
+
+    // The caller is a full participant.
+    run_chunks(&op, &header);
+    header.wait_for_helpers();
+
+    let payload = header.panic.lock().expect("panic mutex").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Run the two closures, potentially in parallel, and return both
+/// results. Both closures always run to completion (or panic); a panic
+/// in either is re-thrown on the caller after both have finished, like
+/// real rayon. Called from inside a pool job (nested parallelism) or
+/// with one effective thread, it degrades to `(a(), b())`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let cells = (Mutex::new(Some(a)), Mutex::new(Some(b)));
+    let out: (Mutex<Option<RA>>, Mutex<Option<RB>>) = (Mutex::new(None), Mutex::new(None));
+    for_each_index(2, |i| {
+        if i == 0 {
+            let f = cells.0.lock().expect("join slot").take().expect("ran once");
+            *out.0.lock().expect("join result") = Some(f());
+        } else {
+            let f = cells.1.lock().expect("join slot").take().expect("ran once");
+            *out.1.lock().expect("join result") = Some(f());
+        }
+    });
+    (
+        out.0.into_inner().expect("join result").expect("both closures ran"),
+        out.1.into_inner().expect("join result").expect("both closures ran"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn chunk_size_is_sane() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(1, 4), 1);
+        assert_eq!(chunk_size(16, 4), 1);
+        assert_eq!(chunk_size(1000, 4), 63);
+        assert!(chunk_size(usize::MAX, 1) >= 1);
+    }
+
+    #[test]
+    fn for_each_index_visits_every_index_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            for len in [0, 1, 2, 3, 64, 1000] {
+                let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+                with_threads(threads, || {
+                    for_each_index(len, |i| {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn len_smaller_than_thread_count() {
+        // 2 indices, 8 threads: must not hang or skip work.
+        let hits = AtomicUsize::new(0);
+        with_threads(8, || {
+            for_each_index(2, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        with_threads(4, || for_each_index(0, |_| panic!("must not run")));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        for threads in [1, 4] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                with_threads(threads, || {
+                    for_each_index(100, |i| {
+                        if i == 37 {
+                            panic!("boom at 37");
+                        }
+                    });
+                })
+            }));
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "boom at 37", "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn caller_side_panic_still_waits_for_helpers() {
+        // Everything panics; the call must still return control exactly
+        // once, with some panic payload, and leave the pool reusable.
+        for _ in 0..8 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                with_threads(4, || for_each_index(64, |_| panic!("всё")));
+            }));
+            assert!(caught.is_err());
+        }
+        // Pool still works after the panic storm.
+        let hits = AtomicUsize::new(0);
+        with_threads(4, || {
+            for_each_index(10, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = current_num_threads();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(3, || panic!("escape"));
+        }));
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn with_threads_zero_is_clamped_to_one() {
+        with_threads(0, || assert_eq!(current_num_threads(), 1));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 4] {
+            let (a, b) = with_threads(threads, || join(|| 2 + 2, || "ok"));
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || join(|| 1, || -> i32 { panic!("right side") }))
+        }));
+        assert!(caught.is_err());
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || join(|| -> i32 { panic!("left side") }, || 1))
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn join_borrows_from_the_stack() {
+        let data = vec![1_u64, 2, 3, 4];
+        let (left, right) = with_threads(2, || {
+            join(
+                || data[..2].iter().sum::<u64>(),
+                || data[2..].iter().sum::<u64>(),
+            )
+        });
+        assert_eq!(left + right, 10);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let total = AtomicUsize::new(0);
+        with_threads(4, || {
+            for_each_index(8, |_| {
+                // Nested parallel call from what may be a worker thread.
+                for_each_index(8, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+}
