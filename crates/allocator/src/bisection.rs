@@ -23,6 +23,7 @@
 
 use aa_utility::Utility;
 use rayon::prelude::*;
+use rayon::CancelToken;
 
 use crate::Allocation;
 
@@ -36,31 +37,59 @@ const MAX_ITERS: u32 = 128;
 /// identical either way.
 pub const PAR_THRESHOLD: usize = 4096;
 
+/// Marker error: an interruptible allocation was abandoned because its
+/// cancel token fired *between* two check-closure calls (the pool
+/// observed the token mid-map). Callers with richer error enums convert
+/// it via their `From<Interrupted>` impl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("allocation interrupted by its cancel token")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
 /// Per-thread evaluation strategy: everything the bisection needs from
 /// the utility slice, as whole-slice maps so the parallel strategy can
 /// fan each one out. Each map is a pure per-element function, so the
 /// sequential and parallel strategies return identical vectors.
+///
+/// `None` means the strategy's pool observed a cancel token mid-map; the
+/// infallible strategies ([`Seq`], [`Par`]) always return `Some`.
 trait EvalStrategy<U: Utility> {
     /// `cap_i` for every thread.
-    fn caps(utils: &[U]) -> Vec<f64>;
+    fn caps(&self, utils: &[U]) -> Option<Vec<f64>>;
     /// `x_i(λ) = f_i′⁻¹(λ)` for every thread.
-    fn demands(utils: &[U], lambda: f64) -> Vec<f64>;
+    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>>;
     /// `Σ f_i(x_i)` (summed in index order).
-    fn total_utility(utils: &[U], amounts: &[f64]) -> f64;
+    fn total_utility(&self, utils: &[U], amounts: &[f64]) -> Option<f64> {
+        Some(
+            self.values(utils, amounts)?
+                .into_iter()
+                .sum(),
+        )
+    }
+    /// `f_i(x_i)` per thread, in index order (the `total_utility`
+    /// helper: materializing before folding keeps the sum sequential
+    /// and therefore bit-identical across strategies).
+    fn values(&self, utils: &[U], amounts: &[f64]) -> Option<Vec<f64>>;
 }
 
 /// Plain sequential loops.
 struct Seq;
 
 impl<U: Utility> EvalStrategy<U> for Seq {
-    fn caps(utils: &[U]) -> Vec<f64> {
-        utils.iter().map(|f| f.cap()).collect()
+    fn caps(&self, utils: &[U]) -> Option<Vec<f64>> {
+        Some(utils.iter().map(|f| f.cap()).collect())
     }
-    fn demands(utils: &[U], lambda: f64) -> Vec<f64> {
-        utils.iter().map(|f| f.inverse_derivative(lambda)).collect()
+    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>> {
+        Some(utils.iter().map(|f| f.inverse_derivative(lambda)).collect())
     }
-    fn total_utility(utils: &[U], amounts: &[f64]) -> f64 {
-        crate::total_utility(utils, amounts)
+    fn values(&self, utils: &[U], amounts: &[f64]) -> Option<Vec<f64>> {
+        Some(utils.iter().zip(amounts).map(|(f, &x)| f.value(x)).collect())
     }
 }
 
@@ -68,42 +97,108 @@ impl<U: Utility> EvalStrategy<U> for Seq {
 struct Par;
 
 impl<U: Utility + Sync> EvalStrategy<U> for Par {
-    fn caps(utils: &[U]) -> Vec<f64> {
-        utils.par_iter().map(|f| f.cap()).collect()
+    fn caps(&self, utils: &[U]) -> Option<Vec<f64>> {
+        Some(utils.par_iter().map(|f| f.cap()).collect())
     }
-    fn demands(utils: &[U], lambda: f64) -> Vec<f64> {
-        utils.par_iter().map(|f| f.inverse_derivative(lambda)).collect()
+    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>> {
+        Some(utils.par_iter().map(|f| f.inverse_derivative(lambda)).collect())
     }
-    fn total_utility(utils: &[U], amounts: &[f64]) -> f64 {
+    fn values(&self, utils: &[U], amounts: &[f64]) -> Option<Vec<f64>> {
+        Some(
+            utils
+                .par_iter()
+                .zip(amounts)
+                .map(|(f, &x)| f.value(x))
+                .collect(),
+        )
+    }
+}
+
+/// [`Par`] with every fan-out driven through a [`CancelToken`]: the pool
+/// abandons unclaimed chunks when the token fires and the map reports
+/// `None`. While the token stays clear, results are bit-identical to
+/// [`Par`] (and hence [`Seq`]) — same maps, same index order, same
+/// sequential folds.
+struct ParCancel<'t>(&'t CancelToken);
+
+impl<U: Utility + Sync> EvalStrategy<U> for ParCancel<'_> {
+    fn caps(&self, utils: &[U]) -> Option<Vec<f64>> {
+        utils.par_iter().map(|f| f.cap()).collect_cancellable(self.0).ok()
+    }
+    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>> {
+        utils
+            .par_iter()
+            .map(|f| f.inverse_derivative(lambda))
+            .collect_cancellable(self.0)
+            .ok()
+    }
+    fn values(&self, utils: &[U], amounts: &[f64]) -> Option<Vec<f64>> {
         utils
             .par_iter()
             .zip(amounts)
             .map(|(f, &x)| f.value(x))
-            .sum()
+            .collect_cancellable(self.0)
+            .ok()
     }
 }
 
-/// The full algorithm, generic over the evaluation strategy.
-fn allocate_with<U: Utility, E: EvalStrategy<U>>(utils: &[U], budget: f64) -> Allocation {
+/// The full algorithm, generic over the evaluation strategy and an
+/// interruption check. `check` is consulted once up front, once per
+/// bracket-growth step, once per bisection iteration, and once before the
+/// leftover spread — so a firing deadline overshoots by at most ~one
+/// demand map. A strategy returning `None` (pool-level cancellation)
+/// aborts with whatever `check` reports, falling back to
+/// [`Interrupted`] when `check` still says `Ok` (an external cancel that
+/// raced ahead of the caller's own bookkeeping).
+fn allocate_impl<U, S, E>(
+    utils: &[U],
+    budget: f64,
+    strategy: &S,
+    check: &mut dyn FnMut() -> Result<(), E>,
+) -> Result<Allocation, E>
+where
+    U: Utility,
+    S: EvalStrategy<U>,
+    E: From<Interrupted>,
+{
     assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
+    check()?;
     let n = utils.len();
     if n == 0 {
-        return Allocation {
+        return Ok(Allocation {
             amounts: vec![],
             utility: 0.0,
-        };
+        });
+    }
+
+    // Converts a strategy-level `None` into the caller's error: prefer
+    // the check's own diagnosis (it knows *why* the token fired), fall
+    // back to the bare marker.
+    fn interrupted<E: From<Interrupted>>(check: &mut dyn FnMut() -> Result<(), E>) -> E {
+        match check() {
+            Err(e) => e,
+            Ok(()) => Interrupted.into(),
+        }
     }
 
     // Ample budget: everyone saturates.
-    let caps: Vec<f64> = E::caps(utils);
+    let caps: Vec<f64> = match strategy.caps(utils) {
+        Some(v) => v,
+        None => return Err(interrupted(check)),
+    };
     let total_cap: f64 = caps.iter().sum();
     if budget >= total_cap {
         let amounts = caps;
-        let utility = E::total_utility(utils, &amounts);
-        return Allocation { amounts, utility };
+        let utility = match strategy.total_utility(utils, &amounts) {
+            Some(u) => u,
+            None => return Err(interrupted(check)),
+        };
+        return Ok(Allocation { amounts, utility });
     }
 
-    let demand = |lambda: f64| -> f64 { E::demands(utils, lambda).iter().sum() };
+    let demand = |lambda: f64| -> Option<f64> {
+        Some(strategy.demands(utils, lambda)?.iter().sum())
+    };
 
     // Bracket the price. At λ = 0 demand is Σ caps > budget (checked
     // above). Grow λ_hi geometrically until demand fits under the budget;
@@ -114,14 +209,21 @@ fn allocate_with<U: Utility, E: EvalStrategy<U>>(utils: &[U], budget: f64) -> Al
     let mut lo = 0.0_f64;
     let mut hi = 1.0_f64;
     let mut grow = 0;
-    while demand(hi) > budget {
-        lo = hi;
-        hi *= 2.0;
-        grow += 1;
-        assert!(
-            grow < 1100,
-            "could not bracket the marginal price; utility derivatives do not decay"
-        );
+    loop {
+        check()?;
+        match demand(hi) {
+            None => return Err(interrupted(check)),
+            Some(d) if d > budget => {
+                lo = hi;
+                hi *= 2.0;
+                grow += 1;
+                assert!(
+                    grow < 1100,
+                    "could not bracket the marginal price; utility derivatives do not decay"
+                );
+            }
+            Some(_) => break,
+        }
     }
 
     // Invariant: demand(lo) > budget ≥ demand(hi).
@@ -130,21 +232,29 @@ fn allocate_with<U: Utility, E: EvalStrategy<U>>(utils: &[U], budget: f64) -> Al
         if mid <= lo || mid >= hi {
             break; // bracket collapsed to adjacent floats
         }
-        if demand(mid) > budget {
-            lo = mid;
-        } else {
-            hi = mid;
+        check()?;
+        match demand(mid) {
+            None => return Err(interrupted(check)),
+            Some(d) if d > budget => lo = mid,
+            Some(_) => hi = mid,
         }
     }
 
     // Base allocation at the high price (fits in the budget), then spread
     // the leftover over threads whose demand is elastic across the bracket
     // — the marginal threads sitting exactly at the price.
-    let mut amounts: Vec<f64> = E::demands(utils, hi);
+    check()?;
+    let mut amounts: Vec<f64> = match strategy.demands(utils, hi) {
+        Some(v) => v,
+        None => return Err(interrupted(check)),
+    };
     let spent: f64 = amounts.iter().sum();
     let mut leftover = budget - spent;
     if leftover > 0.0 {
-        let lo_amounts: Vec<f64> = E::demands(utils, lo);
+        let lo_amounts: Vec<f64> = match strategy.demands(utils, lo) {
+            Some(v) => v,
+            None => return Err(interrupted(check)),
+        };
         let slack: Vec<f64> = lo_amounts
             .iter()
             .zip(&amounts)
@@ -179,8 +289,19 @@ fn allocate_with<U: Utility, E: EvalStrategy<U>>(utils: &[U], budget: f64) -> Al
         }
     }
 
-    let utility = E::total_utility(utils, &amounts);
-    Allocation { amounts, utility }
+    let utility = match strategy.total_utility(utils, &amounts) {
+        Some(u) => u,
+        None => return Err(interrupted(check)),
+    };
+    Ok(Allocation { amounts, utility })
+}
+
+/// Unwrap an allocation whose strategy and check are both infallible.
+fn expect_complete(result: Result<Allocation, Interrupted>) -> Allocation {
+    match result {
+        Ok(a) => a,
+        Err(Interrupted) => unreachable!("infallible strategy cannot be interrupted"),
+    }
 }
 
 /// Allocate `budget` among `utils` maximizing total utility, each thread
@@ -211,7 +332,26 @@ fn allocate_with<U: Utility, E: EvalStrategy<U>>(utils: &[U], budget: f64) -> Al
 /// assert!((alloc.amounts[1] - 4.0).abs() < 1e-6);
 /// ```
 pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
-    allocate_with::<U, Seq>(utils, budget)
+    expect_complete(allocate_impl(utils, budget, &Seq, &mut || Ok(())))
+}
+
+/// [`allocate`] with a cooperative interruption check, the building
+/// block for deadline-budgeted solving. `check` is called at iteration
+/// granularity (once up front, per bracket-growth step, per bisection
+/// iteration, and before the leftover spread); its first `Err` aborts
+/// the allocation and is returned verbatim. With a check that never
+/// fires the result is **bit-identical** to [`allocate`] — same code
+/// path, the checks do not touch the numerics.
+pub fn allocate_interruptible<U, E>(
+    utils: &[U],
+    budget: f64,
+    check: &mut dyn FnMut() -> Result<(), E>,
+) -> Result<Allocation, E>
+where
+    U: Utility,
+    E: From<Interrupted>,
+{
+    allocate_impl(utils, budget, &Seq, check)
 }
 
 /// [`allocate`] with the per-λ demand evaluation fanned out over the
@@ -229,7 +369,31 @@ pub fn allocate_par<U: Utility + Sync>(utils: &[U], budget: f64) -> Allocation {
     if utils.len() < PAR_THRESHOLD {
         return allocate(utils, budget);
     }
-    allocate_with::<U, Par>(utils, budget)
+    expect_complete(allocate_impl(utils, budget, &Par, &mut || Ok(())))
+}
+
+/// [`allocate_par`] with a cooperative interruption check *and* a
+/// pool-level [`CancelToken`]: between `check` calls, the fanned-out
+/// demand maps themselves watch `token` and abandon unclaimed chunks
+/// when it fires (reported as `Err` via `check`'s diagnosis, or
+/// [`Interrupted`] if `check` still says `Ok`). While neither fires the
+/// result is **bit-identical** to [`allocate_par`] and [`allocate`] for
+/// every thread count: the cancellable collect is order-stable and the
+/// folds stay sequential.
+pub fn allocate_par_interruptible<U, E>(
+    utils: &[U],
+    budget: f64,
+    token: &CancelToken,
+    check: &mut dyn FnMut() -> Result<(), E>,
+) -> Result<Allocation, E>
+where
+    U: Utility + Sync,
+    E: From<Interrupted>,
+{
+    if utils.len() < PAR_THRESHOLD {
+        return allocate_interruptible(utils, budget, check);
+    }
+    allocate_impl(utils, budget, &ParCancel(token), check)
 }
 
 #[cfg(test)]
@@ -385,6 +549,59 @@ mod tests {
     fn rejects_negative_budget() {
         allocate(&[Power::new(1.0, 0.5, 1.0)], -1.0);
     }
+
+    #[test]
+    fn interruptible_with_quiet_check_is_bit_identical_to_allocate() {
+        let utils: Vec<Box<dyn Utility>> = vec![
+            Box::new(Power::new(1.0, 0.5, 10.0)),
+            Box::new(LogUtility::new(2.0, 1.0, 10.0)),
+            Box::new(Power::new(3.0, 0.25, 10.0)),
+        ];
+        for budget in [0.0, 0.5, 3.0, 12.0, 29.9, 100.0] {
+            let plain = allocate(&utils, budget);
+            let interruptible =
+                allocate_interruptible(&utils, budget, &mut || Ok::<(), Interrupted>(()))
+                    .expect("quiet check never aborts");
+            assert_eq!(plain.utility.to_bits(), interruptible.utility.to_bits());
+            for (a, b) in plain.amounts.iter().zip(&interruptible.amounts) {
+                assert_eq!(a.to_bits(), b.to_bits(), "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_check_aborts_mid_bisection_with_the_callers_error() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            Deadline,
+            Marker,
+        }
+        impl From<Interrupted> for E {
+            fn from(_: Interrupted) -> Self {
+                E::Marker
+            }
+        }
+        let utils: Vec<Power> = (0..16).map(|i| Power::new(1.0 + i as f64, 0.5, 10.0)).collect();
+        // Exhaust "fuel" after a handful of checks: the bisection runs
+        // ~130 iterations, so this fires mid-search.
+        let mut fuel = 5_u32;
+        let result = allocate_interruptible(&utils, 40.0, &mut || {
+            if fuel == 0 {
+                Err(E::Deadline)
+            } else {
+                fuel -= 1;
+                Ok(())
+            }
+        });
+        assert_eq!(result, Err(E::Deadline));
+    }
+
+    #[test]
+    fn immediately_failing_check_aborts_before_any_work() {
+        let utils = vec![Power::new(1.0, 0.5, 10.0)];
+        let result = allocate_interruptible(&utils, 5.0, &mut || Err(Interrupted));
+        assert_eq!(result, Err(Interrupted));
+    }
 }
 
 #[cfg(test)]
@@ -457,5 +674,40 @@ mod par_tests {
         let seq = allocate(&utils, budget);
         let par = allocate_par(&utils, budget);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_interruptible_with_clear_token_is_bit_identical() {
+        let utils = mixed_pool(PAR_THRESHOLD + 51);
+        let budget = 0.25 * 100.0 * utils.len() as f64;
+        let plain = allocate_par(&utils, budget);
+        let token = rayon::CancelToken::new();
+        for threads in [1, 4] {
+            let got = rayon::with_threads(threads, || {
+                allocate_par_interruptible(&utils, budget, &token, &mut || {
+                    Ok::<(), Interrupted>(())
+                })
+            })
+            .expect("clear token never aborts");
+            assert_eq!(plain.utility.to_bits(), got.utility.to_bits(), "{threads} threads");
+            for (a, b) in plain.amounts.iter().zip(&got.amounts) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn par_interruptible_pre_cancelled_token_reports_interrupted() {
+        // A token fired externally (no check of our own erring) surfaces
+        // as the Interrupted marker, not a panic or a bogus allocation.
+        let utils = mixed_pool(PAR_THRESHOLD + 8);
+        let token = rayon::CancelToken::new();
+        token.cancel();
+        let result = rayon::with_threads(4, || {
+            allocate_par_interruptible(&utils, 500.0, &token, &mut || {
+                Ok::<(), Interrupted>(())
+            })
+        });
+        assert_eq!(result, Err(Interrupted));
     }
 }

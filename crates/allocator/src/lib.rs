@@ -37,6 +37,8 @@ pub mod segment;
 
 use aa_utility::Utility;
 
+pub use bisection::Interrupted;
+
 /// Result of a single-pool allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Allocation {

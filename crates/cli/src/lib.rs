@@ -12,18 +12,22 @@
 //! aa-solve solve   problem.json [--solver algo2] [--pretty]
 //! aa-solve generate --servers 8 --beta 5 --capacity 1000 \
 //!                   --dist powerlaw --alpha 2 [--seed S]
+//! aa-solve serve   [--queue N] [--deadline-ms D]  # LDJSON request loop
 //! aa-solve solvers                      # list available solvers
 //! ```
 //!
 //! This module holds all logic (file formats, solver registry, driver
 //! functions) so it is unit-testable; `main.rs` is a thin argv wrapper.
+//! The deadline-aware request loop lives in [`serve`].
+
+pub mod serve;
 
 use aa_core::churn::ClusterEvent;
 use aa_core::solver::{
     batch_seed, Algo1, Algo2, Algo2FairShare, Algo2Refined, Algo2SingleSort, BranchAndBound,
-    BruteForce, Rr, Ru, Solver, Ur, Uu,
+    BruteForce, Rr, Ru, SolveError, Solver, Ur, Uu,
 };
-use aa_core::{algo2, superopt, Problem, ALPHA};
+use aa_core::{algo2, superopt, Problem, TieredSolver, ALPHA};
 use aa_sim::controller::RepairPolicy;
 use aa_sim::faults::{
     generate_script, run_script, ChurnReport, FaultScript, FaultScriptConfig, ScriptedEvent,
@@ -86,6 +90,9 @@ pub enum CliError {
     /// A churn run failed (unrepairable event or invalid intermediate
     /// assignment).
     Churn(String),
+    /// The solve itself failed (oversized instance, non-finite utility
+    /// curve, infeasible output, budget expiry, cancellation).
+    Solve(SolveError),
 }
 
 impl std::fmt::Display for CliError {
@@ -101,11 +108,44 @@ impl std::fmt::Display for CliError {
             }
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Churn(msg) => write!(f, "churn run failed: {msg}"),
+            CliError::Solve(e) => write!(f, "solve failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl CliError {
+    /// The process exit code for this error class, as documented in the
+    /// binary's usage text. Stable: scripts may dispatch on these.
+    ///
+    /// | code | class |
+    /// |---|---|
+    /// | 2 | malformed input (JSON, utility spec, problem validation) |
+    /// | 3 | unknown solver name |
+    /// | 4 | solve failed (too large, non-finite curve, infeasible) |
+    /// | 5 | deadline exceeded or cancelled |
+    /// | 6 | i/o failure |
+    /// | 7 | churn run failed |
+    ///
+    /// (0 is success; 1 is reserved for usage errors in the binary.)
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Parse(_) | CliError::Spec { .. } | CliError::Problem(_) => 2,
+            CliError::UnknownSolver(_) => 3,
+            CliError::Solve(SolveError::DeadlineExceeded | SolveError::Cancelled) => 5,
+            CliError::Solve(_) => 4,
+            CliError::Io(_) => 6,
+            CliError::Churn(_) => 7,
+        }
+    }
+}
+
+impl From<SolveError> for CliError {
+    fn from(e: SolveError) -> Self {
+        CliError::Solve(e)
+    }
+}
 
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
@@ -134,6 +174,7 @@ pub fn solver_by_name(name: &str) -> Result<Box<dyn Solver + Send + Sync>, CliEr
         "rr" => Box::new(Rr),
         "exact" => Box::new(BruteForce),
         "exact-bb" => Box::new(BranchAndBound),
+        "tiered" => Box::new(TieredSolver::new()),
         other => return Err(CliError::UnknownSolver(other.to_string())),
     })
 }
@@ -149,6 +190,7 @@ pub const SOLVER_NAMES: &[&str] = &[
     "rr",
     "exact",
     "exact-bb",
+    "tiered",
     "algo2-single-sort",
     "algo2-fair-share",
 ];
@@ -171,10 +213,10 @@ pub fn solve_document(json: &str, solver_name: &str, seed: u64) -> Result<Soluti
     let problem = build_problem(&file)?;
     let solver = solver_by_name(solver_name)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let assignment = solver.solve_with(&problem, &mut rng);
-    assignment
-        .validate(&problem)
-        .expect("registered solvers produce feasible assignments");
+    // The panic-free path: hostile input (oversized exact instances,
+    // non-finite curves) comes back as a typed error and its own exit
+    // code instead of an abort.
+    let assignment = solver.try_solve_with(&problem, &mut rng)?;
 
     let utility: Vec<f64> = (0..problem.len())
         .map(|i| problem.utility_of(i, assignment.amount[i]))

@@ -2,8 +2,9 @@
 
 use std::process::ExitCode;
 
+use aa_cli::serve::{run_serve, ServeOpts};
 use aa_cli::{bench_document, churn_document, generate_document, solve_document, BenchOpts,
-             ChurnOpts, GenerateOpts, SOLVER_NAMES};
+             ChurnOpts, CliError, GenerateOpts, SOLVER_NAMES};
 use aa_sim::controller::RepairPolicy;
 use aa_sim::faults::FaultScriptConfig;
 use aa_workloads::Distribution;
@@ -20,47 +21,100 @@ usage:
                  [--flap-rate F] [--arrival-rate F] [--departure-rate F] [--pretty]
   aa-solve bench [--small] [--out BENCH_solver.json] [--seed S] [--reps R]
                  [--threads N] [--pretty]
+  aa-solve serve [--queue N] [--deadline-ms D] [--grace-ms G]
+                 [--breaker K] [--cooldown N] [--counters PATH]
   aa-solve solvers
+
+serve reads LDJSON requests {\"id\":…, \"deadline_ms\":…, \"problem\":{…}} on
+stdin and writes one response per line on stdout; requests beyond the
+admission queue are shed with {\"status\":\"overloaded\",\"retry_after_ms\":…}.
+Counters are dumped to stderr (and --counters PATH as JSON) at EOF.
+
+exit codes:
+  0  success                      4  solve failed (too large, non-finite,
+  1  usage error                     infeasible)
+  2  malformed input (JSON, spec, 5  deadline exceeded / cancelled
+     problem validation)          6  i/o failure
+  3  unknown solver               7  churn run failed
 ";
 
-fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprint!("{USAGE}");
-            ExitCode::FAILURE
+/// A binary-level failure: either a usage mistake (exit 1, prints the
+/// usage text) or an application error (exit code per [`CliError`]
+/// class).
+enum Failure {
+    Usage(String),
+    App(CliError),
+}
+
+impl Failure {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Failure::Usage(_) => 1,
+            Failure::App(e) => e.exit_code(),
         }
     }
 }
 
-fn run() -> Result<(), String> {
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Usage(msg) => write!(f, "{msg}"),
+            Failure::App(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CliError> for Failure {
+    fn from(e: CliError) -> Self {
+        Failure::App(e)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failure) => {
+            eprintln!("error: {failure}");
+            if matches!(failure, Failure::Usage(_)) {
+                eprint!("{USAGE}");
+            }
+            ExitCode::from(failure.exit_code())
+        }
+    }
+}
+
+fn run() -> Result<(), Failure> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        return Err("missing command".into());
+        return Err(Failure::Usage("missing command".into()));
     };
     match command.as_str() {
         "solve" => cmd_solve(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "churn" => cmd_churn(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "solvers" => {
             for name in SOLVER_NAMES {
                 println!("{name}");
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(Failure::Usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, Failure> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => args
             .get(i + 1)
             .map(|s| Some(s.as_str()))
-            .ok_or_else(|| format!("{flag} needs a value")),
+            .ok_or_else(|| Failure::Usage(format!("{flag} needs a value"))),
     }
 }
 
@@ -68,34 +122,47 @@ fn parsed_flag<T: std::str::FromStr>(
     args: &[String],
     flag: &str,
     default: T,
-) -> Result<T, String>
+) -> Result<T, Failure>
 where
     T::Err: std::fmt::Display,
 {
     match flag_value(args, flag)? {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|e| format!("bad {flag}: {e}")),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| Failure::Usage(format!("bad {flag}: {e}"))),
     }
 }
 
-fn cmd_solve(args: &[String]) -> Result<(), String> {
+/// Read a file, classifying failures as i/o errors (exit 6) with the
+/// path in the message.
+fn read_file(path: &str) -> Result<String, Failure> {
+    std::fs::read_to_string(path).map_err(|e| {
+        Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{path}: {e}"))))
+    })
+}
+
+fn to_json<T: serde::Serialize>(value: &T, pretty: bool) -> Result<String, Failure> {
+    if pretty {
+        serde_json::to_string_pretty(value)
+    } else {
+        serde_json::to_string(value)
+    }
+    .map_err(|e| Failure::App(CliError::Parse(e)))
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), Failure> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--"))
-        .ok_or("missing problem file path")?;
+        .ok_or_else(|| Failure::Usage("missing problem file path".into()))?;
     let solver = flag_value(args, "--solver")?.unwrap_or("algo2");
     let seed: u64 = parsed_flag(args, "--seed", 2016)?;
     let pretty = args.iter().any(|a| a == "--pretty");
 
-    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let solution = solve_document(&json, solver, seed).map_err(|e| e.to_string())?;
-    let out = if pretty {
-        serde_json::to_string_pretty(&solution)
-    } else {
-        serde_json::to_string(&solution)
-    }
-    .map_err(|e| e.to_string())?;
-    println!("{out}");
+    let json = read_file(path)?;
+    let solution = solve_document(&json, solver, seed)?;
+    println!("{}", to_json(&solution, pretty)?);
     eprintln!(
         "solver={} total={:.6} bound={:.6} ratio={:.4} (guarantee {:.4})",
         solution.solver,
@@ -107,18 +174,18 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_churn(args: &[String]) -> Result<(), String> {
+fn cmd_churn(args: &[String]) -> Result<(), Failure> {
     let path = args
         .iter()
         .find(|a| !a.starts_with("--"))
-        .ok_or("missing problem file path")?;
+        .ok_or_else(|| Failure::Usage("missing problem file path".into()))?;
     let budget: usize = parsed_flag(args, "--budget", 2)?;
     let policy = match flag_value(args, "--policy")?.unwrap_or("migrations") {
         "never" => RepairPolicy::Never,
         "in-place" => RepairPolicy::InPlace,
         "migrations" => RepairPolicy::Migrations(budget),
         "resolve" => RepairPolicy::Resolve,
-        other => return Err(format!("unknown policy {other:?}")),
+        other => return Err(Failure::Usage(format!("unknown policy {other:?}"))),
     };
     let defaults = FaultScriptConfig::default();
     let opts = ChurnOpts {
@@ -136,22 +203,13 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
         },
     };
 
-    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = read_file(path)?;
     let script_json = match flag_value(args, "--script")? {
-        Some(script_path) => Some(
-            std::fs::read_to_string(script_path).map_err(|e| format!("{script_path}: {e}"))?,
-        ),
+        Some(script_path) => Some(read_file(script_path)?),
         None => None,
     };
-    let report = churn_document(&json, script_json.as_deref(), &opts)
-        .map_err(|e| e.to_string())?;
-    let out = if args.iter().any(|a| a == "--pretty") {
-        serde_json::to_string_pretty(&report)
-    } else {
-        serde_json::to_string(&report)
-    }
-    .map_err(|e| e.to_string())?;
-    println!("{out}");
+    let report = churn_document(&json, script_json.as_deref(), &opts)?;
+    println!("{}", to_json(&report, args.iter().any(|a| a == "--pretty"))?);
     eprintln!(
         "epochs={} mean_retention={:.4} min_retention={:.4} degraded={} evacuated={} migrated={}",
         report.epochs.len(),
@@ -164,7 +222,7 @@ fn cmd_churn(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<(), Failure> {
     let defaults = BenchOpts::default();
     let opts = BenchOpts {
         small: args.iter().any(|a| a == "--small"),
@@ -178,16 +236,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         rayon::with_threads(threads, || bench_document(&opts))
     } else {
         bench_document(&opts)
-    }
-    .map_err(|e| e.to_string())?;
+    }?;
 
-    let json = if args.iter().any(|a| a == "--pretty") {
-        serde_json::to_string_pretty(&report)
-    } else {
-        serde_json::to_string(&report)
-    }
-    .map_err(|e| e.to_string())?;
-    std::fs::write(out_path, json.as_bytes()).map_err(|e| format!("{out_path}: {e}"))?;
+    let json = to_json(&report, args.iter().any(|a| a == "--pretty"))?;
+    std::fs::write(out_path, json.as_bytes()).map_err(|e| {
+        Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{out_path}: {e}"))))
+    })?;
 
     eprintln!(
         "bench: solver={} pool_threads={} hardware_threads={} seed={} → {out_path}",
@@ -202,12 +256,65 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
     if report.entries.iter().any(|e| !e.identical) {
-        return Err("determinism violation: a parallel solve diverged from sequential".into());
+        return Err(Failure::App(CliError::Churn(
+            "determinism violation: a parallel solve diverged from sequential".into(),
+        )));
     }
     Ok(())
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> Result<(), Failure> {
+    let defaults = ServeOpts::default();
+    let opts = ServeOpts {
+        queue: parsed_flag(args, "--queue", defaults.queue)?,
+        default_deadline_ms: match flag_value(args, "--deadline-ms")? {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|e| Failure::Usage(format!("bad --deadline-ms: {e}")))?,
+            ),
+        },
+        grace_ms: parsed_flag(args, "--grace-ms", defaults.grace_ms)?,
+        breaker_threshold: parsed_flag(args, "--breaker", defaults.breaker_threshold)?,
+        breaker_cooldown: parsed_flag(args, "--cooldown", defaults.breaker_cooldown)?,
+    };
+    let counters_path = flag_value(args, "--counters")?;
+
+    let counters = run_serve(std::io::stdin().lock(), std::io::stdout(), &opts)?;
+
+    eprintln!(
+        "serve: received={} solved={} shed={} expired_in_queue={} parse_errors={} \
+         solve_errors={} deadline_misses={}",
+        counters.received,
+        counters.solved,
+        counters.shed,
+        counters.expired_in_queue,
+        counters.parse_errors,
+        counters.solve_errors,
+        counters.deadline_misses
+    );
+    for (tier, c) in &counters.per_tier {
+        let mean_ms = if c.answered > 0 {
+            c.total_micros as f64 / c.answered as f64 / 1e3
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  tier {tier}: answered={} mean={mean_ms:.3}ms max={:.3}ms",
+            c.answered,
+            c.max_micros as f64 / 1e3
+        );
+    }
+    if let Some(path) = counters_path {
+        let json = to_json(&counters, true)?;
+        std::fs::write(path, json.as_bytes()).map_err(|e| {
+            Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{path}: {e}"))))
+        })?;
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), Failure> {
     let defaults = GenerateOpts::default();
     let dist = match flag_value(args, "--dist")?.unwrap_or("uniform") {
         "uniform" => Distribution::Uniform,
@@ -219,7 +326,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             gamma: parsed_flag(args, "--gamma", 0.85)?,
             theta: parsed_flag(args, "--theta", 5.0)?,
         },
-        other => return Err(format!("unknown distribution {other:?}")),
+        other => return Err(Failure::Usage(format!("unknown distribution {other:?}"))),
     };
     let opts = GenerateOpts {
         servers: parsed_flag(args, "--servers", defaults.servers)?,
@@ -229,12 +336,6 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         seed: parsed_flag(args, "--seed", defaults.seed)?,
     };
     let doc = generate_document(&opts);
-    let out = if args.iter().any(|a| a == "--pretty") {
-        serde_json::to_string_pretty(&doc)
-    } else {
-        serde_json::to_string(&doc)
-    }
-    .map_err(|e| e.to_string())?;
-    println!("{out}");
+    println!("{}", to_json(&doc, args.iter().any(|a| a == "--pretty"))?);
     Ok(())
 }

@@ -1,0 +1,535 @@
+//! `aa-solve serve` — a deadline-aware LDJSON request loop with
+//! bounded-queue overload shedding.
+//!
+//! Requests arrive one JSON object per line on stdin; responses leave
+//! one JSON object per line on stdout, in completion order (clients
+//! correlate by echoed `id`). The loop is two threads and one bounded
+//! queue:
+//!
+//! * the **reader** parses lines and admits jobs with a non-blocking
+//!   `try_send`. A full queue is answered immediately with
+//!   `{"status":"overloaded","retry_after_ms":…}` — load is shed at the
+//!   door instead of growing an unbounded backlog that makes every
+//!   deadline unmeetable;
+//! * the **worker** solves admitted jobs with a shared
+//!   [`TieredSolver`], giving each request whatever remains of its
+//!   deadline after queueing delay. A request whose deadline lapsed in
+//!   the queue is answered `{"status":"error","class":"deadline"}`
+//!   without wasting a solve on it.
+//!
+//! Per-tier latency and shed counters accumulate in [`ServeCounters`],
+//! returned to the caller at EOF for the shutdown dump.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use aa_core::{Budget, SolveError, TieredSolver};
+use serde::{Deserialize, Serialize};
+
+use crate::{build_problem, CliError, ProblemFile};
+
+/// One request line: an optional correlation `id` (echoed back
+/// verbatim), an optional per-request deadline, and the problem.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Client correlation token; any JSON value, echoed in the response.
+    pub id: serde_json::Value,
+    /// Wall-clock deadline for this request, milliseconds from arrival.
+    /// Falls back to the loop's `--deadline-ms` default, else unlimited.
+    pub deadline_ms: Option<u64>,
+    /// The problem to solve.
+    pub problem: ProblemFile,
+}
+
+// Hand-written so `id` and `deadline_ms` may be omitted entirely; the
+// derive treats every field as required.
+impl Deserialize for ServeRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = serde::expect_obj(v, "ServeRequest")?;
+        let id = v.get("id").cloned().unwrap_or(serde::Value::Null);
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(serde::Value::Null) => None,
+            Some(d) => Some(d.as_u64().ok_or_else(|| {
+                format!("ServeRequest.deadline_ms: expected unsigned integer, found {d:?}")
+            })?),
+        };
+        let problem = serde::de_field(obj, "problem", "ServeRequest")?;
+        Ok(ServeRequest { id, deadline_ms, problem })
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, Serialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum ServeResponse {
+    /// The solve finished (possibly degraded — see `tier`).
+    Ok {
+        /// Echoed request id.
+        id: serde_json::Value,
+        /// Name of the ladder tier that answered.
+        tier: String,
+        /// True when the answer is anything less than the top tier
+        /// completing.
+        degraded: bool,
+        /// Total utility of the assignment.
+        utility: f64,
+        /// Server index per thread.
+        server: Vec<usize>,
+        /// Allocation per thread.
+        allocation: Vec<f64>,
+        /// End-to-end latency (arrival → response), milliseconds.
+        latency_ms: f64,
+    },
+    /// The admission queue was full; nothing was attempted. Retry after
+    /// the hinted backoff.
+    Overloaded {
+        /// Echoed request id.
+        id: serde_json::Value,
+        /// Suggested client backoff: the queue's current estimated
+        /// drain time.
+        retry_after_ms: u64,
+    },
+    /// The request failed. `class` is stable for dispatch; `error` is
+    /// human-readable.
+    Error {
+        /// Echoed request id (`null` for unparseable lines).
+        id: serde_json::Value,
+        /// Error class: `parse`, `problem`, `deadline`, or `solve`.
+        class: String,
+        /// Human-readable detail.
+        error: String,
+    },
+}
+
+/// Latency accounting for one ladder tier.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct TierCounter {
+    /// Requests this tier answered.
+    pub answered: u64,
+    /// Total solve wall time across those answers, microseconds.
+    pub total_micros: u64,
+    /// Worst single solve wall time, microseconds.
+    pub max_micros: u64,
+}
+
+/// Counters accumulated over one serve session, dumped at shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ServeCounters {
+    /// Non-empty request lines read.
+    pub received: u64,
+    /// Requests answered with `status: ok`.
+    pub solved: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Admitted requests whose deadline lapsed before the worker got to
+    /// them (answered without a solve).
+    pub expired_in_queue: u64,
+    /// Lines that were not valid requests.
+    pub parse_errors: u64,
+    /// Admitted requests whose solve failed (bad problem, cancellation).
+    pub solve_errors: u64,
+    /// Solved requests whose end-to-end latency exceeded their deadline
+    /// by more than the grace window.
+    pub deadline_misses: u64,
+    /// Latency accounting per answering tier.
+    pub per_tier: BTreeMap<String, TierCounter>,
+}
+
+/// Configuration for [`run_serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Admission queue depth; requests beyond it are shed.
+    pub queue: usize,
+    /// Deadline for requests that don't carry their own, milliseconds.
+    pub default_deadline_ms: Option<u64>,
+    /// Slack added to a deadline before a completed solve counts as a
+    /// miss, milliseconds.
+    pub grace_ms: u64,
+    /// Circuit breaker: consecutive tier failures before it opens.
+    pub breaker_threshold: u32,
+    /// Circuit breaker: requests a tripped tier sits out.
+    pub breaker_cooldown: u64,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            queue: 16,
+            default_deadline_ms: None,
+            grace_ms: 10,
+            breaker_threshold: aa_core::tiered::DEFAULT_BREAKER_THRESHOLD,
+            breaker_cooldown: aa_core::tiered::DEFAULT_BREAKER_COOLDOWN,
+        }
+    }
+}
+
+struct Job {
+    req: ServeRequest,
+    arrived: Instant,
+}
+
+/// Run the request loop until `input` reaches EOF, then drain the queue
+/// and return the session counters. Responses go to `output` one JSON
+/// object per line.
+pub fn run_serve<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    opts: &ServeOpts,
+) -> Result<ServeCounters, CliError> {
+    let out = Mutex::new(output);
+    let counters = Mutex::new(ServeCounters::default());
+    let solver = TieredSolver::new().breaker(opts.breaker_threshold, opts.breaker_cooldown);
+    let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue.max(1));
+
+    let io_result = std::thread::scope(|s| {
+        let (solver, out, counters) = (&solver, &out, &counters);
+        s.spawn(move || worker_loop(rx, solver, out, counters, opts));
+        let result = reader_loop(input, &tx, out, counters, opts.queue);
+        // EOF (or a dead output pipe): closing the channel lets the
+        // worker drain the backlog and exit, and the scope joins it.
+        drop(tx);
+        result
+    });
+    io_result?;
+    Ok(counters.into_inner().expect("serve threads joined"))
+}
+
+fn reader_loop<R: BufRead, W: Write>(
+    input: R,
+    tx: &SyncSender<Job>,
+    out: &Mutex<W>,
+    counters: &Mutex<ServeCounters>,
+    queue: usize,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        counters.lock().unwrap().received += 1;
+        match serde_json::from_str::<ServeRequest>(&line) {
+            Err(e) => {
+                counters.lock().unwrap().parse_errors += 1;
+                respond(
+                    out,
+                    &ServeResponse::Error {
+                        id: serde_json::Value::Null,
+                        class: "parse".to_string(),
+                        error: e.to_string(),
+                    },
+                )?;
+            }
+            Ok(req) => {
+                let id = req.id.clone();
+                match tx.try_send(Job { req, arrived: Instant::now() }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        let retry_after_ms = estimated_drain_ms(counters, queue);
+                        counters.lock().unwrap().shed += 1;
+                        respond(out, &ServeResponse::Overloaded { id, retry_after_ms })?;
+                    }
+                    // Worker gone (panicked): stop reading; the scope
+                    // join below will propagate the panic.
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Backoff hint for a shed request: queue depth × the mean solve time
+/// observed so far (1 ms floor before any solve completes).
+fn estimated_drain_ms(counters: &Mutex<ServeCounters>, queue: usize) -> u64 {
+    let c = counters.lock().unwrap();
+    let (answered, micros) = c
+        .per_tier
+        .values()
+        .fold((0_u64, 0_u64), |(a, m), t| (a + t.answered, m + t.total_micros));
+    let mean_micros = micros.checked_div(answered).unwrap_or(1000);
+    (mean_micros.saturating_mul(queue as u64) / 1000).max(1)
+}
+
+fn worker_loop<W: Write>(
+    rx: Receiver<Job>,
+    solver: &TieredSolver,
+    out: &Mutex<W>,
+    counters: &Mutex<ServeCounters>,
+    opts: &ServeOpts,
+) {
+    while let Ok(job) = rx.recv() {
+        if handle_job(job, solver, out, counters, opts).is_err() {
+            // Output pipe is gone; keep draining so the reader's sends
+            // don't wedge, but stop writing.
+            for _ in rx.iter() {}
+            return;
+        }
+    }
+}
+
+fn handle_job<W: Write>(
+    job: Job,
+    solver: &TieredSolver,
+    out: &Mutex<W>,
+    counters: &Mutex<ServeCounters>,
+    opts: &ServeOpts,
+) -> std::io::Result<()> {
+    let id = job.req.id;
+    let deadline_ms = job.req.deadline_ms.or(opts.default_deadline_ms);
+    let queued_ms = job.arrived.elapsed().as_secs_f64() * 1e3;
+
+    // A deadline that lapsed in the queue: answering takes microseconds,
+    // solving would take the whole ladder — shed it here.
+    if let Some(d) = deadline_ms {
+        if queued_ms >= d as f64 {
+            counters.lock().unwrap().expired_in_queue += 1;
+            return respond(
+                out,
+                &ServeResponse::Error {
+                    id,
+                    class: "deadline".to_string(),
+                    error: format!("deadline ({d} ms) expired after {queued_ms:.1} ms in queue"),
+                },
+            );
+        }
+    }
+
+    let problem = match build_problem(&job.req.problem) {
+        Ok(p) => p,
+        Err(e) => {
+            counters.lock().unwrap().solve_errors += 1;
+            return respond(
+                out,
+                &ServeResponse::Error {
+                    id,
+                    class: "problem".to_string(),
+                    error: e.to_string(),
+                },
+            );
+        }
+    };
+
+    let budget = match deadline_ms {
+        Some(d) => {
+            let remaining = (d as f64 - queued_ms).max(0.0) / 1e3;
+            Budget::with_deadline(Duration::from_secs_f64(remaining))
+        }
+        None => Budget::unlimited(),
+    };
+
+    let solve_start = Instant::now();
+    match solver.try_solve_within(&problem, &budget) {
+        Ok(solved) => {
+            let solve_micros = solve_start.elapsed().as_micros() as u64;
+            let latency_ms = job.arrived.elapsed().as_secs_f64() * 1e3;
+            {
+                let mut c = counters.lock().unwrap();
+                c.solved += 1;
+                let tier = c
+                    .per_tier
+                    .entry(solved.degradation.tier.name().to_string())
+                    .or_default();
+                tier.answered += 1;
+                tier.total_micros += solve_micros;
+                tier.max_micros = tier.max_micros.max(solve_micros);
+                if let Some(d) = deadline_ms {
+                    if latency_ms > (d + opts.grace_ms) as f64 {
+                        c.deadline_misses += 1;
+                    }
+                }
+            }
+            respond(
+                out,
+                &ServeResponse::Ok {
+                    id,
+                    tier: solved.degradation.tier.name().to_string(),
+                    degraded: solved.degradation.degraded,
+                    utility: solved.utility,
+                    server: solved.assignment.server,
+                    allocation: solved.assignment.amount,
+                    latency_ms,
+                },
+            )
+        }
+        Err(e) => {
+            counters.lock().unwrap().solve_errors += 1;
+            let class = match e {
+                SolveError::DeadlineExceeded | SolveError::Cancelled => "deadline",
+                _ => "solve",
+            };
+            respond(
+                out,
+                &ServeResponse::Error {
+                    id,
+                    class: class.to_string(),
+                    error: e.to_string(),
+                },
+            )
+        }
+    }
+}
+
+fn respond<W: Write>(out: &Mutex<W>, response: &ServeResponse) -> std::io::Result<()> {
+    let line = serde_json::to_string(response).expect("responses always serialize");
+    let mut w = out.lock().unwrap();
+    writeln!(w, "{line}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility::UtilitySpec;
+
+    fn request_line(id: u64, deadline_ms: Option<u64>, threads: usize) -> String {
+        let problem = ProblemFile {
+            servers: 4,
+            capacity: 100.0,
+            threads: (0..threads)
+                .map(|i| UtilitySpec::Power {
+                    scale: 1.0 + (i % 7) as f64,
+                    beta: 0.5,
+                    cap: 100.0,
+                })
+                .collect(),
+        };
+        let problem = serde_json::to_string(&problem).unwrap();
+        match deadline_ms {
+            Some(d) => format!(r#"{{"id":{id},"deadline_ms":{d},"problem":{problem}}}"#),
+            None => format!(r#"{{"id":{id},"problem":{problem}}}"#),
+        }
+    }
+
+    fn run(input: &str, opts: &ServeOpts) -> (ServeCounters, Vec<serde_json::Value>) {
+        let mut output: Vec<u8> = Vec::new();
+        let counters = run_serve(input.as_bytes(), &mut output, opts).unwrap();
+        let responses = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        (counters, responses)
+    }
+
+    #[test]
+    fn solves_requests_and_echoes_ids() {
+        let input = format!("{}\n{}\n", request_line(1, None, 6), request_line(2, None, 8));
+        let (counters, responses) = run(&input, &ServeOpts::default());
+        assert_eq!(counters.received, 2);
+        assert_eq!(counters.solved, 2);
+        assert_eq!(counters.shed, 0);
+        assert_eq!(responses.len(), 2);
+        let mut ids: Vec<u64> =
+            responses.iter().map(|r| r["id"].as_u64().unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        for r in &responses {
+            assert_eq!(r["status"], "ok", "{r:?}");
+            assert!(r["utility"].as_f64().unwrap() > 0.0);
+            assert_eq!(r["server"].as_array().unwrap().len(), r["allocation"].as_array().unwrap().len());
+        }
+        // Per-tier accounting saw both answers.
+        let answered: u64 = counters.per_tier.values().map(|t| t.answered).sum();
+        assert_eq!(answered, 2);
+    }
+
+    #[test]
+    fn burst_beyond_the_queue_is_shed_with_backoff_hints() {
+        // First request is large and unbudgeted: the worker is busy for
+        // many milliseconds while the reader (all in-memory) admits one
+        // more and must shed the rest of the burst.
+        let mut input = request_line(0, None, 4000);
+        for i in 1..=6 {
+            input.push('\n');
+            input.push_str(&request_line(i, None, 4));
+        }
+        input.push('\n');
+        let opts = ServeOpts { queue: 1, ..ServeOpts::default() };
+        let (counters, responses) = run(&input, &opts);
+        assert_eq!(counters.received, 7);
+        assert!(counters.shed > 0, "burst was not shed: {counters:?}");
+        assert_eq!(counters.solved + counters.shed, 7);
+        assert_eq!(counters.deadline_misses, 0);
+        let overloaded: Vec<_> =
+            responses.iter().filter(|r| r["status"] == "overloaded").collect();
+        assert_eq!(overloaded.len() as u64, counters.shed);
+        for r in &overloaded {
+            assert!(r["retry_after_ms"].as_u64().unwrap() >= 1);
+        }
+        // Every line got exactly one response.
+        assert_eq!(responses.len(), 7);
+    }
+
+    #[test]
+    fn tight_deadlines_degrade_but_never_fail() {
+        let input = format!("{}\n", request_line(9, Some(1), 3000));
+        let (counters, responses) = run(&input, &ServeOpts::default());
+        assert_eq!(counters.solved, 1);
+        assert_eq!(counters.solve_errors, 0);
+        assert_eq!(responses[0]["status"], "ok");
+        // 1 ms cannot fit the full ladder on 3000 threads: degraded.
+        assert_eq!(responses[0]["degraded"].as_bool(), Some(true), "{:?}", responses[0]);
+    }
+
+    #[test]
+    fn deadline_that_lapses_in_queue_is_answered_without_a_solve() {
+        // Large unbudgeted head request occupies the worker; the second
+        // request's 1 ms deadline lapses while it waits.
+        let input = format!(
+            "{}\n{}\n",
+            request_line(0, None, 4000),
+            request_line(1, Some(1), 4)
+        );
+        let (counters, responses) = run(&input, &ServeOpts::default());
+        assert_eq!(counters.expired_in_queue, 1, "{counters:?}");
+        let expired = responses.iter().find(|r| r["id"].as_u64() == Some(1)).unwrap();
+        assert_eq!(expired["status"], "error");
+        assert_eq!(expired["class"], "deadline");
+    }
+
+    #[test]
+    fn malformed_lines_get_parse_errors_and_serving_continues() {
+        let input = format!("this is not json\n{}\n", request_line(5, None, 4));
+        let (counters, responses) = run(&input, &ServeOpts::default());
+        assert_eq!(counters.parse_errors, 1);
+        assert_eq!(counters.solved, 1);
+        let parse = responses.iter().find(|r| r["status"] == "error").unwrap();
+        assert_eq!(parse["class"], "parse");
+        assert_eq!(parse["id"], serde_json::Value::Null);
+        assert!(responses
+            .iter()
+            .any(|r| r["status"] == "ok" && r["id"].as_u64() == Some(5)));
+    }
+
+    #[test]
+    fn invalid_problems_are_typed_not_fatal() {
+        let bad = r#"{"id":3,"problem":{"servers":0,"capacity":10.0,"threads":[]}}"#;
+        let input = format!("{bad}\n{}\n", request_line(4, None, 4));
+        let (counters, responses) = run(&input, &ServeOpts::default());
+        assert_eq!(counters.solve_errors, 1);
+        assert_eq!(counters.solved, 1);
+        let err = responses.iter().find(|r| r["id"].as_u64() == Some(3)).unwrap();
+        assert_eq!(err["status"], "error");
+        assert_eq!(err["class"], "problem");
+    }
+
+    #[test]
+    fn counters_serialize_for_the_shutdown_dump() {
+        let input = format!("{}\n", request_line(1, None, 4));
+        let (counters, _) = run(&input, &ServeOpts::default());
+        let json = serde_json::to_string_pretty(&counters).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(back["solved"].as_u64(), Some(1));
+        assert!(back["per_tier"].as_object().is_some());
+    }
+
+    #[test]
+    fn empty_input_returns_zeroed_counters() {
+        let (counters, responses) = run("", &ServeOpts::default());
+        assert_eq!(counters, ServeCounters::default());
+        assert!(responses.is_empty());
+    }
+}

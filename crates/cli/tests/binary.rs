@@ -254,6 +254,166 @@ fn bench_small_writes_valid_schema_with_matching_utilities() {
     }
 }
 
+// ---- exit-code contract ----
+//
+// Each error class maps to a distinct, documented exit code so scripts
+// can dispatch on failures without parsing stderr.
+
+#[test]
+fn exit_code_contract_is_documented_in_help() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("exit codes"), "help is missing the exit-code table: {text}");
+    assert!(text.contains("serve"), "help is missing the serve command: {text}");
+}
+
+#[test]
+fn unknown_command_exits_1_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn malformed_json_exits_2() {
+    let dir = tempdir();
+    let path = dir.join("garbage.json");
+    std::fs::write(&path, "{ nope").unwrap();
+    let out = bin().args(["solve", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn unknown_solver_exits_3() {
+    let dir = tempdir();
+    let path = dir.join("p3.json");
+    let gen = bin()
+        .args(["generate", "--servers", "2", "--beta", "1", "--capacity", "10"])
+        .output()
+        .unwrap();
+    std::fs::write(&path, &gen.stdout).unwrap();
+    let out = bin()
+        .args(["solve", path.to_str().unwrap(), "--solver", "magic"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn oversized_exact_instance_exits_4() {
+    // 8 servers × 8 threads/server = 64 threads, far past the exact
+    // enumerator's limit: a typed SolveError, not a panic.
+    let dir = tempdir();
+    let path = dir.join("big.json");
+    let gen = bin()
+        .args(["generate", "--servers", "8", "--beta", "8", "--capacity", "10"])
+        .output()
+        .unwrap();
+    std::fs::write(&path, &gen.stdout).unwrap();
+    let out = bin()
+        .args(["solve", path.to_str().unwrap(), "--solver", "exact"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("solve failed"));
+}
+
+#[test]
+fn missing_input_file_exits_6() {
+    let out = bin()
+        .args(["solve", "/definitely/not/a/file.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+// ---- serve ----
+
+fn serve_request(id: u64, deadline_ms: Option<u64>, threads: usize) -> String {
+    let specs: Vec<String> = (0..threads)
+        .map(|i| {
+            format!(
+                r#"{{"kind":"power","scale":{}.0,"beta":0.5,"cap":100.0}}"#,
+                1 + (i % 7)
+            )
+        })
+        .collect();
+    let problem = format!(
+        r#"{{"servers":4,"capacity":100.0,"threads":[{}]}}"#,
+        specs.join(",")
+    );
+    match deadline_ms {
+        Some(d) => format!(r#"{{"id":{id},"deadline_ms":{d},"problem":{problem}}}"#),
+        None => format!(r#"{{"id":{id},"problem":{problem}}}"#),
+    }
+}
+
+#[test]
+fn serve_end_to_end_sheds_overload_and_exits_cleanly() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let dir = tempdir();
+    let counters_path = dir.join("serve-counters.json");
+
+    // A large unbudgeted head request keeps the worker busy for many
+    // milliseconds while the burst behind it hits a queue of depth 1,
+    // plus one tiny-deadline request that must degrade, not fail.
+    let mut input = serve_request(0, None, 3000);
+    for i in 1..=6 {
+        input.push('\n');
+        input.push_str(&serve_request(i, None, 4));
+    }
+    input.push('\n');
+    input.push_str(&serve_request(7, Some(1), 500));
+    input.push('\n');
+
+    let mut child = bin()
+        .args(["serve", "--queue", "1", "--counters", counters_path.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().unwrap();
+    let writer = std::thread::spawn(move || {
+        stdin.write_all(input.as_bytes()).unwrap();
+        // Dropping stdin closes the pipe: EOF ends the serve loop.
+    });
+    let out = child.wait_with_output().unwrap();
+    writer.join().unwrap();
+
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let responses: Vec<serde_json::Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 8, "one response per request");
+    let shed = responses.iter().filter(|r| r["status"] == "overloaded").count();
+    assert!(shed > 0, "burst was not shed: {responses:?}");
+    for r in responses.iter().filter(|r| r["status"] == "overloaded") {
+        assert!(r["retry_after_ms"].as_u64().unwrap() >= 1);
+    }
+    // Admitted requests either solve or expire in queue behind the big
+    // head request; nothing may fail for any other reason.
+    for r in responses.iter().filter(|r| r["status"] == "error") {
+        assert_eq!(r["class"], "deadline", "unexpected failure: {r:?}");
+    }
+
+    // The shutdown dump: human summary on stderr, JSON in --counters.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("serve: received=8"), "missing summary: {err}");
+    let counters: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&counters_path).unwrap()).unwrap();
+    assert_eq!(counters["received"].as_u64(), Some(8));
+    assert_eq!(counters["shed"].as_u64(), Some(shed as u64));
+    assert_eq!(counters["deadline_misses"].as_u64(), Some(0));
+    let solved = counters["solved"].as_u64().unwrap();
+    let expired = counters["expired_in_queue"].as_u64().unwrap();
+    assert_eq!(solved + shed as u64 + expired, 8);
+}
+
 #[test]
 fn bench_thread_override_changes_reported_pool_size_not_results() {
     let dir = tempdir();

@@ -14,9 +14,11 @@
 
 use aa_utility::{Linearized, Utility};
 
+use crate::budget::Budget;
 use crate::linearize::{linearize, linearize_par};
 use crate::problem::{Assignment, Problem};
-use crate::superopt::{super_optimal, super_optimal_par, SuperOptimal};
+use crate::solver::SolveError;
+use crate::superopt::{super_optimal, super_optimal_budgeted, super_optimal_par, SuperOptimal};
 
 /// Run the complete Algorithm 1 pipeline: super-optimal allocation →
 /// linearization → greedy assignment.
@@ -38,12 +40,51 @@ pub fn solve_par(problem: &Problem) -> Assignment {
     assign_with(problem, &so, &gs)
 }
 
+/// [`solve_par`] under a solve [`Budget`]: the super-optimal bisection
+/// checks the budget per iteration (and its pool fan-outs watch the
+/// budget's cancel token), and the greedy assignment checks it once per
+/// round. While the budget holds the result is **bit-identical** to
+/// [`solve_par`] (and hence [`solve`]); expiry surfaces as
+/// [`SolveError::DeadlineExceeded`], external cancellation as
+/// [`SolveError::Cancelled`] — never a half-built assignment.
+pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Assignment, SolveError> {
+    let so = super_optimal_budgeted(problem, budget)?;
+    budget.check()?;
+    let gs = linearize_par(problem, &so);
+    assign_with_budgeted(problem, &so, &gs, budget)
+}
+
 /// The greedy assignment phase, given precomputed `ĉ` and `g`.
 ///
 /// Tie-breaking (the paper allows any): among equal-utility threads the
 /// lowest index wins; among equally-attractive servers the one with the
 /// most remaining resource wins, then the lowest index. Deterministic.
 pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> Assignment {
+    match assign_impl(problem, so, gs, None) {
+        Ok(a) => a,
+        Err(_) => unreachable!("unbudgeted assignment cannot fail"),
+    }
+}
+
+/// [`assign_with`] with a per-round budget check. Bit-identical to
+/// [`assign_with`] while the budget holds — the check does not touch the
+/// greedy's numerics or tie-breaking.
+pub fn assign_with_budgeted(
+    problem: &Problem,
+    so: &SuperOptimal,
+    gs: &[Linearized],
+    budget: &Budget,
+) -> Result<Assignment, SolveError> {
+    assign_impl(problem, so, gs, Some(budget))
+}
+
+/// Shared greedy core; `budget: None` never fails.
+fn assign_impl(
+    problem: &Problem,
+    so: &SuperOptimal,
+    gs: &[Linearized],
+    budget: Option<&Budget>,
+) -> Result<Assignment, SolveError> {
     let n = problem.len();
     let m = problem.servers();
     assert_eq!(so.amounts.len(), n, "ĉ must cover every thread");
@@ -55,6 +96,9 @@ pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> A
     let mut amount = vec![0.0_f64; n];
 
     for _round in 0..n {
+        if let Some(b) = budget {
+            b.check()?;
+        }
         // The server with the most remaining resource (ties: lowest index).
         let (j_max, &c_max) = remaining
             .iter()
@@ -109,7 +153,7 @@ pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> A
         remaining[j_max] = 0.0;
     }
 
-    Assignment { server, amount }
+    Ok(Assignment { server, amount })
 }
 
 /// A literal transcription of the paper's Algorithm 1 pseudocode —
@@ -337,6 +381,25 @@ mod tests {
         for threads in [1, 2, 8] {
             let par = rayon::with_threads(threads, || solve_par(&p));
             assert_eq!(seq, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn budgeted_solve_matches_plain_and_types_expiry() {
+        let p = Problem::builder(2, 7.0)
+            .threads((0..9).map(|i| arc(Power::new(1.0 + (i % 3) as f64, 0.5, 7.0))))
+            .build()
+            .unwrap();
+        let plain = solve(&p);
+        let roomy = solve_budgeted(&p, &crate::Budget::unlimited()).unwrap();
+        assert_eq!(plain, roomy);
+        // Enough fuel to finish the super-optimal bisection but not the
+        // greedy: expiry mid-assignment is typed, never a partial result.
+        for fuel in [0, 1, 3, 50, 130, 135] {
+            match solve_budgeted(&p, &crate::Budget::with_fuel(fuel)) {
+                Ok(a) => assert_eq!(a, plain, "fuel {fuel}"),
+                Err(e) => assert_eq!(e, SolveError::DeadlineExceeded, "fuel {fuel}"),
+            }
         }
     }
 

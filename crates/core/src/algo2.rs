@@ -23,9 +23,11 @@ use std::collections::BinaryHeap;
 use aa_utility::num::OrdF64;
 use aa_utility::{Linearized, Utility};
 
+use crate::budget::Budget;
 use crate::linearize::{linearize, linearize_par};
 use crate::problem::{Assignment, Problem};
-use crate::superopt::{super_optimal, super_optimal_par, SuperOptimal};
+use crate::solver::SolveError;
+use crate::superopt::{super_optimal, super_optimal_budgeted, super_optimal_par, SuperOptimal};
 
 /// Run the complete Algorithm 2 pipeline: super-optimal allocation →
 /// linearization → sorted heap assignment.
@@ -72,11 +74,51 @@ pub fn solve_par(problem: &Problem) -> Assignment {
     assign_with(problem, &so, &gs)
 }
 
+/// [`solve_par`] under a solve [`Budget`]: the super-optimal bisection
+/// checks the budget per iteration (its pool fan-outs watch the budget's
+/// cancel token and abandon unclaimed chunks when it fires), and the
+/// placement loop checks it once per heap pop. While the budget holds
+/// the result is **bit-identical** to [`solve_par`] (and hence
+/// [`solve`]); expiry surfaces as [`SolveError::DeadlineExceeded`],
+/// external cancellation as [`SolveError::Cancelled`] — never a
+/// half-built assignment.
+pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Assignment, SolveError> {
+    let so = super_optimal_budgeted(problem, budget)?;
+    budget.check()?;
+    let gs = linearize_par(problem, &so);
+    assign_with_budgeted(problem, &so, &gs, budget)
+}
+
 /// The assignment phase of Algorithm 2, given precomputed `ĉ` and `g`.
 ///
 /// Deterministic: both sorts are stable (ties keep index order) and the
 /// heap breaks capacity ties toward the lowest server index.
 pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> Assignment {
+    match assign_impl(problem, so, gs, None) {
+        Ok(a) => a,
+        Err(_) => unreachable!("unbudgeted assignment cannot fail"),
+    }
+}
+
+/// [`assign_with`] with a per-placement budget check. Bit-identical to
+/// [`assign_with`] while the budget holds — the check does not touch the
+/// sorts, the heap order, or the allocated amounts.
+pub fn assign_with_budgeted(
+    problem: &Problem,
+    so: &SuperOptimal,
+    gs: &[Linearized],
+    budget: &Budget,
+) -> Result<Assignment, SolveError> {
+    assign_impl(problem, so, gs, Some(budget))
+}
+
+/// Shared assignment core; `budget: None` never fails.
+fn assign_impl(
+    problem: &Problem,
+    so: &SuperOptimal,
+    gs: &[Linearized],
+    budget: Option<&Budget>,
+) -> Result<Assignment, SolveError> {
     let n = problem.len();
     let m = problem.servers();
     assert_eq!(so.amounts.len(), n, "ĉ must cover every thread");
@@ -103,6 +145,9 @@ pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> A
     let mut server = vec![0_usize; n];
     let mut amount = vec![0.0_f64; n];
     for &i in &order {
+        if let Some(b) = budget {
+            b.check()?;
+        }
         // Total even for an (unrepresentable) empty server set: threads
         // that cannot be placed keep server 0 / amount 0 from the init.
         let Some((OrdF64(cj), Reverse(j))) = heap.pop() else { break };
@@ -112,7 +157,7 @@ pub fn assign_with(problem: &Problem, so: &SuperOptimal, gs: &[Linearized]) -> A
         heap.push((OrdF64(cj - c), Reverse(j)));
     }
 
-    Assignment { server, amount }
+    Ok(Assignment { server, amount })
 }
 
 #[cfg(test)]
@@ -254,6 +299,37 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_solve_matches_plain_and_types_expiry() {
+        let p = Problem::builder(3, 4.0)
+            .threads((0..12).map(|i| arc(Power::new(1.0 + (i % 5) as f64, 0.6, 4.0))))
+            .build()
+            .unwrap();
+        let plain = solve(&p);
+        let roomy = solve_budgeted(&p, &crate::Budget::unlimited()).unwrap();
+        assert_eq!(plain, roomy);
+        for fuel in [0, 1, 4, 60, 131, 138] {
+            match solve_budgeted(&p, &crate::Budget::with_fuel(fuel)) {
+                Ok(a) => assert_eq!(a, plain, "fuel {fuel}"),
+                Err(e) => assert_eq!(e, SolveError::DeadlineExceeded, "fuel {fuel}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_cancel_token_reports_cancelled() {
+        let p = Problem::builder(2, 4.0)
+            .threads((0..6).map(|i| arc(Power::new(1.0 + i as f64, 0.5, 4.0))))
+            .build()
+            .unwrap();
+        let budget = crate::Budget::unlimited();
+        budget.cancel_token().cancel();
+        assert_eq!(
+            solve_budgeted(&p, &budget),
+            Err(SolveError::Cancelled)
+        );
+    }
+
+    #[test]
     fn handles_more_servers_than_threads() {
         let p = Problem::builder(5, 3.0)
             .thread(arc(Power::new(1.0, 0.5, 3.0)))
@@ -299,6 +375,29 @@ mod par_tests {
         }
         let bound = super_optimal(&p).utility;
         assert!(seq.total_utility(&p) >= crate::ALPHA * bound - 1e-6 * bound);
+    }
+
+    #[test]
+    fn budgeted_is_bit_identical_on_large_instance() {
+        // Above the allocator's parallel threshold the budgeted path runs
+        // the cancellable pool fan-out; with a roomy budget it must still
+        // match the plain solve bit for bit.
+        let n = aa_allocator::bisection::PAR_THRESHOLD + 117;
+        let p = Problem::builder(8, 50.0)
+            .threads((0..n).map(|i| {
+                Arc::new(Power::new(0.5 + (i % 13) as f64 * 0.2, 0.6, 50.0))
+                    as aa_utility::DynUtility
+            }))
+            .build()
+            .unwrap();
+        let seq = solve(&p);
+        for threads in [1, 4] {
+            let got = rayon::with_threads(threads, || {
+                solve_budgeted(&p, &crate::Budget::unlimited())
+            })
+            .unwrap();
+            assert_eq!(seq, got, "{threads} threads");
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 use aa_allocator::bisection;
 use aa_utility::Utility;
 
+use crate::budget::Budget;
 use crate::problem::{Assignment, CappedView, Problem};
+use crate::solver::SolveError;
 
 /// Practical thread limit: beyond this even pruned search can take
 /// seconds-to-minutes depending on instance structure.
@@ -142,6 +144,136 @@ pub fn optimal_utility(problem: &Problem) -> f64 {
     solve(problem).total_utility(problem)
 }
 
+/// Result of the anytime budgeted branch-and-bound
+/// ([`solve_budgeted`]): the best incumbent found, with a flag saying
+/// whether the search ran to completion (proving optimality) or was cut
+/// short by the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedSolve {
+    /// Best feasible assignment found (always at least the
+    /// `solve_refined` seed).
+    pub assignment: Assignment,
+    /// True iff the search space was exhausted — the assignment is the
+    /// exact optimum, not merely the incumbent at expiry.
+    pub optimal: bool,
+}
+
+/// **Anytime** branch-and-bound under a solve [`Budget`], checked once
+/// per DFS node.
+///
+/// Unlike the strict [`exact::solve_budgeted`](crate::exact), expiry is
+/// not an error here: the search carries an incumbent from the first
+/// node (seeded by the budgeted `solve_refined`), so running out of
+/// budget mid-search returns the best assignment found with
+/// `optimal: false`. Errors are reserved for cases with no answer at
+/// all: the instance is oversized ([`SolveError::TooLarge`]), the *seed*
+/// itself did not finish ([`SolveError::DeadlineExceeded`]), or the
+/// budget's token was cancelled externally ([`SolveError::Cancelled`]).
+pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<BudgetedSolve, SolveError> {
+    let n = problem.len();
+    if n > MAX_THREADS {
+        return Err(SolveError::TooLarge { threads: n, limit: MAX_THREADS });
+    }
+    let m = problem.servers();
+    let views: Vec<CappedView> = problem.capped_threads();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        views[b]
+            .max_value()
+            .total_cmp(&views[a].max_value())
+            .then_with(|| a.cmp(&b))
+    });
+    let mut unassigned_bound = vec![0.0_f64; n + 1];
+    for k in (0..n).rev() {
+        unassigned_bound[k] = unassigned_bound[k + 1] + views[order[k]].max_value();
+    }
+
+    // The seed is the incumbent that makes the search anytime; without
+    // it there is nothing to return on expiry, so seed failure is fatal.
+    let seed = crate::refine::solve_refined_budgeted(problem, budget)?;
+    let seed_utility = seed.total_utility(problem);
+
+    struct Search<'a> {
+        problem: &'a Problem,
+        views: &'a [CappedView],
+        order: &'a [usize],
+        unassigned_bound: &'a [f64],
+        budget: &'a Budget,
+        m: usize,
+        groups: Vec<Vec<usize>>,
+        group_opt: Vec<f64>,
+        server_of: Vec<usize>,
+        best_utility: f64,
+        best_server: Vec<usize>,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, k: usize, used: usize) -> Result<(), SolveError> {
+            self.budget.check()?;
+            if k == self.order.len() {
+                let total: f64 = self.group_opt.iter().sum();
+                if total > self.best_utility + 1e-12 {
+                    self.best_utility = total;
+                    self.best_server.clone_from(&self.server_of);
+                }
+                return Ok(());
+            }
+            let assigned_now: f64 = self.group_opt.iter().sum();
+            if assigned_now + self.unassigned_bound[k] <= self.best_utility + 1e-12 {
+                return Ok(());
+            }
+            let t = self.order[k];
+            let limit = (used + 1).min(self.m);
+            for j in 0..limit {
+                let saved_opt = self.group_opt[j];
+                self.groups[j].push(t);
+                let group: Vec<&CappedView> =
+                    self.groups[j].iter().map(|&i| &self.views[i]).collect();
+                self.group_opt[j] =
+                    bisection::allocate(&group, self.problem.capacity()).utility;
+                self.server_of[t] = j;
+                let result = self.dfs(k + 1, used.max(j + 1));
+                self.groups[j].pop();
+                self.group_opt[j] = saved_opt;
+                result?;
+            }
+            Ok(())
+        }
+    }
+
+    let mut search = Search {
+        problem,
+        views: &views,
+        order: &order,
+        unassigned_bound: &unassigned_bound,
+        budget,
+        m,
+        groups: vec![Vec::new(); m],
+        group_opt: vec![0.0; m],
+        server_of: vec![0; n],
+        best_utility: seed_utility,
+        best_server: seed.server.clone(),
+    };
+    let optimal = match search.dfs(0, 0) {
+        Ok(()) => true,
+        // Anytime: expiry keeps the incumbent. External cancellation
+        // means nobody wants the answer — propagate it.
+        Err(SolveError::DeadlineExceeded) => false,
+        Err(e) => return Err(e),
+    };
+    let best_server = search.best_server;
+
+    // The incumbent's placement is feasible by construction; rebuild its
+    // allocation with the *unbudgeted* allocator so an expired budget
+    // cannot block materializing the answer we already hold.
+    let amount = crate::exact::allocate_groups(problem, &views, &best_server);
+    Ok(BudgetedSolve {
+        assignment: Assignment { server: best_server, amount },
+        optimal,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +364,63 @@ mod tests {
             .build()
             .unwrap();
         solve(&p);
+    }
+
+    #[test]
+    fn budgeted_with_room_matches_plain_and_proves_optimality() {
+        for seed in 0..3 {
+            let p = random_problem(seed, 2, 6);
+            let plain = solve(&p);
+            let roomy = solve_budgeted(&p, &Budget::unlimited()).unwrap();
+            assert!(roomy.optimal, "seed {seed}");
+            assert_eq!(roomy.assignment, plain, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budgeted_is_anytime_across_all_fuel_levels() {
+        // Every fuel level must yield either a typed expiry (seed did not
+        // finish) or a feasible incumbent at least as good as the seed;
+        // the sweep must witness all three regimes: seed expiry, partial
+        // search, and proven optimality.
+        let p = random_problem(1, 2, 6);
+        let seed_utility = crate::refine::solve_refined(&p).total_utility(&p);
+        let optimal = solve(&p).total_utility(&p);
+        let (mut saw_err, mut saw_partial, mut saw_optimal) = (false, false, false);
+        for fuel in (0..3000).step_by(3) {
+            match solve_budgeted(&p, &Budget::with_fuel(fuel)) {
+                Err(e) => {
+                    assert_eq!(e, SolveError::DeadlineExceeded, "fuel {fuel}");
+                    saw_err = true;
+                }
+                Ok(b) => {
+                    b.assignment.validate(&p).unwrap();
+                    let u = b.assignment.total_utility(&p);
+                    assert!(u >= seed_utility - 1e-9, "fuel {fuel}: below seed");
+                    if b.optimal {
+                        assert!((u - optimal).abs() < 1e-9, "fuel {fuel}");
+                        saw_optimal = true;
+                    } else {
+                        saw_partial = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_err && saw_partial && saw_optimal);
+    }
+
+    #[test]
+    fn budgeted_rejects_oversized_instances_without_panicking() {
+        let p = Problem::builder(2, 1.0)
+            .threads((0..MAX_THREADS + 1).map(|_| arc(Power::new(1.0, 0.5, 1.0))))
+            .build()
+            .unwrap();
+        match solve_budgeted(&p, &Budget::unlimited()) {
+            Err(SolveError::TooLarge { threads, limit }) => {
+                assert_eq!(threads, MAX_THREADS + 1);
+                assert_eq!(limit, MAX_THREADS);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
     }
 }

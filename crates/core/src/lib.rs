@@ -39,6 +39,7 @@
 pub mod ablation;
 pub mod algo1;
 pub mod algo2;
+pub mod budget;
 pub mod churn;
 pub mod discrete;
 pub mod exact;
@@ -53,11 +54,14 @@ pub mod refine;
 pub mod solver;
 pub mod stats;
 pub mod superopt;
+pub mod tiered;
 pub mod tightness;
 
+pub use budget::Budget;
 pub use churn::{ClusterEvent, MigrationBudget, Repair, RepairError, RepairReport};
 pub use problem::{Assignment, AssignmentError, Problem, ProblemBuilder, ProblemError};
 pub use solver::{batch_seed, solve_batch, try_solve_batch, SolveError, Solver};
+pub use tiered::{Degradation, Tier, TierOutcome, TierStatus, TieredSolve, TieredSolver};
 
 /// The approximation ratio `α = 2(√2 − 1) ≈ 0.8284` guaranteed by
 /// Algorithms 1 and 2 (Theorems V.16 and VI.1).

@@ -18,7 +18,9 @@
 //! nonzero) gain; the tightness instance is a case where it provably
 //! cannot help, which the tests pin down.
 
-use crate::problem::{Assignment, Problem};
+use crate::budget::Budget;
+use crate::problem::{Assignment, CappedView, Problem};
+use crate::solver::SolveError;
 
 /// Exactly re-split every server's resource among its assigned threads
 /// using the original concave utilities. Placement is untouched.
@@ -28,10 +30,40 @@ pub fn refine_allocation(problem: &Problem, assignment: &Assignment) -> Assignme
     crate::online::reallocate_in_place(problem, assignment)
 }
 
+/// [`refine_allocation`] under a solve [`Budget`], checked per server
+/// and per bisection iteration inside each re-split. Bit-identical to
+/// [`refine_allocation`] while the budget holds; expiry is typed, never
+/// a half-refined allocation.
+pub fn refine_allocation_budgeted(
+    problem: &Problem,
+    assignment: &Assignment,
+    budget: &Budget,
+) -> Result<Assignment, SolveError> {
+    let views: Vec<CappedView> = problem.capped_threads();
+    let amount =
+        crate::exact::allocate_groups_budgeted(problem, &views, &assignment.server, budget)?;
+    Ok(Assignment {
+        server: assignment.server.clone(),
+        amount,
+    })
+}
+
 /// Algorithm 2 followed by exact per-server re-splitting.
 pub fn solve_refined(problem: &Problem) -> Assignment {
     let a = crate::algo2::solve(problem);
     refine_allocation(problem, &a)
+}
+
+/// [`solve_refined`] under a solve [`Budget`]: budgeted Algorithm 2
+/// followed by the budgeted re-split. While the budget holds the result
+/// is **bit-identical** to [`solve_refined`] — both stages share their
+/// unbudgeted counterparts' code paths exactly.
+pub fn solve_refined_budgeted(
+    problem: &Problem,
+    budget: &Budget,
+) -> Result<Assignment, SolveError> {
+    let a = crate::algo2::solve_budgeted(problem, budget)?;
+    refine_allocation_budgeted(problem, &a, budget)
 }
 
 #[cfg(test)]
@@ -118,6 +150,30 @@ mod tests {
             (refined.total_utility(&p) - tightness::GREEDY_UTILITY).abs() < 1e-9,
             "refinement should not change the tight instance's outcome"
         );
+    }
+
+    #[test]
+    fn budgeted_refined_solve_is_bit_identical_with_room() {
+        for seed in 0..4 {
+            let p = mixed_problem(seed);
+            let plain = solve_refined(&p);
+            let roomy = solve_refined_budgeted(&p, &crate::Budget::unlimited()).unwrap();
+            assert_eq!(plain, roomy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budgeted_refined_solve_types_expiry_at_every_fuel_level() {
+        let p = mixed_problem(2);
+        let plain = solve_refined(&p);
+        for fuel in (0..400).step_by(23) {
+            match solve_refined_budgeted(&p, &crate::Budget::with_fuel(fuel)) {
+                Ok(a) => assert_eq!(a, plain, "fuel {fuel}"),
+                Err(e) => {
+                    assert_eq!(e, crate::SolveError::DeadlineExceeded, "fuel {fuel}");
+                }
+            }
+        }
     }
 
     #[test]

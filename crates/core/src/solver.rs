@@ -13,7 +13,11 @@ use crate::problem::{Assignment, AssignmentError, Problem};
 use crate::{ablation, algo1, algo2, exact, exact_bb, heuristics, refine};
 
 /// Typed failure from the panic-free solve path ([`Solver::try_solve`]).
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm,
+/// and future variants stop being a semver break.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SolveError {
     /// The instance exceeds an exact solver's enumeration limit.
     TooLarge {
@@ -31,6 +35,13 @@ pub enum SolveError {
     /// The solver produced an infeasible assignment (solver bug or
     /// numerically hostile input); the offending check is attached.
     Infeasible(AssignmentError),
+    /// The solve's [`Budget`](crate::budget::Budget) ran out (wall-clock
+    /// deadline or fuel) before the solver finished. Degradable: the
+    /// tiered solver falls back to a cheaper tier on this error.
+    DeadlineExceeded,
+    /// The solve's cancel token was fired externally. Not degradable:
+    /// the caller no longer wants any answer.
+    Cancelled,
 }
 
 impl std::fmt::Display for SolveError {
@@ -43,22 +54,38 @@ impl std::fmt::Display for SolveError {
                 write!(f, "thread {thread}'s utility curve is non-finite on its domain")
             }
             SolveError::Infeasible(e) => write!(f, "solver produced infeasible output: {e}"),
+            SolveError::DeadlineExceeded => write!(f, "solve budget exhausted before completion"),
+            SolveError::Cancelled => write!(f, "solve cancelled by caller"),
         }
     }
 }
 
 impl std::error::Error for SolveError {}
 
-/// Reject curves that return NaN/∞ utility anywhere a solver will
-/// evaluate them (0, half cap, effective cap).
-fn check_finite_utilities(problem: &Problem) -> Result<(), SolveError> {
+/// Number of evenly spaced probe points used by
+/// [`check_finite_utilities`], endpoints included.
+const FINITE_PROBES: usize = 16;
+
+/// Reject curves that return NaN/∞ utility anywhere a solver is likely
+/// to evaluate them. The [`aa_utility::Utility`] trait exposes no knot
+/// enumeration, so the probe is a fixed [`FINITE_PROBES`]-point evenly
+/// spaced grid over `[0, effective_cap]` — endpoints included. A curve
+/// that is non-finite only on an interior sliver (a corrupt PCHIP knot,
+/// say) is caught as long as the sliver spans ≥ 1/15 of the domain;
+/// the old `{0, cap/2, cap}` probe missed anything off those three
+/// points and let NaN poison the solve downstream.
+pub(crate) fn check_finite_utilities(problem: &Problem) -> Result<(), SolveError> {
     for i in 0..problem.len() {
         let cap = problem.effective_cap(i);
-        let probes = [0.0, 0.5 * cap, cap];
-        if !cap.is_finite()
-            || probes.iter().any(|&x| !problem.utility_of(i, x).is_finite())
-        {
+        if !cap.is_finite() {
             return Err(SolveError::NonFiniteUtility { thread: i });
+        }
+        let step = cap / (FINITE_PROBES - 1) as f64;
+        for k in 0..FINITE_PROBES {
+            let x = if k == FINITE_PROBES - 1 { cap } else { step * k as f64 };
+            if !problem.utility_of(i, x).is_finite() {
+                return Err(SolveError::NonFiniteUtility { thread: i });
+            }
         }
     }
     Ok(())
@@ -489,6 +516,51 @@ mod tests {
         let p = Problem::builder(2, 8.0)
             .thread(Arc::new(Power::new(1.0, 0.5, 8.0)))
             .thread(Arc::new(Corrupt))
+            .build()
+            .unwrap();
+        assert_eq!(
+            Algo2.try_solve(&p).unwrap_err(),
+            SolveError::NonFiniteUtility { thread: 1 }
+        );
+    }
+
+    #[test]
+    fn try_solve_rejects_interior_nan_curves() {
+        // Regression: NaN only on an interior window of the domain. The
+        // old {0, cap/2, cap} probe sails past it — validation passed,
+        // then the bisection's demand sums went NaN and poisoned the
+        // whole solve. The 16-point grid lands inside the window.
+        #[derive(Debug)]
+        struct InteriorNan;
+        impl aa_utility::Utility for InteriorNan {
+            fn value(&self, x: f64) -> f64 {
+                // Corrupt only on [0.2·cap, 0.4·cap] = [1.0, 2.0]:
+                // misses 0, cap/2 = 2.5, and cap = 5.
+                if (1.0..=2.0).contains(&x) {
+                    f64::NAN
+                } else {
+                    x.sqrt()
+                }
+            }
+            fn derivative(&self, x: f64) -> f64 {
+                if (1.0..=2.0).contains(&x) {
+                    f64::NAN
+                } else {
+                    0.5 / x.sqrt().max(1e-12)
+                }
+            }
+            fn cap(&self) -> f64 {
+                5.0
+            }
+        }
+        // The old probe set misses the window entirely…
+        for x in [0.0, 2.5, 5.0] {
+            assert!(aa_utility::Utility::value(&InteriorNan, x).is_finite());
+        }
+        // …but validation must still reject the curve.
+        let p = Problem::builder(2, 8.0)
+            .thread(Arc::new(Power::new(1.0, 0.5, 8.0)))
+            .thread(Arc::new(InteriorNan))
             .build()
             .unwrap();
         assert_eq!(

@@ -10,7 +10,9 @@
 
 use aa_allocator::bisection;
 
+use crate::budget::Budget;
 use crate::problem::Problem;
+use crate::solver::SolveError;
 
 /// The super-optimal allocation `ĉ` and its utility `F̂`.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +70,31 @@ pub fn super_optimal_par(problem: &Problem) -> SuperOptimal {
         amounts: alloc.amounts,
         utility: alloc.utility,
     }
+}
+
+/// [`super_optimal_par`] under a solve [`Budget`]: the bisection checks
+/// the budget at iteration granularity, and above the allocator's
+/// parallel threshold the fanned-out demand maps additionally watch the
+/// budget's cancel token, abandoning unclaimed chunks the moment it
+/// fires. While the budget holds, the result is **bit-identical** to
+/// [`super_optimal_par`] (and hence [`super_optimal`]) for every thread
+/// count.
+pub fn super_optimal_budgeted(
+    problem: &Problem,
+    budget: &Budget,
+) -> Result<SuperOptimal, SolveError> {
+    let views = problem.capped_threads();
+    let pool = problem.servers() as f64 * problem.capacity();
+    let alloc = bisection::allocate_par_interruptible(
+        &views,
+        pool,
+        budget.cancel_token(),
+        &mut || budget.check(),
+    )?;
+    Ok(SuperOptimal {
+        amounts: alloc.amounts,
+        utility: alloc.utility,
+    })
 }
 
 #[cfg(test)]
@@ -153,6 +180,19 @@ mod tests {
             let par = rayon::with_threads(threads, || super_optimal_par(&p));
             assert_eq!(seq, par, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn budgeted_with_room_is_bit_identical_and_expiry_is_typed() {
+        let p = Problem::builder(3, 7.0)
+            .threads((0..40).map(|i| arc(Power::new(1.0 + (i % 9) as f64, 0.6, 7.0))))
+            .build()
+            .unwrap();
+        let plain = super_optimal(&p);
+        let roomy = super_optimal_budgeted(&p, &crate::Budget::unlimited()).unwrap();
+        assert_eq!(plain, roomy);
+        let starved = super_optimal_budgeted(&p, &crate::Budget::with_fuel(2));
+        assert_eq!(starved, Err(crate::SolveError::DeadlineExceeded));
     }
 
     #[test]

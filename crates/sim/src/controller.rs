@@ -48,6 +48,9 @@ pub struct EpochReport {
     pub measured: f64,
     /// Threads whose core changed entering this epoch.
     pub migrations: usize,
+    /// The solve that was supposed to produce this epoch's plan failed;
+    /// the epoch ran on the fallback (epoch 0) or the previous plan.
+    pub solve_error: Option<String>,
 }
 
 /// The controller: machine + policy.
@@ -67,6 +70,13 @@ impl Controller {
     /// The initial partition is solved from epoch 0's profile with
     /// `solver`; subsequent repairs always use the *previous* epoch's
     /// profile (the controller cannot see the future).
+    ///
+    /// A failing solve never aborts the run: the typed [`SolveError`]
+    /// lands in that epoch's [`EpochReport::solve_error`] and the epoch
+    /// runs on the best plan available — the zero-allocation fallback if
+    /// the initial solve failed, otherwise the previous epoch's plan.
+    ///
+    /// [`SolveError`]: aa_core::SolveError
     pub fn run<S: Solver + ?Sized>(
         &self,
         traces: &[Trace],
@@ -81,8 +91,10 @@ impl Controller {
 
         // Initial plan from epoch 0's profile.
         let mut problem = self.machine.build_problem(&windows[0]);
-        let mut plan: Assignment = solver.solve(&problem);
-        plan.validate(&problem).expect("solver output feasible");
+        let (mut plan, mut pending_error) = match solver.try_solve(&problem) {
+            Ok(p) => (p, None),
+            Err(e) => (Assignment::trivial(traces.len()), Some(e.to_string())),
+        };
 
         let mut reports = Vec::with_capacity(epochs);
         let mut prev_cores = plan.server.clone();
@@ -96,7 +108,12 @@ impl Controller {
                 .zip(&prev_cores)
                 .filter(|(a, b)| a != b)
                 .count();
-            reports.push(EpochReport { epoch: e, measured, migrations });
+            reports.push(EpochReport {
+                epoch: e,
+                measured,
+                migrations,
+                solve_error: pending_error.take(),
+            });
             prev_cores = plan.server.clone();
 
             // Repair for the next epoch using *this* epoch's profile.
@@ -108,7 +125,15 @@ impl Controller {
                     RepairPolicy::Migrations(k) => {
                         improve_with_migrations(&problem, &plan, k)
                     }
-                    RepairPolicy::Resolve => solver.solve(&problem),
+                    // A failed re-solve keeps the previous plan: the
+                    // machine shape is fixed, so it stays feasible.
+                    RepairPolicy::Resolve => match solver.try_solve(&problem) {
+                        Ok(p) => p,
+                        Err(err) => {
+                            pending_error = Some(err.to_string());
+                            plan
+                        }
+                    },
                 };
                 plan.validate(&problem).expect("repair keeps feasibility");
             }
@@ -230,5 +255,58 @@ mod tests {
     fn rejects_zero_epochs() {
         let c = Controller { machine: machine(), policy: RepairPolicy::Never };
         c.run(&drifting_traces(7), 0, &Algo2);
+    }
+
+    /// A solver that fails on every `try_solve` call.
+    struct AlwaysFails;
+
+    impl Solver for AlwaysFails {
+        fn name(&self) -> &'static str {
+            "always-fails"
+        }
+        fn solve_with(
+            &self,
+            _problem: &aa_core::Problem,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Assignment {
+            unreachable!("the controller must use the panic-free path")
+        }
+        fn try_solve_with(
+            &self,
+            problem: &aa_core::Problem,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Result<Assignment, aa_core::SolveError> {
+            Err(aa_core::SolveError::TooLarge { threads: problem.len(), limit: 0 })
+        }
+    }
+
+    #[test]
+    fn failed_initial_solve_is_surfaced_not_fatal() {
+        let c = Controller { machine: machine(), policy: RepairPolicy::Never };
+        let reports = c.run(&drifting_traces(8), 3, &AlwaysFails);
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].solve_error.is_some(), "epoch 0 must carry the error");
+        // `Never` does not re-solve, so later epochs are error-free.
+        assert!(reports[1..].iter().all(|r| r.solve_error.is_none()));
+        // The zero-allocation fallback measures zero utility but runs.
+        assert!(reports.iter().all(|r| r.measured >= 0.0 && r.migrations == 0));
+    }
+
+    #[test]
+    fn failed_resolve_keeps_previous_plan_and_records_the_error() {
+        let c = Controller { machine: machine(), policy: RepairPolicy::Resolve };
+        let reports = c.run(&drifting_traces(9), 3, &AlwaysFails);
+        // Every epoch's plan came from a failed solve: epoch 0 from the
+        // failed initial solve, later epochs from failed re-solves that
+        // kept the (fallback) plan in force.
+        assert!(reports.iter().all(|r| r.solve_error.is_some()), "{reports:?}");
+        assert!(reports.iter().all(|r| r.migrations == 0));
+    }
+
+    #[test]
+    fn healthy_solver_reports_no_epoch_errors() {
+        let c = Controller { machine: machine(), policy: RepairPolicy::Resolve };
+        let reports = c.run(&drifting_traces(10), 3, &Algo2);
+        assert!(reports.iter().all(|r| r.solve_error.is_none()));
     }
 }

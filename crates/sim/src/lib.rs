@@ -24,6 +24,9 @@
 //!   capacity, revenue accounting for an assignment;
 //! * [`controller`] — an epoch-driven online repartitioning controller
 //!   (the §VIII "online measurements" sketch, executable);
+//! * [`overload`] — seeded open-loop arrivals against a deadline-aware
+//!   tiered solver behind a bounded queue: shed rate, deadline-miss
+//!   rate, and per-tier utility retention under overload;
 //! * [`perf`] — a first-order IPC model turning miss ratios into
 //!   performance, for IPC-objective partitioning.
 //!
@@ -36,9 +39,11 @@ pub mod faults;
 pub mod hosting;
 pub mod mrc;
 pub mod multicore;
+pub mod overload;
 pub mod perf;
 pub mod trace;
 
 pub use controller::{Controller, EpochReport, RepairPolicy};
+pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use multicore::{Multicore, PartitionOutcome};
 pub use trace::{Trace, TraceSpec};

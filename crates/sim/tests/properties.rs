@@ -2,9 +2,11 @@
 //! the direct LRU simulator are two independent implementations of the
 //! same semantics and must agree on arbitrary traces.
 
+use aa_core::{Budget, SolveError, TieredSolver};
 use aa_sim::cache::{simulate_lru, simulate_partitioned};
 use aa_sim::mrc::stack_distances;
 use aa_sim::trace::Trace;
+use aa_sim::Multicore;
 use proptest::prelude::*;
 
 /// Arbitrary short traces over a small line universe (maximizes reuse,
@@ -71,5 +73,41 @@ proptest! {
         let hits: u64 = mrc.hit_histogram.iter().sum();
         let cold = trace.distinct_lines() as u64;
         prop_assert_eq!(hits + cold, trace.len() as u64);
+    }
+
+    /// Cancellation safety on sim-built problems: a tiered solve over a
+    /// cache-partitioning problem (utilities from real Mattson profiles,
+    /// envelope cliffs and all) under an arbitrary deterministic fuel
+    /// level — and possibly an external cancel — never panics and never
+    /// returns an infeasible assignment. The only error it may surface
+    /// is the typed `Cancelled`.
+    #[test]
+    fn tiered_solve_on_profiled_problems_is_cancellation_safe(
+        traces in prop::collection::vec(any_trace(), 2usize..5),
+        fuel in 0u64..400,
+        cancel_flag in 0u8..2,
+    ) {
+        let cancelled = cancel_flag == 1;
+        let machine = Multicore { cores: 2, ways_per_cache: 4, lines_per_way: 4 };
+        let problem = machine.build_problem(&traces);
+        let budget = Budget::with_fuel(fuel);
+        if cancelled {
+            budget.cancel_token().cancel();
+        }
+        let solver = TieredSolver::new();
+        match solver.try_solve_within(&problem, &budget) {
+            Ok(solved) => {
+                prop_assert!(!cancelled, "a pre-cancelled budget must not solve");
+                prop_assert!(solved.assignment.validate(&problem).is_ok());
+                prop_assert!(solved.utility.is_finite());
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, SolveError::Cancelled),
+                    "only external cancellation may fail a tiered solve, got {e:?}"
+                );
+                prop_assert!(cancelled);
+            }
+        }
     }
 }

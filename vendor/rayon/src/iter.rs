@@ -18,7 +18,7 @@
 //! expensive part in this workspace: inverse-derivative bisections,
 //! whole-instance solves) and never changes a single output bit.
 
-use crate::pool::for_each_index;
+use crate::pool::{for_each_index, for_each_index_cancellable, CancelToken, Completion};
 
 /// A pointer that may cross threads. Disjoint-index writes make the
 /// aliasing sound; see each use site.
@@ -85,7 +85,32 @@ pub trait ParallelIterator: Sized + Sync {
     fn count(self) -> usize {
         self.par_len()
     }
+
+    /// Order-stable collect that can be abandoned mid-flight through
+    /// `token`. On `Ok` the result is bit-identical to
+    /// [`ParallelIterator::collect`] — an uncancelled token changes
+    /// nothing, which is what keeps the determinism contract intact. On
+    /// cancellation the already-produced prefix of elements is *leaked*
+    /// (their destructors never run — the same documented trade the
+    /// panic path makes) and `Err(Cancelled)` is returned; no
+    /// partially-initialized value ever escapes.
+    fn collect_cancellable(self, token: &CancelToken) -> Result<Vec<Self::Item>, Cancelled> {
+        collect_vec_cancellable(self, Some(token))
+    }
 }
+
+/// Error returned by [`ParallelIterator::collect_cancellable`] when its
+/// token was observed mid-collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("parallel call cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Conversion into a [`ParallelIterator`] — the entry point used by
 /// `into_par_iter()` and by [`ParallelIterator::zip`] arguments.
@@ -311,22 +336,46 @@ impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
 
 /// Drive `p` to completion, materializing results in index order.
 fn collect_vec<P: ParallelIterator>(p: P) -> Vec<P::Item> {
+    match collect_vec_cancellable(p, None) {
+        Ok(v) => v,
+        // Total: without a token the executor cannot report Cancelled.
+        Err(Cancelled) => unreachable!("tokenless collect cannot be cancelled"),
+    }
+}
+
+/// [`collect_vec`] with an optional cancellation token.
+///
+/// On cancellation the initialized slots form a contiguous prefix (the
+/// executor's claim discipline guarantees it), but nothing here depends
+/// on that: the buffer of `MaybeUninit` slots is simply dropped, which
+/// frees the allocation without running any element destructor — written
+/// elements leak, unwritten slots were never touched. This mirrors the
+/// (pre-existing) panic path exactly.
+fn collect_vec_cancellable<P: ParallelIterator>(
+    p: P,
+    token: Option<&CancelToken>,
+) -> Result<Vec<P::Item>, Cancelled> {
     let len = p.par_len();
     let mut out: Vec<std::mem::MaybeUninit<P::Item>> = Vec::with_capacity(len);
     // SAFETY: MaybeUninit needs no initialization; every slot is
     // written below before being read.
     unsafe { out.set_len(len) };
     let ptr = SendPtr(out.as_mut_ptr());
-    // SAFETY: each index is claimed exactly once, so writes are
-    // disjoint and `par_get`'s at-most-once contract holds. On panic,
-    // written elements are leaked (MaybeUninit never drops) — safe.
-    for_each_index(len, |i| unsafe {
+    // SAFETY: each index is claimed at most once, so writes are
+    // disjoint and `par_get`'s at-most-once contract holds. On panic or
+    // cancellation, written elements are leaked (MaybeUninit never
+    // drops) — safe.
+    let completion = for_each_index_cancellable(len, token, |i| unsafe {
         ptr.get().add(i).write(std::mem::MaybeUninit::new(p.par_get(i)));
     });
-    // SAFETY: all `len` slots are initialized; MaybeUninit<T> has T's layout.
+    if completion == Completion::Cancelled {
+        return Err(Cancelled);
+    }
+    // SAFETY: Completion::Done means all `len` slots are initialized;
+    // MaybeUninit<T> has T's layout.
     unsafe {
         let mut out = std::mem::ManuallyDrop::new(out);
-        Vec::from_raw_parts(out.as_mut_ptr() as *mut P::Item, len, out.capacity())
+        Ok(Vec::from_raw_parts(out.as_mut_ptr() as *mut P::Item, len, out.capacity()))
     }
 }
 
@@ -399,6 +448,7 @@ mod tests {
         }
         let empty: Vec<usize> = (7..7_usize).into_par_iter().collect();
         assert!(empty.is_empty());
+        #[allow(clippy::reversed_empty_ranges)] // deliberately backwards: must behave as empty
         let backwards: Vec<u32> = (9..2_u32).into_par_iter().collect();
         assert!(backwards.is_empty());
     }
@@ -467,5 +517,61 @@ mod tests {
             });
         });
         assert_eq!(hits.load(Ordering::Relaxed), 333);
+    }
+
+    #[test]
+    fn uncancelled_collect_cancellable_is_bit_identical_to_collect() {
+        let xs: Vec<f64> = (0..2_000).map(|i| (i as f64 * 0.11).cos()).collect();
+        let expect: Vec<f64> = xs.iter().map(|x| x.sqrt().abs() + x).collect();
+        for threads in [1, 2, 4, 9] {
+            let token = CancelToken::new();
+            let got = with_threads(threads, || {
+                xs.par_iter()
+                    .map(|x| x.sqrt().abs() + x)
+                    .collect_cancellable(&token)
+            })
+            .expect("uncancelled collect completes");
+            assert_eq!(got.len(), expect.len(), "{threads} threads");
+            for (a, b) in got.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_collect_returns_err_without_crashing() {
+        // Owned Strings exercise the leak path: cancelled collect must
+        // free the MaybeUninit buffer without dropping (or worse,
+        // double-dropping) the already-written prefix.
+        let token = CancelToken::new();
+        let produced = AtomicUsize::new(0);
+        let result: Result<Vec<String>, Cancelled> = with_threads(4, || {
+            (0..50_000_usize)
+                .into_par_iter()
+                .map(|i| {
+                    if produced.fetch_add(1, Ordering::Relaxed) == 10 {
+                        token.cancel();
+                    }
+                    format!("value-{i}")
+                })
+                .collect_cancellable(&token)
+        });
+        assert_eq!(result, Err(Cancelled));
+        assert!(produced.load(Ordering::Relaxed) < 50_000);
+    }
+
+    #[test]
+    fn cancelled_collect_on_empty_input_succeeds() {
+        // An empty collect has nothing to abandon; even a pre-cancelled
+        // token yields Ok so callers need no empty-input special case.
+        let token = CancelToken::new();
+        token.cancel();
+        let empty: Vec<u32> = Vec::new();
+        let got = empty
+            .par_iter()
+            .map(|&x| x)
+            .collect_cancellable(&token)
+            .expect("empty collect is vacuously complete");
+        assert!(got.is_empty());
     }
 }

@@ -10,9 +10,11 @@
 //! * [`prelude::ParallelSlice`] providing `par_iter` / `par_iter_mut`;
 //! * adaptors `map` / `zip`, consumers `collect` / `sum` / `for_each` /
 //!   `count`;
-//! * [`join`], [`current_num_threads`], and the non-rayon extension
+//! * [`join`], [`current_num_threads`], and the non-rayon extensions
 //!   [`with_threads`] (a scoped per-thread parallelism override used by
-//!   the differential test suites).
+//!   the differential test suites) and [`CancelToken`] /
+//!   `collect_cancellable` (cooperative chunk-granularity cancellation
+//!   for deadline-budgeted solves; uncancelled runs are unaffected).
 //!
 //! # Execution model
 //!
@@ -39,7 +41,8 @@
 mod iter;
 mod pool;
 
-pub use pool::{current_num_threads, join, with_threads};
+pub use iter::Cancelled;
+pub use pool::{current_num_threads, join, with_threads, CancelToken, Completion};
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude::*`.

@@ -34,8 +34,53 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A cooperative cancellation flag shared between the issuer and any
+/// number of parallel calls. Cancelling is sticky (there is no reset) and
+/// idempotent; clones observe the same flag.
+///
+/// Cancellation is checked at *chunk* granularity: a cancellable parallel
+/// call stops claiming new chunks once the token is set, but chunks
+/// already claimed run to completion, so closures never observe a
+/// half-processed index. Only the explicitly cancellable entry points
+/// ([`crate::iter::ParallelIterator::collect_cancellable`]) observe
+/// tokens; the plain consumers always process every index, which is what
+/// keeps their "every slot initialized" safety argument trivial.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the flag. All current and future parallel calls carrying a
+    /// clone of this token stop claiming work as soon as they observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// How a cancellable parallel call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Every index was processed.
+    Done,
+    /// The token was observed mid-call: indices form a contiguous,
+    /// fully-processed prefix `0..k` for some `k < len`; the suffix was
+    /// never touched.
+    Cancelled,
+}
 
 /// A queued helper job. Jobs are `'static`: borrowed state is reached
 /// through an [`Arc`]-shared header plus an erased pointer that the
@@ -158,6 +203,8 @@ struct CallHeader {
     cursor: AtomicUsize,
     len: usize,
     chunk: usize,
+    /// Cooperative cancellation flag for this call, if any.
+    token: Option<CancelToken>,
     /// Helpers that have not yet finished.
     pending: Mutex<usize>,
     all_done: Condvar,
@@ -166,8 +213,15 @@ struct CallHeader {
 }
 
 impl CallHeader {
-    /// Claim the next chunk of indices, or `None` when exhausted.
+    /// Claim the next chunk of indices, or `None` when exhausted or
+    /// cancelled. The token is checked *before* the cursor moves, so on
+    /// cancellation the set of ever-claimed indices is a contiguous
+    /// prefix `0..cursor` — unlike the panic path, cancellation never
+    /// bumps the cursor past unprocessed work it pretends to own.
     fn claim(&self) -> Option<std::ops::Range<usize>> {
+        if self.token.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
         let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
         if start >= self.len {
             return None;
@@ -226,20 +280,47 @@ fn chunk_size(len: usize, threads: usize) -> usize {
 /// (including cancelled helpers) has finished, so `op` may borrow from
 /// the caller's stack. Panics inside `op` propagate to the caller.
 pub(crate) fn for_each_index<F: Fn(usize) + Sync>(len: usize, op: F) {
+    for_each_index_cancellable(len, None, op);
+}
+
+/// [`for_each_index`] with an optional cooperative [`CancelToken`].
+///
+/// Without a token this is exactly `for_each_index`: every index runs,
+/// and the return value is [`Completion::Done`]. With a token, once any
+/// participant observes cancellation no further chunks are claimed;
+/// chunks already claimed run to completion. On [`Completion::Cancelled`]
+/// the invoked indices are a contiguous prefix `0..k`, `k < len` — the
+/// caller decides what a partial prefix means (e.g. a cancellable collect
+/// leaks it and reports failure). Panics still propagate either way.
+pub(crate) fn for_each_index_cancellable<F: Fn(usize) + Sync>(
+    len: usize,
+    token: Option<&CancelToken>,
+    op: F,
+) -> Completion {
     let threads = current_num_threads();
     if len == 0 {
-        return;
+        return Completion::Done;
     }
     let chunk = chunk_size(len, threads);
     // Inline fast path: single-threaded config, nested call from a
-    // worker, or too little work to be worth a fork-join.
+    // worker, or too little work to be worth a fork-join. Runs in chunk
+    // steps so the cancellation granularity matches the pooled path.
     if threads <= 1 || IS_WORKER.with(Cell::get) || chunk >= len {
-        match catch_unwind(AssertUnwindSafe(|| {
-            for i in 0..len {
-                op(i);
+        let mut pos = 0;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            while pos < len {
+                if token.is_some_and(CancelToken::is_cancelled) {
+                    return Completion::Cancelled;
+                }
+                for i in pos..(pos + chunk).min(len) {
+                    op(i);
+                }
+                pos += chunk;
             }
-        })) {
-            Ok(()) => return,
+            Completion::Done
+        }));
+        match result {
+            Ok(completion) => return completion,
             Err(payload) => resume_unwind(payload),
         }
     }
@@ -252,6 +333,7 @@ pub(crate) fn for_each_index<F: Fn(usize) + Sync>(len: usize, op: F) {
         cursor: AtomicUsize::new(0),
         len,
         chunk,
+        token: token.cloned(),
         pending: Mutex::new(helpers),
         all_done: Condvar::new(),
         panic: Mutex::new(None),
@@ -284,6 +366,16 @@ pub(crate) fn for_each_index<F: Fn(usize) + Sync>(len: usize, op: F) {
     let payload = header.panic.lock().expect("panic mutex").take();
     if let Some(payload) = payload {
         resume_unwind(payload);
+    }
+
+    // Every claimed chunk has completed by now. The cursor only advances
+    // through genuine claims (cancellation stops claiming instead of
+    // spoofing the cursor the way `record_panic` does), so a final value
+    // short of `len` means a suffix of chunks was abandoned.
+    if header.cursor.load(Ordering::Relaxed) >= len {
+        Completion::Done
+    } else {
+        Completion::Cancelled
     }
 }
 
@@ -439,7 +531,7 @@ mod tests {
 
     #[test]
     fn join_borrows_from_the_stack() {
-        let data = vec![1_u64, 2, 3, 4];
+        let data = [1_u64, 2, 3, 4];
         let (left, right) = with_threads(2, || {
             join(
                 || data[..2].iter().sum::<u64>(),
@@ -447,6 +539,81 @@ mod tests {
             )
         });
         assert_eq!(left + right, 10);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+            let completion = with_threads(threads, || {
+                for_each_index_cancellable(500, Some(&token), |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(completion, Completion::Done, "{threads} threads");
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_abandons_a_suffix_and_processes_a_prefix() {
+        // Cancel from inside the op after a handful of indices: the call
+        // must finish early, and the processed set must be a contiguous
+        // prefix (every index below the max processed one was processed).
+        for threads in [1, 2, 4] {
+            let token = CancelToken::new();
+            let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+            let seen = AtomicUsize::new(0);
+            let completion = with_threads(threads, || {
+                for_each_index_cancellable(10_000, Some(&token), |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                    if seen.fetch_add(1, Ordering::Relaxed) == 16 {
+                        token.cancel();
+                    }
+                })
+            });
+            assert_eq!(completion, Completion::Cancelled, "{threads} threads");
+            let processed: Vec<usize> = hits
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.load(Ordering::Relaxed) > 0)
+                .map(|(i, _)| i)
+                .collect();
+            assert!(processed.len() < 10_000, "{threads} threads: nothing abandoned");
+            // Contiguous prefix, each exactly once.
+            assert_eq!(processed, (0..processed.len()).collect::<Vec<_>>());
+            for &i in &processed {
+                assert_eq!(hits[i].load(Ordering::Relaxed), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_nothing_on_the_pool_path() {
+        let token = CancelToken::new();
+        token.cancel();
+        let hits = AtomicUsize::new(0);
+        let completion = with_threads(4, || {
+            for_each_index_cancellable(1000, Some(&token), |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(completion, Completion::Cancelled);
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cancel_token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
     }
 
     #[test]
