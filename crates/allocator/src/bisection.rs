@@ -396,6 +396,519 @@ where
     allocate_impl(utils, budget, &ParCancel(token), check)
 }
 
+// ---- warm-started allocation ----
+//
+// The online settings (serve loops, epoch controllers, churn repair)
+// re-solve instances that drift slowly: a handful of threads arrive or
+// depart, utilities shift a little, the budget stays put. The marginal
+// price λ* then barely moves, so re-running the full cold search — a
+// geometric bracket growth plus up to 128 halvings, each a whole-slice
+// demand map — wastes almost all of its work rediscovering a bracket we
+// already hold. [`allocate_warm_into`] keeps the previous collapsed
+// bracket in a [`WarmCache`] and answers the next call with a few demand
+// maps: revalidate the old adjacent-float pair (2 maps), or re-bracket
+// around the previous water level with a delta-derived margin and
+// collapse by secant (finite-difference Newton) steps.
+//
+// **Bit-identity contract.** Total demand `D(λ)` is nonincreasing in λ —
+// each thread's `inverse_derivative` is nonincreasing and the sum is
+// taken in fixed index order, so the floating-point sums inherit the
+// monotonicity (an assumption about the utility implementations,
+// validated by the differential tests). The predicate `D(λ) > budget`
+// therefore flips at one unique pair of adjacent floats `(lo*, hi*)`,
+// and *any* bracket refinement that fully collapses lands on that pair:
+// the cold halving and the warm secant produce the same final bracket,
+// the same `demands(hi*)` base allocation, and the same leftover spread
+// — bit-identical results. The warm fast paths only trust themselves
+// when the collapsed price is at least [`WARM_MIN_PRICE`]; below it the
+// cold search may run out of iterations before collapsing (its bracket
+// starts at `[0, 1]` and the low edge stays 0 until a midpoint demand
+// exceeds the budget), so the warm path replays the cold search verbatim
+// to reproduce whatever it would have produced.
+
+/// Smallest collapsed price the warm fast paths trust. Below ~1e-18
+/// (≈ 2⁻⁶⁰) a cold bisection starting from `[0, 1]` may exhaust its 128
+/// iterations before its bracket collapses to adjacent floats, so the
+/// warm path cannot prove it matches cold output and falls back to an
+/// exact cold replay. At or above it, cold needs at most ~61 iterations
+/// to make the low edge positive plus ~53 to collapse — comfortably
+/// inside the budget — so a collapsed warm bracket is *the* cold answer.
+pub const WARM_MIN_PRICE: f64 = 1e-18;
+
+/// How a warm allocation was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmMode {
+    /// Full cold search replayed inside the arena buffers: no usable
+    /// bracket (first call, previous solve saturated or interrupted),
+    /// the previous bracket never collapsed, or the collapsed price sat
+    /// below [`WARM_MIN_PRICE`].
+    #[default]
+    Cold,
+    /// `budget ≥ Σ caps`: everyone saturates, no search at all.
+    Saturated,
+    /// The previous adjacent-float bracket still separates the demand
+    /// curve of the new instance: answered with two demand maps.
+    Revalidated,
+    /// Re-bracketed around the previous water level (delta-derived
+    /// margin, geometric growth) and collapsed by safeguarded secant.
+    Refined,
+}
+
+/// Telemetry for one warm allocation, kept in the cache and returned by
+/// [`allocate_warm_into`]. The benchmark's cold-vs-warm comparison
+/// reports `demand_maps` — the whole-slice evaluations that dominate
+/// the allocator's running time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Which path answered the call.
+    pub mode: WarmMode,
+    /// Whole-slice demand maps evaluated (each is `O(n)`).
+    pub demand_maps: u32,
+    /// Bracket-refinement iterations (secant or halving steps; for a
+    /// cold replay, the bisection iterations).
+    pub iterations: u32,
+}
+
+/// Warm-start state for [`allocate_warm_into`]: the previous collapsed
+/// bracket plus every scratch buffer the search needs, so a steady-state
+/// call performs no heap allocation at all (buffers are cleared and
+/// refilled within their retained capacity).
+#[derive(Debug, Clone, Default)]
+pub struct WarmCache {
+    /// The bracket below came from a completed solve.
+    valid: bool,
+    /// That solve's bracket collapsed to adjacent floats (the unique
+    /// boundary pair) rather than timing out at [`MAX_ITERS`].
+    collapsed: bool,
+    lo: f64,
+    hi: f64,
+    caps: Vec<f64>,
+    d_lo: Vec<f64>,
+    d_hi: Vec<f64>,
+    d_probe: Vec<f64>,
+    stats: WarmStats,
+}
+
+impl WarmCache {
+    /// An empty cache: the first allocation through it replays the cold
+    /// search (and records its bracket for the calls after).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the bracket: the next call replays the cold search. Called
+    /// automatically when an interruptible warm allocation aborts
+    /// mid-search (the bracket may be half-updated).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Telemetry of the most recent call through this cache.
+    pub fn last_stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// The held bracket `(lo, hi)`, if a completed solve pinned one.
+    pub fn bracket(&self) -> Option<(f64, f64)> {
+        self.valid.then_some((self.lo, self.hi))
+    }
+}
+
+/// Sequential demand map into a reused buffer; returns the index-order
+/// sum — the same additions, in the same order, as the cold path's
+/// `demands(λ).iter().sum()`.
+fn demands_into<U: Utility>(utils: &[U], lambda: f64, out: &mut Vec<f64>) -> f64 {
+    out.clear();
+    let mut sum = 0.0;
+    for f in utils {
+        let d = f.inverse_derivative(lambda);
+        out.push(d);
+        sum += d;
+    }
+    sum
+}
+
+/// The cold epilogue, verbatim: spread `leftover` over the threads whose
+/// demand is elastic across the final bracket (proportionally to their
+/// slack), then pour numerical crumbs into any remaining cap in index
+/// order. Same element-wise operations as [`allocate_impl`], so the
+/// results agree bit for bit.
+fn spread_leftover(amounts: &mut [f64], lo_amounts: &[f64], caps: &[f64], mut leftover: f64) {
+    let mut total_slack = 0.0;
+    for (&a, &b) in lo_amounts.iter().zip(amounts.iter()) {
+        total_slack += (a - b).max(0.0);
+    }
+    if total_slack > 0.0 {
+        let frac = (leftover / total_slack).min(1.0);
+        for (amt, &a) in amounts.iter_mut().zip(lo_amounts) {
+            let s = (a - *amt).max(0.0);
+            *amt += frac * s;
+        }
+        leftover -= frac * total_slack;
+    }
+    if leftover > 0.0 {
+        for (amt, &cap) in amounts.iter_mut().zip(caps) {
+            let room = cap - *amt;
+            if room > 0.0 {
+                let add = room.min(leftover);
+                *amt += add;
+                leftover -= add;
+                if leftover <= 0.0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The cold search transcribed into the cache's buffers: identical
+/// bracket growth, identical halving, identical epilogue — only the
+/// allocations are gone. Records the final bracket (and whether it
+/// collapsed) so the *next* call can go warm.
+fn cold_replay<U, E>(
+    utils: &[U],
+    budget: f64,
+    cache: &mut WarmCache,
+    amounts: &mut Vec<f64>,
+    check: &mut dyn FnMut() -> Result<(), E>,
+) -> Result<(), E>
+where
+    U: Utility,
+    E: From<Interrupted>,
+{
+    cache.stats.mode = WarmMode::Cold;
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut grow = 0;
+    loop {
+        check()?;
+        let d = demands_into(utils, hi, &mut cache.d_probe);
+        cache.stats.demand_maps += 1;
+        if d > budget {
+            lo = hi;
+            hi *= 2.0;
+            grow += 1;
+            assert!(
+                grow < 1100,
+                "could not bracket the marginal price; utility derivatives do not decay"
+            );
+        } else {
+            break;
+        }
+    }
+
+    for _ in 0..MAX_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        check()?;
+        let d = demands_into(utils, mid, &mut cache.d_probe);
+        cache.stats.demand_maps += 1;
+        cache.stats.iterations += 1;
+        if d > budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mid = 0.5 * (lo + hi);
+    let collapsed = mid <= lo || mid >= hi;
+
+    check()?;
+    let spent = demands_into(utils, hi, &mut cache.d_hi);
+    cache.stats.demand_maps += 1;
+    amounts.clear();
+    amounts.extend_from_slice(&cache.d_hi);
+    let leftover = budget - spent;
+    if leftover > 0.0 {
+        let _ = demands_into(utils, lo, &mut cache.d_lo);
+        cache.stats.demand_maps += 1;
+        spread_leftover(amounts, &cache.d_lo, &cache.caps, leftover);
+    }
+
+    cache.lo = lo;
+    cache.hi = hi;
+    cache.collapsed = collapsed;
+    cache.valid = true;
+    Ok(())
+}
+
+fn warm_impl<U, E>(
+    utils: &[U],
+    budget: f64,
+    cache: &mut WarmCache,
+    amounts: &mut Vec<f64>,
+    check: &mut dyn FnMut() -> Result<(), E>,
+) -> Result<WarmStats, E>
+where
+    U: Utility,
+    E: From<Interrupted>,
+{
+    assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
+    check()?;
+    cache.stats = WarmStats::default();
+    if utils.is_empty() {
+        amounts.clear();
+        cache.valid = false;
+        cache.stats.mode = WarmMode::Saturated;
+        return Ok(cache.stats);
+    }
+
+    // Fresh caps on every call: `cap()` is a cheap accessor for every
+    // utility in the workspace, and stale caps would poison the crumb
+    // pour. Same early-saturation branch as the cold path.
+    cache.caps.clear();
+    let mut total_cap = 0.0;
+    for f in utils {
+        let c = f.cap();
+        cache.caps.push(c);
+        total_cap += c;
+    }
+    if budget >= total_cap {
+        amounts.clear();
+        amounts.extend_from_slice(&cache.caps);
+        cache.valid = false; // a saturated solve pins no bracket
+        cache.stats.mode = WarmMode::Saturated;
+        return Ok(cache.stats);
+    }
+
+    if !(cache.valid && cache.collapsed && cache.lo >= WARM_MIN_PRICE) {
+        cold_replay(utils, budget, cache, amounts, check)?;
+        return Ok(cache.stats);
+    }
+
+    // Revalidate the previous adjacent-float bracket against the new
+    // instance: two demand maps decide everything.
+    let (prev_lo, prev_hi) = (cache.lo, cache.hi);
+    check()?;
+    let mut s_hi = demands_into(utils, prev_hi, &mut cache.d_hi);
+    let mut s_lo = demands_into(utils, prev_lo, &mut cache.d_lo);
+    cache.stats.demand_maps += 2;
+    let mut lo = prev_lo;
+    let mut hi = prev_hi;
+
+    if s_lo > budget && s_hi <= budget {
+        // Still the unique boundary pair: the search is already over.
+        cache.stats.mode = WarmMode::Revalidated;
+    } else {
+        cache.stats.mode = WarmMode::Refined;
+        if s_hi > budget {
+            // Demand grew: the price rises. Walk up from the previous
+            // water level with a step sized by how far over budget the
+            // old price landed (the delta-derived margin), doubling
+            // geometrically — the cold growth loop, started near λ*.
+            lo = prev_hi;
+            s_lo = s_hi;
+            std::mem::swap(&mut cache.d_lo, &mut cache.d_hi);
+            let rel = ((s_lo - budget) / budget.max(f64::MIN_POSITIVE)).clamp(1e-6, 1.0);
+            let mut step = prev_hi * rel;
+            let mut grow = 0;
+            loop {
+                let mut cand = lo + step;
+                while cand <= lo {
+                    step *= 2.0;
+                    cand = lo + step;
+                }
+                check()?;
+                let s = demands_into(utils, cand, &mut cache.d_probe);
+                cache.stats.demand_maps += 1;
+                if s > budget {
+                    lo = cand;
+                    s_lo = s;
+                    std::mem::swap(&mut cache.d_lo, &mut cache.d_probe);
+                    step *= 2.0;
+                    grow += 1;
+                    assert!(
+                        grow < 1100,
+                        "could not bracket the marginal price; utility derivatives do not decay"
+                    );
+                } else {
+                    hi = cand;
+                    s_hi = s;
+                    std::mem::swap(&mut cache.d_hi, &mut cache.d_probe);
+                    break;
+                }
+            }
+        } else {
+            // Demand shrank: the price falls. Walk down from the
+            // previous low edge with a delta-derived shrink factor,
+            // widening geometrically; if the walk dives under the
+            // trusted floor the cold search is the only provable answer.
+            hi = prev_lo;
+            s_hi = s_lo;
+            std::mem::swap(&mut cache.d_hi, &mut cache.d_lo);
+            let mut shrink =
+                ((budget - s_hi) / budget.max(f64::MIN_POSITIVE)).clamp(1e-6, 0.5);
+            loop {
+                let mut cand = hi * (1.0 - shrink);
+                while cand >= hi && cand > 0.0 {
+                    shrink *= 2.0;
+                    cand = hi * (1.0 - shrink);
+                }
+                if cand.is_nan() || cand < WARM_MIN_PRICE {
+                    cold_replay(utils, budget, cache, amounts, check)?;
+                    return Ok(cache.stats);
+                }
+                check()?;
+                let s = demands_into(utils, cand, &mut cache.d_probe);
+                cache.stats.demand_maps += 1;
+                if s > budget {
+                    lo = cand;
+                    s_lo = s;
+                    std::mem::swap(&mut cache.d_lo, &mut cache.d_probe);
+                    break;
+                }
+                hi = cand;
+                s_hi = s;
+                std::mem::swap(&mut cache.d_hi, &mut cache.d_probe);
+                shrink *= 2.0;
+            }
+        }
+
+        // Collapse the fresh bracket by Illinois-style false position —
+        // a damped secant (finite-difference Newton on the demand
+        // curve): when one endpoint stagnates its interpolation weight
+        // is halved, so the probe accelerates across demand kinks and
+        // jumps instead of inching at them. Every fourth probe is a
+        // plain midpoint as a worst-case safeguard. Invariant
+        // throughout: demand(lo) > budget ≥ demand(hi).
+        let mut iters: u32 = 0;
+        let mut g_lo = s_lo - budget; // > 0, may be damped below
+        let mut g_hi = s_hi - budget; // ≤ 0, may be damped below
+        let mut last_side: i8 = 0;
+        loop {
+            let mid = 0.5 * (lo + hi);
+            if mid <= lo || mid >= hi {
+                break; // collapsed to the unique adjacent pair
+            }
+            if iters >= MAX_ITERS {
+                // Stalled: reproduce the cold answer instead of guessing.
+                cold_replay(utils, budget, cache, amounts, check)?;
+                return Ok(cache.stats);
+            }
+            check()?;
+            let denom = g_lo - g_hi;
+            let mut probe = if iters % 4 == 3 || denom.is_nan() || denom <= 0.0 {
+                mid
+            } else {
+                (lo * g_hi - hi * g_lo) / (g_hi - g_lo)
+            };
+            if !(probe > lo && probe < hi) {
+                probe = mid;
+            }
+            let s = demands_into(utils, probe, &mut cache.d_probe);
+            cache.stats.demand_maps += 1;
+            iters += 1;
+            if s > budget {
+                lo = probe;
+                g_lo = s - budget;
+                std::mem::swap(&mut cache.d_lo, &mut cache.d_probe);
+                if last_side == -1 {
+                    g_hi *= 0.5; // hi stagnated twice: damp its weight
+                }
+                last_side = -1;
+            } else {
+                hi = probe;
+                s_hi = s;
+                g_hi = s - budget;
+                std::mem::swap(&mut cache.d_hi, &mut cache.d_probe);
+                if last_side == 1 {
+                    g_lo *= 0.5; // lo stagnated twice: damp its weight
+                }
+                last_side = 1;
+            }
+        }
+        cache.stats.iterations = iters;
+        if lo < WARM_MIN_PRICE {
+            // Cold may not have collapsed down here; replay it exactly.
+            cold_replay(utils, budget, cache, amounts, check)?;
+            return Ok(cache.stats);
+        }
+    }
+
+    // The cold epilogue on the same unique boundary pair: base
+    // allocation at the high price, leftover spread across the bracket.
+    check()?;
+    amounts.clear();
+    amounts.extend_from_slice(&cache.d_hi);
+    let leftover = budget - s_hi;
+    if leftover > 0.0 {
+        spread_leftover(amounts, &cache.d_lo, &cache.caps, leftover);
+    }
+    cache.lo = lo;
+    cache.hi = hi;
+    cache.collapsed = true;
+    cache.valid = true;
+    Ok(cache.stats)
+}
+
+/// [`allocate`], warm-started from `cache` and writing the amounts into
+/// a caller-owned buffer: **bit-identical** to [`allocate`] on the same
+/// slice and budget (see the module notes on the unique boundary pair),
+/// near-constant demand maps when successive instances drift slowly, and
+/// zero heap allocation once the buffers have grown to the instance
+/// size. The utility sum is *not* computed — callers on the assignment
+/// hot path only consume the amounts; use [`allocate`] when the pooled
+/// utility value itself is needed.
+pub fn allocate_warm_into<U: Utility>(
+    utils: &[U],
+    budget: f64,
+    cache: &mut WarmCache,
+    amounts: &mut Vec<f64>,
+) -> WarmStats {
+    match warm_impl::<U, Interrupted>(utils, budget, cache, amounts, &mut || Ok(())) {
+        Ok(stats) => stats,
+        Err(Interrupted) => unreachable!("infallible check cannot interrupt"),
+    }
+}
+
+/// [`allocate_warm_into`] with a cooperative interruption check (same
+/// granularity as [`allocate_interruptible`]: up front, per bracket
+/// step, per refinement probe, before the spread). An abort invalidates
+/// the cache — the bracket may be half-updated — so the next call
+/// through it replays the cold search.
+pub fn allocate_warm_into_interruptible<U, E>(
+    utils: &[U],
+    budget: f64,
+    cache: &mut WarmCache,
+    amounts: &mut Vec<f64>,
+    check: &mut dyn FnMut() -> Result<(), E>,
+) -> Result<WarmStats, E>
+where
+    U: Utility,
+    E: From<Interrupted>,
+{
+    match warm_impl(utils, budget, cache, amounts, check) {
+        Ok(stats) => Ok(stats),
+        Err(e) => {
+            cache.valid = false;
+            Err(e)
+        }
+    }
+}
+
+/// [`allocate`], but writing into caller-owned buffers: the amounts land
+/// in `amounts`, the search scratch lives in `cache`, and only the
+/// utility sum is returned. **Bit-identical** to [`allocate`] — the cache
+/// is invalidated first, so this always runs the exact cold search — with
+/// no per-call heap allocation once the buffers have grown to the working
+/// size. This is the arena building block for repeated independent solves
+/// (e.g. the churn repair's per-server re-splits), where a warm bracket
+/// would never revalidate but the allocation churn still matters.
+pub fn allocate_utility_into<U: Utility>(
+    utils: &[U],
+    budget: f64,
+    cache: &mut WarmCache,
+    amounts: &mut Vec<f64>,
+) -> f64 {
+    cache.invalidate();
+    allocate_warm_into(utils, budget, cache, amounts);
+    // Index-order sum of f_i(x_i): the same additions, in the same order,
+    // as the sequential strategy behind `allocate`.
+    utils.iter().zip(amounts.iter()).map(|(f, &x)| f.value(x)).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,5 +1222,237 @@ mod par_tests {
             })
         });
         assert_eq!(result, Err(Interrupted));
+    }
+}
+
+#[cfg(test)]
+mod warm_tests {
+    use super::*;
+    use aa_utility::{CappedLinear, LogUtility, Power, Utility};
+
+    fn pool(n: usize, scale_shift: f64) -> Vec<Box<dyn Utility>> {
+        (0..n)
+            .map(|i| {
+                let s = 0.5 + (i % 13) as f64 * 0.4 + scale_shift;
+                match i % 3 {
+                    0 => Box::new(Power::new(s, 0.55, 80.0)) as Box<dyn Utility>,
+                    1 => Box::new(LogUtility::new(s, 0.3, 80.0)),
+                    _ => Box::new(CappedLinear::new(s, 30.0 + (i % 5) as f64, 80.0)),
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(cold: &Allocation, warm: &[f64], ctx: &str) {
+        assert_eq!(cold.amounts.len(), warm.len(), "{ctx}");
+        for (i, (a, b)) in cold.amounts.iter().zip(warm).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: thread {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn first_call_replays_cold_bit_identically() {
+        let utils = pool(40, 0.0);
+        for budget in [0.0, 1.0, 37.5, 400.0, 1999.0] {
+            let mut cache = WarmCache::new();
+            let mut amounts = Vec::new();
+            let stats = allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+            assert_eq!(stats.mode, WarmMode::Cold, "budget {budget}");
+            assert_bits_eq(&allocate(&utils, budget), &amounts, &format!("budget {budget}"));
+        }
+    }
+
+    #[test]
+    fn ample_budget_saturates_without_searching() {
+        let utils = pool(12, 0.0);
+        let total_cap = 12.0 * 80.0;
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        let stats = allocate_warm_into(&utils, total_cap + 1.0, &mut cache, &mut amounts);
+        assert_eq!(stats.mode, WarmMode::Saturated);
+        assert_eq!(stats.demand_maps, 0);
+        assert_bits_eq(&allocate(&utils, total_cap + 1.0), &amounts, "saturated");
+        assert!(cache.bracket().is_none(), "saturation must not pin a bracket");
+    }
+
+    #[test]
+    fn repeat_solve_revalidates_with_two_maps() {
+        let utils = pool(64, 0.0);
+        let budget = 900.0;
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+        let stats = allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+        assert_eq!(stats.mode, WarmMode::Revalidated);
+        assert_eq!(stats.demand_maps, 2);
+        assert_eq!(stats.iterations, 0);
+        assert_bits_eq(&allocate(&utils, budget), &amounts, "revalidated");
+    }
+
+    #[test]
+    fn drifting_utilities_refine_cheaply_and_match_cold() {
+        // Kink-heavy pool (1/3 CappedLinear): the demand curve is a
+        // staircase near the boundary, the adversarial case for the
+        // secant. Warm must still beat cold per epoch and by ≥ 2×
+        // cumulatively — and stay bit-identical throughout.
+        let budget = 700.0;
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        let cold_maps = {
+            let utils = pool(48, 0.0);
+            allocate_warm_into(&utils, budget, &mut cache, &mut amounts).demand_maps
+        };
+        let mut warm_total = 0;
+        let epochs = 11;
+        for epoch in 1..=epochs {
+            // Small multiplicative drift in the utility scales each epoch.
+            let utils = pool(48, 0.003 * epoch as f64);
+            let stats = allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+            assert_bits_eq(&allocate(&utils, budget), &amounts, &format!("epoch {epoch}"));
+            assert_ne!(stats.mode, WarmMode::Cold, "epoch {epoch}: fell back to cold");
+            assert!(
+                stats.demand_maps < cold_maps,
+                "epoch {epoch}: warm used {} maps vs {} cold",
+                stats.demand_maps,
+                cold_maps
+            );
+            warm_total += stats.demand_maps;
+        }
+        assert!(
+            warm_total * 2 < cold_maps * epochs,
+            "warm total {warm_total} vs cold {cold_maps}/epoch over {epochs} epochs"
+        );
+    }
+
+    #[test]
+    fn smooth_drift_is_near_constant_cost() {
+        // Strictly concave smooth utilities: the damped secant closes in
+        // on the boundary in a handful of probes; the residual cost is
+        // bisecting the window where the demand *sum* is flat to fp
+        // (per-thread drifts are sub-ulp of the sum), which is bounded
+        // by the sum's ulp structure, not by the cold bracket — the
+        // iteration count stays flat as the instance drifts.
+        let smooth = |shift: f64| -> Vec<Box<dyn Utility>> {
+            (0..48)
+                .map(|i| {
+                    let s = 0.5 + (i % 13) as f64 * 0.4 + shift;
+                    if i % 2 == 0 {
+                        Box::new(Power::new(s, 0.55, 80.0)) as Box<dyn Utility>
+                    } else {
+                        Box::new(LogUtility::new(s, 0.3, 80.0))
+                    }
+                })
+                .collect()
+        };
+        let budget = 700.0;
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        let cold_maps = allocate_warm_into(&smooth(0.0), budget, &mut cache, &mut amounts).demand_maps;
+        assert!(cold_maps > 50, "cold search should be expensive ({cold_maps} maps)");
+        for epoch in 1..12 {
+            let utils = smooth(0.003 * epoch as f64);
+            let stats = allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+            assert_bits_eq(&allocate(&utils, budget), &amounts, &format!("epoch {epoch}"));
+            assert!(
+                stats.demand_maps <= 36 && stats.demand_maps * 3 <= cold_maps * 2,
+                "epoch {epoch}: {} maps vs {cold_maps} cold is not near-constant",
+                stats.demand_maps
+            );
+        }
+    }
+
+    #[test]
+    fn budget_drift_in_both_directions_matches_cold() {
+        let utils = pool(32, 0.0);
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        allocate_warm_into(&utils, 500.0, &mut cache, &mut amounts);
+        for budget in [520.0, 480.0, 600.0, 300.0, 550.0] {
+            let stats = allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+            assert_bits_eq(&allocate(&utils, budget), &amounts, &format!("budget {budget}"));
+            assert_ne!(stats.mode, WarmMode::Cold, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn thread_churn_keeps_identity() {
+        // Add/remove threads between solves: the bracket survives because
+        // revalidation maps the *new* slice, never cached per-thread data.
+        let budget = 420.0;
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        allocate_warm_into(&pool(40, 0.0), budget, &mut cache, &mut amounts);
+        for n in [41, 39, 44, 36, 40] {
+            let utils = pool(n, 0.001);
+            allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+            assert_bits_eq(&allocate(&utils, budget), &amounts, &format!("n {n}"));
+        }
+    }
+
+    #[test]
+    fn interruption_invalidates_and_next_call_recovers() {
+        let utils = pool(24, 0.0);
+        let budget = 300.0;
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+        assert!(cache.bracket().is_some());
+
+        let mut fuel = 1_u32;
+        let result = allocate_warm_into_interruptible(&utils, budget, &mut cache, &mut amounts, &mut || {
+            if fuel == 0 {
+                Err(Interrupted)
+            } else {
+                fuel -= 1;
+                Ok(())
+            }
+        });
+        assert_eq!(result, Err(Interrupted));
+        assert!(cache.bracket().is_none(), "abort must invalidate the bracket");
+
+        // Recovery: a quiet call replays cold and is still exact.
+        let stats = allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+        assert_eq!(stats.mode, WarmMode::Cold);
+        assert_bits_eq(&allocate(&utils, budget), &amounts, "recovery");
+    }
+
+    #[test]
+    fn saturated_epoch_between_tight_epochs_stays_exact() {
+        let utils = pool(16, 0.0);
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        for budget in [200.0, 16.0 * 80.0 + 5.0, 210.0, 205.0] {
+            allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+            assert_bits_eq(&allocate(&utils, budget), &amounts, &format!("budget {budget}"));
+        }
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free_in_buffer_growth() {
+        // Capacity proxy for the zero-allocation contract (the real
+        // counting hook lives in the core arena test): after one warm-up
+        // call, buffer capacities never change again.
+        let utils = pool(50, 0.0);
+        let mut cache = WarmCache::new();
+        let mut amounts = Vec::new();
+        allocate_warm_into(&utils, 444.0, &mut cache, &mut amounts);
+        let caps_before = (
+            amounts.capacity(),
+            cache.caps.capacity(),
+            cache.d_lo.capacity(),
+            cache.d_hi.capacity(),
+            cache.d_probe.capacity(),
+        );
+        for budget in [444.0, 450.0, 440.0, 444.0] {
+            allocate_warm_into(&utils, budget, &mut cache, &mut amounts);
+        }
+        let caps_after = (
+            amounts.capacity(),
+            cache.caps.capacity(),
+            cache.d_lo.capacity(),
+            cache.d_hi.capacity(),
+            cache.d_probe.capacity(),
+        );
+        assert_eq!(caps_before, caps_after);
     }
 }

@@ -37,7 +37,7 @@ pub mod segment;
 
 use aa_utility::Utility;
 
-pub use bisection::Interrupted;
+pub use bisection::{Interrupted, WarmCache, WarmMode, WarmStats};
 
 /// Result of a single-pool allocation.
 #[derive(Debug, Clone, PartialEq)]

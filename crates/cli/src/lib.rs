@@ -35,7 +35,7 @@ use aa_sim::faults::{
 use aa_utility::{SpecError, UtilitySpec};
 use aa_workloads::{Distribution, InstanceSpec};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A problem document: what `aa-solve solve` reads.
@@ -427,7 +427,19 @@ pub fn churn_document(
 // ---- bench: the reproducible solver benchmark matrix ----
 
 /// Schema version of [`BenchReport`]; bump on breaking JSON changes.
-pub const BENCH_VERSION: u32 = 1;
+/// Version 2 added the always-present `incremental` drift entries.
+pub const BENCH_VERSION: u32 = 2;
+
+/// Which benchmark suites `aa-solve bench` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// The seq-vs-par solver matrix only (the original suite).
+    Matrix,
+    /// The cold-vs-warm incremental drift workload only.
+    Incremental,
+    /// Both suites in one report.
+    Full,
+}
 
 /// Options for `aa-solve bench`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -438,11 +450,13 @@ pub struct BenchOpts {
     pub seed: u64,
     /// Timed repetitions per entry; the minimum wall time is reported.
     pub reps: usize,
+    /// Which suites to run.
+    pub mode: BenchMode,
 }
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { small: false, seed: 2016, reps: 3 }
+        BenchOpts { small: false, seed: 2016, reps: 3, mode: BenchMode::Full }
     }
 }
 
@@ -479,6 +493,44 @@ pub struct BenchEntry {
     pub ratio_vs_so: f64,
 }
 
+/// One cold-vs-warm drift run: a seeded instance mutated by a small
+/// churn fraction each epoch, solved cold (`algo2::solve` from scratch)
+/// and warm (`algo2::solve_incremental` with a persistent
+/// [`aa_core::WarmState`]) side by side at every epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalEntry {
+    /// Workload distribution name.
+    pub dist: String,
+    /// Size label: `drift-small` or `drift-large`.
+    pub size: String,
+    /// Servers `m`.
+    pub servers: usize,
+    /// Threads `n`.
+    pub threads: usize,
+    /// Epochs driven.
+    pub epochs: usize,
+    /// Threads mutated per epoch (~1% of `n`, at least 1).
+    pub churn_per_epoch: usize,
+    /// Instance seed (derived from the base seed and the entry index).
+    pub seed: u64,
+    /// Median per-epoch wall time of the cold solve, milliseconds.
+    pub cold_median_millis: f64,
+    /// Median per-epoch wall time of the warm solve, milliseconds.
+    pub warm_median_millis: f64,
+    /// `cold_median_millis / warm_median_millis`.
+    pub speedup: f64,
+    /// Mean bisection demand-map evaluations per epoch, cold path.
+    pub cold_demand_maps_mean: f64,
+    /// Mean bisection demand-map evaluations per epoch, warm path.
+    pub warm_demand_maps_mean: f64,
+    /// Epochs (after the first) the engine solved on the warm path
+    /// rather than a structural rebuild.
+    pub warm_epochs: usize,
+    /// Whether warm and cold assignments were exactly equal at *every*
+    /// epoch (the incremental engine's bit-identity contract).
+    pub identical: bool,
+}
+
 /// The benchmark document written to `BENCH_solver.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -493,8 +545,11 @@ pub struct BenchReport {
     pub hardware_threads: usize,
     /// Base seed of the matrix.
     pub seed: u64,
-    /// One entry per (distribution × size) cell.
+    /// One entry per (distribution × size) cell; empty in
+    /// [`BenchMode::Incremental`] runs.
     pub entries: Vec<BenchEntry>,
+    /// One entry per drift run; empty in [`BenchMode::Matrix`] runs.
+    pub incremental: Vec<IncrementalEntry>,
 }
 
 /// The four paper workload distributions, in reporting order.
@@ -531,6 +586,114 @@ fn time_best<F: FnMut() -> aa_core::Assignment>(reps: usize, mut f: F) -> (f64, 
     (best, out.expect("reps ≥ 1"))
 }
 
+/// Median by nearest rank (lower middle for even counts); 0 when empty.
+fn median_ms(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[(samples.len() - 1) / 2]
+}
+
+/// Drift sizes: the acceptance workload (64 servers × 512 threads,
+/// 100 epochs) plus a CI-sized small run.
+fn drift_sizes(small_only: bool) -> Vec<(&'static str, usize, usize, usize)> {
+    if small_only {
+        vec![("drift-small", 8, 8, 30)]
+    } else {
+        vec![("drift-small", 8, 8, 30), ("drift-large", 64, 8, 100)]
+    }
+}
+
+/// Run one seeded drift workload: every epoch mutates ~1% of the
+/// threads (fresh utility curves from the same distribution) and solves
+/// the instance twice — cold from scratch and warm through a persistent
+/// [`aa_core::WarmState`] — recording per-epoch wall times, bisection
+/// demand-map counts, and exact output equality.
+///
+/// An untimed fresh-state solve runs first each epoch: it supplies the
+/// cold path's demand-map count (the bisection work `algo2::solve` does
+/// without reporting) and touches every buffer, so both timed solves
+/// run on warm memory.
+fn drift_entry(
+    dist_name: &str,
+    dist: &Distribution,
+    size: &str,
+    servers: usize,
+    beta: usize,
+    epochs: usize,
+    entry_seed: u64,
+) -> Result<IncrementalEntry, CliError> {
+    use aa_core::{SolveMode, WarmState};
+
+    let capacity = 1000.0;
+    let mut rng = StdRng::seed_from_u64(entry_seed);
+    let n = servers * beta;
+    let mut threads: Vec<aa_utility::DynUtility> =
+        aa_workloads::genutil::generate_many(dist, capacity, n, &mut rng)
+            .into_iter()
+            .map(|g| g.utility)
+            .collect();
+    let churn = (n / 100).max(1);
+
+    let mut warm = WarmState::new();
+    let mut cold_ms = Vec::with_capacity(epochs);
+    let mut warm_ms = Vec::with_capacity(epochs);
+    let mut cold_maps = 0_u64;
+    let mut warm_maps = 0_u64;
+    let mut warm_epochs = 0_usize;
+    let mut identical = true;
+
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            for g in aa_workloads::genutil::generate_many(dist, capacity, churn, &mut rng) {
+                let at = (rng.next_u64() % n as u64) as usize;
+                threads[at] = g.utility;
+            }
+        }
+        // Unchanged threads keep their `Arc` identity, which is what the
+        // incremental engine's delta detection keys on.
+        let problem =
+            Problem::new(servers, capacity, threads.clone()).map_err(CliError::Problem)?;
+
+        let mut fresh = WarmState::new();
+        algo2::solve_incremental(&problem, &mut fresh);
+        cold_maps += u64::from(fresh.last_stats().warm.demand_maps);
+
+        let t0 = std::time::Instant::now();
+        let cold = algo2::solve(&problem);
+        cold_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t1 = std::time::Instant::now();
+        let warm_a = algo2::solve_incremental(&problem, &mut warm);
+        warm_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+
+        let stats = warm.last_stats();
+        warm_maps += u64::from(stats.warm.demand_maps);
+        warm_epochs += usize::from(stats.mode == SolveMode::Warm);
+        identical &= cold == warm_a;
+    }
+
+    let cold_median_millis = median_ms(&mut cold_ms);
+    let warm_median_millis = median_ms(&mut warm_ms);
+    Ok(IncrementalEntry {
+        dist: dist_name.to_string(),
+        size: size.to_string(),
+        servers,
+        threads: n,
+        epochs,
+        churn_per_epoch: churn,
+        seed: entry_seed,
+        cold_median_millis,
+        warm_median_millis,
+        speedup: cold_median_millis / warm_median_millis.max(1e-9),
+        cold_demand_maps_mean: cold_maps as f64 / epochs as f64,
+        warm_demand_maps_mean: warm_maps as f64 / epochs as f64,
+        warm_epochs,
+        identical,
+    })
+}
+
 /// Run the fixed benchmark matrix: every paper distribution × every size
 /// × {sequential, parallel} Algorithm 2, on instances derived
 /// deterministically from `opts.seed`. Timing varies run to run; every
@@ -538,9 +701,12 @@ fn time_best<F: FnMut() -> aa_core::Assignment>(reps: usize, mut f: F) -> (f64, 
 /// by the determinism contract (the binary test and CI smoke job fail
 /// otherwise).
 pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
+    let run_matrix = matches!(opts.mode, BenchMode::Matrix | BenchMode::Full);
+    let run_incremental = matches!(opts.mode, BenchMode::Incremental | BenchMode::Full);
+
     let mut entries = Vec::new();
     let mut index = 0_usize;
-    for (size, servers, beta) in bench_sizes(opts.small) {
+    for (size, servers, beta) in if run_matrix { bench_sizes(opts.small) } else { Vec::new() } {
         for (dist_name, dist) in bench_distributions() {
             let spec = InstanceSpec { servers, beta, capacity: 1000.0, dist };
             let entry_seed = batch_seed(opts.seed, index);
@@ -572,6 +738,22 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
             });
         }
     }
+    let mut incremental = Vec::new();
+    if run_incremental {
+        // Seeds decoupled from the matrix block so adding matrix cells
+        // never reshuffles drift instances.
+        let mut drift_index = 1000_usize;
+        for (size, servers, beta, epochs) in drift_sizes(opts.small) {
+            for (dist_name, dist) in bench_distributions() {
+                let entry_seed = batch_seed(opts.seed, drift_index);
+                drift_index += 1;
+                incremental.push(drift_entry(
+                    dist_name, &dist, size, servers, beta, epochs, entry_seed,
+                )?);
+            }
+        }
+    }
+
     Ok(BenchReport {
         version: BENCH_VERSION,
         solver: "algo2".to_string(),
@@ -579,6 +761,7 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
         hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         seed: opts.seed,
         entries,
+        incremental,
     })
 }
 
@@ -733,10 +916,11 @@ mod tests {
 
     #[test]
     fn bench_small_matrix_is_identical_and_within_guarantee() {
-        let opts = BenchOpts { small: true, seed: 7, reps: 1 };
+        let opts = BenchOpts { small: true, seed: 7, reps: 1, mode: BenchMode::Matrix };
         let report = bench_document(&opts).unwrap();
         assert_eq!(report.version, BENCH_VERSION);
         assert_eq!(report.entries.len(), 4); // four distributions × one size
+        assert!(report.incremental.is_empty(), "matrix mode ran the drift suite");
         for e in &report.entries {
             assert!(e.identical, "{}: seq/par assignments diverged", e.dist);
             assert_eq!(e.seq_utility.to_bits(), e.par_utility.to_bits(), "{}", e.dist);
@@ -755,11 +939,48 @@ mod tests {
 
     #[test]
     fn bench_report_round_trips_through_json() {
-        let report = bench_document(&BenchOpts { small: true, seed: 1, reps: 1 }).unwrap();
+        let opts = BenchOpts { small: true, seed: 1, reps: 1, mode: BenchMode::Full };
+        let report = bench_document(&opts).unwrap();
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.entries.len(), report.entries.len());
+        assert_eq!(back.incremental.len(), report.incremental.len());
         assert_eq!(back.solver, "algo2");
+    }
+
+    #[test]
+    fn bench_incremental_mode_is_bit_identical_and_stays_warm() {
+        let opts = BenchOpts { small: true, seed: 3, reps: 1, mode: BenchMode::Incremental };
+        let report = bench_document(&opts).unwrap();
+        assert!(report.entries.is_empty(), "incremental mode ran the matrix");
+        assert_eq!(report.incremental.len(), 4); // four distributions × one size
+        for e in &report.incremental {
+            assert!(e.identical, "{}: warm/cold assignments diverged", e.dist);
+            assert_eq!(e.threads, 64);
+            assert_eq!(e.epochs, 30);
+            assert_eq!(e.churn_per_epoch, 1);
+            // Every post-baseline epoch mutates ≤1% of the threads, so
+            // the engine must stay on the warm path throughout.
+            assert_eq!(e.warm_epochs, e.epochs - 1, "{}", e.dist);
+            assert!(e.cold_demand_maps_mean > 0.0 && e.warm_demand_maps_mean > 0.0);
+            // The warm bracket must not cost *more* bisection work than
+            // cold on a drift workload (latency is asserted in CI with
+            // tolerance, not here — unit tests run under load).
+            assert!(
+                e.warm_demand_maps_mean <= e.cold_demand_maps_mean,
+                "{}: warm {} maps vs cold {}",
+                e.dist,
+                e.warm_demand_maps_mean,
+                e.cold_demand_maps_mean
+            );
+        }
+        // Non-timing fields are seed-reproducible.
+        let again = bench_document(&opts).unwrap();
+        for (a, b) in report.incremental.iter().zip(&again.incremental) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.warm_demand_maps_mean, b.warm_demand_maps_mean);
+            assert_eq!(a.warm_epochs, b.warm_epochs);
+        }
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use std::process::ExitCode;
 
 use aa_cli::serve::{run_serve, ServeOpts};
-use aa_cli::{bench_document, churn_document, generate_document, solve_document, BenchOpts,
-             ChurnOpts, CliError, GenerateOpts, SOLVER_NAMES};
+use aa_cli::{bench_document, churn_document, generate_document, solve_document, BenchMode,
+             BenchOpts, ChurnOpts, CliError, GenerateOpts, SOLVER_NAMES};
 use aa_sim::controller::RepairPolicy;
 use aa_sim::faults::FaultScriptConfig;
 use aa_workloads::Distribution;
@@ -19,7 +19,8 @@ usage:
                  [--policy never|in-place|migrations|resolve] [--budget K]
                  [--solver NAME] [--seed S] [--crash-rate F] [--recovery-rate F]
                  [--flap-rate F] [--arrival-rate F] [--departure-rate F] [--pretty]
-  aa-solve bench [--small] [--out BENCH_solver.json] [--seed S] [--reps R]
+  aa-solve bench [--small] [--mode matrix|incremental|full]
+                 [--out BENCH_solver.json] [--seed S] [--reps R]
                  [--threads N] [--pretty]
   aa-solve serve [--queue N] [--deadline-ms D] [--grace-ms G]
                  [--breaker K] [--cooldown N] [--counters PATH]
@@ -224,10 +225,17 @@ fn cmd_churn(args: &[String]) -> Result<(), Failure> {
 
 fn cmd_bench(args: &[String]) -> Result<(), Failure> {
     let defaults = BenchOpts::default();
+    let mode = match flag_value(args, "--mode")?.unwrap_or("full") {
+        "matrix" => BenchMode::Matrix,
+        "incremental" => BenchMode::Incremental,
+        "full" => BenchMode::Full,
+        other => return Err(Failure::Usage(format!("unknown bench mode {other:?}"))),
+    };
     let opts = BenchOpts {
         small: args.iter().any(|a| a == "--small"),
         seed: parsed_flag(args, "--seed", defaults.seed)?,
         reps: parsed_flag(args, "--reps", defaults.reps)?,
+        mode,
     };
     let out_path = flag_value(args, "--out")?.unwrap_or("BENCH_solver.json");
     let threads: usize = parsed_flag(args, "--threads", 0)?;
@@ -255,9 +263,31 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
             e.ratio_vs_so, e.identical
         );
     }
+    for e in &report.incremental {
+        eprintln!(
+            "  {:<9} {:<12} n={:<6} cold={:>9.3}ms warm={:>9.3}ms speedup={:>5.2}x \
+             maps cold={:.1} warm={:.1} warm_epochs={}/{} identical={}",
+            e.dist,
+            e.size,
+            e.threads,
+            e.cold_median_millis,
+            e.warm_median_millis,
+            e.speedup,
+            e.cold_demand_maps_mean,
+            e.warm_demand_maps_mean,
+            e.warm_epochs,
+            e.epochs,
+            e.identical
+        );
+    }
     if report.entries.iter().any(|e| !e.identical) {
         return Err(Failure::App(CliError::Churn(
             "determinism violation: a parallel solve diverged from sequential".into(),
+        )));
+    }
+    if report.incremental.iter().any(|e| !e.identical) {
+        return Err(Failure::App(CliError::Churn(
+            "determinism violation: a warm incremental solve diverged from cold".into(),
         )));
     }
     Ok(())

@@ -134,6 +134,12 @@ pub struct ServeCounters {
     /// Solved requests whose end-to-end latency exceeded their deadline
     /// by more than the grace window.
     pub deadline_misses: u64,
+    /// Median end-to-end latency over `status: ok` responses,
+    /// milliseconds (nearest-rank; 0 when nothing was solved).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile end-to-end latency over `status: ok` responses,
+    /// milliseconds (nearest-rank; 0 when nothing was solved).
+    pub latency_p99_ms: f64,
     /// Latency accounting per answering tier.
     pub per_tier: BTreeMap<String, TierCounter>,
 }
@@ -181,12 +187,18 @@ pub fn run_serve<R: BufRead, W: Write + Send>(
 ) -> Result<ServeCounters, CliError> {
     let out = Mutex::new(output);
     let counters = Mutex::new(ServeCounters::default());
-    let solver = TieredSolver::new().breaker(opts.breaker_threshold, opts.breaker_cooldown);
+    let latencies = Mutex::new(Vec::<f64>::new());
+    // One stream → one worker → one warm state: the solver's Algo2 tier
+    // keeps its incremental `WarmState` across this stream's requests
+    // (answers stay bit-identical to the cold path).
+    let solver = TieredSolver::new()
+        .breaker(opts.breaker_threshold, opts.breaker_cooldown)
+        .warm();
     let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue.max(1));
 
     let io_result = std::thread::scope(|s| {
-        let (solver, out, counters) = (&solver, &out, &counters);
-        s.spawn(move || worker_loop(rx, solver, out, counters, opts));
+        let (solver, out, counters, latencies) = (&solver, &out, &counters, &latencies);
+        s.spawn(move || worker_loop(rx, solver, out, counters, latencies, opts));
         let result = reader_loop(input, &tx, out, counters, opts.queue);
         // EOF (or a dead output pipe): closing the channel lets the
         // worker drain the backlog and exit, and the scope joins it.
@@ -194,7 +206,22 @@ pub fn run_serve<R: BufRead, W: Write + Send>(
         result
     });
     io_result?;
-    Ok(counters.into_inner().expect("serve threads joined"))
+    let mut counters = counters.into_inner().expect("serve threads joined");
+    let mut samples = latencies.into_inner().expect("serve threads joined");
+    samples.sort_unstable_by(f64::total_cmp);
+    counters.latency_p50_ms = percentile_nearest_rank(&samples, 50.0);
+    counters.latency_p99_ms = percentile_nearest_rank(&samples, 99.0);
+    Ok(counters)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set: the
+/// `⌈q·n/100⌉`-th smallest value (1-indexed), 0 for an empty set.
+fn percentile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 fn reader_loop<R: BufRead, W: Write>(
@@ -258,10 +285,11 @@ fn worker_loop<W: Write>(
     solver: &TieredSolver,
     out: &Mutex<W>,
     counters: &Mutex<ServeCounters>,
+    latencies: &Mutex<Vec<f64>>,
     opts: &ServeOpts,
 ) {
     while let Ok(job) = rx.recv() {
-        if handle_job(job, solver, out, counters, opts).is_err() {
+        if handle_job(job, solver, out, counters, latencies, opts).is_err() {
             // Output pipe is gone; keep draining so the reader's sends
             // don't wedge, but stop writing.
             for _ in rx.iter() {}
@@ -275,6 +303,7 @@ fn handle_job<W: Write>(
     solver: &TieredSolver,
     out: &Mutex<W>,
     counters: &Mutex<ServeCounters>,
+    latencies: &Mutex<Vec<f64>>,
     opts: &ServeOpts,
 ) -> std::io::Result<()> {
     let id = job.req.id;
@@ -325,6 +354,7 @@ fn handle_job<W: Write>(
         Ok(solved) => {
             let solve_micros = solve_start.elapsed().as_micros() as u64;
             let latency_ms = job.arrived.elapsed().as_secs_f64() * 1e3;
+            latencies.lock().unwrap().push(latency_ms);
             {
                 let mut c = counters.lock().unwrap();
                 c.solved += 1;
@@ -434,6 +464,27 @@ mod tests {
         // Per-tier accounting saw both answers.
         let answered: u64 = counters.per_tier.values().map(|t| t.answered).sum();
         assert_eq!(answered, 2);
+        // Latency percentiles cover the solved requests: positive,
+        // ordered, and p99 bounded by the worst observed response.
+        assert!(counters.latency_p50_ms > 0.0, "{counters:?}");
+        assert!(counters.latency_p99_ms >= counters.latency_p50_ms, "{counters:?}");
+        let worst = responses
+            .iter()
+            .map(|r| r["latency_ms"].as_f64().unwrap())
+            .fold(0.0_f64, f64::max);
+        assert!(counters.latency_p99_ms <= worst + 1e-9, "{counters:?}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile_nearest_rank(&[], 50.0), 0.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 99.0), 7.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_nearest_rank(&v, 50.0), 50.0);
+        assert_eq!(percentile_nearest_rank(&v, 99.0), 99.0);
+        assert_eq!(percentile_nearest_rank(&[1.0, 2.0, 3.0, 4.0], 50.0), 2.0);
+        assert_eq!(percentile_nearest_rank(&[1.0, 2.0, 3.0, 4.0], 99.0), 4.0);
     }
 
     #[test]

@@ -209,7 +209,7 @@ fn bench_small_writes_valid_schema_with_matching_utilities() {
     let out_path = dir.join("BENCH_solver.json");
     let out = bin()
         .args([
-            "bench", "--small", "--reps", "1", "--seed", "5",
+            "bench", "--small", "--mode", "matrix", "--reps", "20", "--seed", "5",
             "--out", out_path.to_str().unwrap(),
         ])
         .output()
@@ -222,7 +222,7 @@ fn bench_small_writes_valid_schema_with_matching_utilities() {
 
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
-    assert_eq!(report["version"].as_u64(), Some(1));
+    assert_eq!(report["version"].as_u64(), Some(2));
     assert_eq!(report["solver"], "algo2");
     assert!(report["pool_threads"].as_u64().unwrap() >= 1);
     assert!(report["hardware_threads"].as_u64().unwrap() >= 1);
@@ -251,6 +251,50 @@ fn bench_small_writes_valid_schema_with_matching_utilities() {
         );
         let ratio = e["ratio_vs_so"].as_f64().unwrap();
         assert!((0.828..=1.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+        // Small instances sit below the parallel threshold, where
+        // `solve_par` falls straight through to the sequential path —
+        // no fan-out overhead, so no slowdown beyond timing noise.
+        let speedup = e["speedup"].as_f64().unwrap();
+        assert!(
+            speedup >= 0.95,
+            "{:?}: small-instance parallel slowdown: speedup {speedup}",
+            e["dist"]
+        );
+    }
+}
+
+#[test]
+fn bench_incremental_mode_reports_warm_vs_cold() {
+    let dir = tempdir();
+    let out_path = dir.join("BENCH_incremental.json");
+    let out = bin()
+        .args([
+            "bench", "--small", "--mode", "incremental", "--seed", "5",
+            "--out", out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warm="), "missing drift summary: {err}");
+
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(report["version"].as_u64(), Some(2));
+    assert!(report["entries"].as_array().unwrap().is_empty());
+    let incremental = report["incremental"].as_array().unwrap();
+    assert_eq!(incremental.len(), 4, "four distributions in the small drift suite");
+    for e in incremental {
+        for field in [
+            "cold_median_millis", "warm_median_millis", "speedup",
+            "cold_demand_maps_mean", "warm_demand_maps_mean",
+        ] {
+            assert!(e[field].as_f64().is_some(), "missing {field}: {e:?}");
+        }
+        // The bit-identity contract, visible from outside the process.
+        assert_eq!(e["identical"].as_bool(), Some(true), "{e:?}");
+        let epochs = e["epochs"].as_u64().unwrap();
+        assert_eq!(e["warm_epochs"].as_u64(), Some(epochs - 1), "fell off the warm path: {e:?}");
     }
 }
 
@@ -412,6 +456,12 @@ fn serve_end_to_end_sheds_overload_and_exits_cleanly() {
     let solved = counters["solved"].as_u64().unwrap();
     let expired = counters["expired_in_queue"].as_u64().unwrap();
     assert_eq!(solved + shed as u64 + expired, 8);
+    // Per-request latency percentiles in the dump: positive (at least
+    // the head request solved) and ordered.
+    let p50 = counters["latency_p50_ms"].as_f64().unwrap();
+    let p99 = counters["latency_p99_ms"].as_f64().unwrap();
+    assert!(p50 > 0.0, "p50 {p50} with {solved} solved");
+    assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
 }
 
 #[test]
@@ -422,7 +472,7 @@ fn bench_thread_override_changes_reported_pool_size_not_results() {
     for (threads, path) in [("1", &a_path), ("4", &b_path)] {
         let out = bin()
             .args([
-                "bench", "--small", "--reps", "1", "--seed", "9",
+                "bench", "--small", "--mode", "matrix", "--reps", "1", "--seed", "9",
                 "--threads", threads, "--out", path.to_str().unwrap(),
             ])
             .output()

@@ -68,10 +68,31 @@ pub fn solve(problem: &Problem) -> Assignment {
 /// order and reduces sequentially, so `AA_NUM_THREADS` (or a scoped
 /// `rayon::with_threads`) may change timing, never output. The
 /// differential test suite asserts exact equality.
+///
+/// Below the allocator's parallel threshold this is [`solve`] verbatim:
+/// small instances skip the pool plumbing entirely instead of paying
+/// fan-out overhead for maps that finish in microseconds (the benchmark
+/// suite asserts no small-instance slowdown).
 pub fn solve_par(problem: &Problem) -> Assignment {
+    if problem.len() < aa_allocator::bisection::PAR_THRESHOLD {
+        return solve(problem);
+    }
     let so = super_optimal_par(problem);
     let gs = linearize_par(problem, &so);
     assign_with(problem, &so, &gs)
+}
+
+/// Incremental Algorithm 2: **bit-identical** to [`solve`], but
+/// successive calls through the same [`WarmState`](crate::incremental::WarmState)
+/// pay only for what changed since the previous solve — warm-started
+/// bisection, delta re-linearization, sort repair, and zero steady-state
+/// allocation. See [`crate::incremental`] for the mechanism, the
+/// crossover heuristic, and the budgeted/buffer-reusing variants.
+pub fn solve_incremental(
+    problem: &Problem,
+    state: &mut crate::incremental::WarmState,
+) -> Assignment {
+    crate::incremental::solve_incremental(problem, state)
 }
 
 /// [`solve_par`] under a solve [`Budget`]: the super-optimal bisection

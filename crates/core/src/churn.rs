@@ -302,17 +302,62 @@ fn lightest(loads: &[f64]) -> usize {
         .unwrap_or(0)
 }
 
+/// Reusable scratch for [`repair_after_with`]: the capped views, the
+/// per-group clone buffer fed to the water-filling allocator, the trial
+/// index buffer, the allocation output buffer, and a warm bisection
+/// cache ([`bisection::WarmCache`]).
+///
+/// A controller that repairs every epoch keeps one arena alive so the
+/// steady-state repair path reuses these buffers instead of
+/// reallocating them per split evaluation — `repair_after` evaluates
+/// `O(m)` optimal splits per evacuee, so the per-split `Vec` churn
+/// dominated its allocator traffic. Results are **bit-identical** to
+/// the arena-free path: the split evaluation goes through
+/// [`bisection::allocate_utility_into`], which replays the exact cold
+/// bisection.
+#[derive(Debug, Clone, Default)]
+pub struct RepairArena {
+    views: Vec<CappedView>,
+    group: Vec<CappedView>,
+    trial: Vec<usize>,
+    amounts: Vec<f64>,
+    cache: bisection::WarmCache,
+}
+
+impl RepairArena {
+    /// An empty arena; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Repair `current` after `event`: returns the post-event problem and a
 /// feasible assignment for it.
 ///
 /// Guarantees (see the module docs): the assignment validates, its
 /// utility is at least [`naive_repair`]'s, and voluntary migrations stay
 /// within `budget`.
+///
+/// Allocates fresh scratch per call; epoch loops should hold a
+/// [`RepairArena`] and call [`repair_after_with`] instead.
 pub fn repair_after(
     problem: &Problem,
     current: &Assignment,
     event: &ClusterEvent,
     budget: MigrationBudget,
+) -> Result<Repair, RepairError> {
+    repair_after_with(problem, current, event, budget, &mut RepairArena::new())
+}
+
+/// [`repair_after`] with caller-owned scratch: bit-identical output,
+/// but the split-evaluation buffers and the bisection warm cache live
+/// in `arena` and are reused across calls.
+pub fn repair_after_with(
+    problem: &Problem,
+    current: &Assignment,
+    event: &ClusterEvent,
+    budget: MigrationBudget,
+    arena: &mut RepairArena,
 ) -> Result<Repair, RepairError> {
     let after = apply_event(problem, event)?;
     let sk = skeleton(&after, current, event);
@@ -328,7 +373,9 @@ pub fn repair_after(
     let mut amount = sk.amount;
     rescale_to_capacity(&server, &mut amount, &after);
 
-    let views: Vec<CappedView> = after.capped_threads();
+    let RepairArena { views, group, trial, amounts, cache } = arena;
+    views.clear();
+    views.extend((0..after.len()).map(|i| after.capped_thread(i)));
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); after.servers()];
     for (i, &j) in server.iter().enumerate() {
         if !sk.unplaced.contains(&i) {
@@ -337,7 +384,7 @@ pub fn repair_after(
     }
     let mut group_utility: Vec<f64> = groups
         .iter()
-        .map(|g| split_utility(&views, g, after.capacity()))
+        .map(|g| split_utility_into(views, g, after.capacity(), group, cache, amounts))
         .collect();
 
     // Biggest consumers first: they are the hardest to place well.
@@ -351,16 +398,20 @@ pub fn repair_after(
     for &i in &order {
         let mut best = (0_usize, f64::NEG_INFINITY);
         for j in 0..after.servers() {
-            let mut trial = groups[j].clone();
+            trial.clear();
+            trial.extend_from_slice(&groups[j]);
             trial.push(i);
-            let gain = split_utility(&views, &trial, after.capacity()) - group_utility[j];
+            let gain =
+                split_utility_into(views, trial, after.capacity(), group, cache, amounts)
+                    - group_utility[j];
             if gain > best.1 {
                 best = (j, gain);
             }
         }
         let (dest, _) = best;
         groups[dest].push(i);
-        group_utility[dest] = split_utility(&views, &groups[dest], after.capacity());
+        group_utility[dest] =
+            split_utility_into(views, &groups[dest], after.capacity(), group, cache, amounts);
         server[i] = dest;
     }
 
@@ -391,12 +442,36 @@ pub fn repair_after(
 }
 
 /// Optimal split utility of one server's group (empty group → 0).
+/// The arena-free reference used by the differential test.
+#[cfg(test)]
 fn split_utility(views: &[CappedView], group: &[usize], capacity: f64) -> f64 {
     if group.is_empty() {
         return 0.0;
     }
     let g: Vec<&CappedView> = group.iter().map(|&i| &views[i]).collect();
     bisection::allocate(&g, capacity).utility
+}
+
+/// [`split_utility`] into caller-owned buffers: clones the group's
+/// views into `scratch` (an `Arc` clone plus an `f64` each — no heap
+/// traffic once `scratch` has capacity) and runs the exact cold
+/// bisection replay through [`bisection::allocate_utility_into`].
+/// Bit-identical to the reference: same element order, same budget,
+/// same index-order utility summation.
+fn split_utility_into(
+    views: &[CappedView],
+    group: &[usize],
+    capacity: f64,
+    scratch: &mut Vec<CappedView>,
+    cache: &mut bisection::WarmCache,
+    amounts: &mut Vec<f64>,
+) -> f64 {
+    if group.is_empty() {
+        return 0.0;
+    }
+    scratch.clear();
+    scratch.extend(group.iter().map(|&i| views[i].clone()));
+    bisection::allocate_utility_into(scratch, capacity, cache, amounts)
 }
 
 #[cfg(test)]
@@ -670,5 +745,47 @@ mod tests {
             "recovered {} of {u0}",
             up.report.utility
         );
+    }
+
+    #[test]
+    fn arena_split_utility_matches_reference_bitwise() {
+        let (p, _) = cluster();
+        let views = p.capped_threads();
+        let mut arena = RepairArena::new();
+        let groups: [&[usize]; 5] = [&[], &[0], &[1, 3, 5], &[0, 2, 4, 6], &[6, 4, 2, 0]];
+        for group in groups {
+            let reference = split_utility(&views, group, p.capacity());
+            let arena_u = split_utility_into(
+                &views,
+                group,
+                p.capacity(),
+                &mut arena.group,
+                &mut arena.cache,
+                &mut arena.amounts,
+            );
+            assert_eq!(reference.to_bits(), arena_u.to_bits(), "group {group:?}");
+        }
+    }
+
+    #[test]
+    fn reused_arena_repairs_are_bit_identical_to_fresh_repairs() {
+        let (mut p, mut a) = cluster();
+        let events = [
+            ClusterEvent::ServerDown { server: 1 },
+            ClusterEvent::ThreadArrived { utility: arc(Power::new(4.0, 0.5, 6.0)) },
+            ClusterEvent::ServerUp,
+            ClusterEvent::CapacityChanged { capacity: 5.0 },
+            ClusterEvent::ThreadDeparted { thread: 2 },
+        ];
+        let mut arena = RepairArena::new();
+        for (k, event) in events.iter().enumerate() {
+            let fresh = repair_after(&p, &a, event, MigrationBudget::new(2)).unwrap();
+            let reused =
+                repair_after_with(&p, &a, event, MigrationBudget::new(2), &mut arena).unwrap();
+            assert_eq!(fresh.assignment, reused.assignment, "event {k}");
+            assert_eq!(fresh.report, reused.report, "event {k}");
+            p = reused.problem;
+            a = reused.assignment;
+        }
     }
 }

@@ -30,6 +30,7 @@
 //! | [`hetero`] | §VIII future work: heterogeneous capacities |
 //! | [`online`] | §VIII future work: drifting utilities, local repair |
 //! | [`churn`] | cluster events (server loss/recovery, thread churn) and budgeted repair (not in the paper) |
+//! | [`incremental`] | warm-started incremental Algorithm 2 for the online hot path (not in the paper) |
 //!
 //! Both approximation algorithms guarantee total utility at least
 //! [`ALPHA`]` = 2(√2 − 1) ≈ 0.828` times the optimum (Theorems V.16 and
@@ -46,6 +47,7 @@ pub mod exact;
 pub mod exact_bb;
 pub mod hetero;
 pub mod heuristics;
+pub mod incremental;
 pub mod linearize;
 pub mod online;
 pub mod problem;
@@ -58,7 +60,8 @@ pub mod tiered;
 pub mod tightness;
 
 pub use budget::Budget;
-pub use churn::{ClusterEvent, MigrationBudget, Repair, RepairError, RepairReport};
+pub use churn::{ClusterEvent, MigrationBudget, Repair, RepairArena, RepairError, RepairReport};
+pub use incremental::{IncrementalStats, SolveMode, SolverArena, WarmState};
 pub use problem::{Assignment, AssignmentError, Problem, ProblemBuilder, ProblemError};
 pub use solver::{batch_seed, solve_batch, try_solve_batch, SolveError, Solver};
 pub use tiered::{Degradation, Tier, TierOutcome, TierStatus, TieredSolve, TieredSolver};

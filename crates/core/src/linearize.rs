@@ -23,6 +23,16 @@ use crate::superopt::SuperOptimal;
 /// sequentially.
 pub const PAR_THRESHOLD: usize = 4096;
 
+/// Linearize thread `i` through `c_hat`: the shared per-thread kernel of
+/// [`linearize`], [`linearize_par`] and the incremental delta path
+/// ([`crate::incremental`]), so all three agree bit for bit. Evaluates
+/// the *raw* utility (not the capped view) at `c_hat` and `0`, with
+/// domain `[0, C]` — exactly what the batch builders do.
+pub fn linearize_one(problem: &Problem, i: usize, c_hat: f64) -> Linearized {
+    let f = &problem.threads()[i];
+    Linearized::new(c_hat, f.value(c_hat), problem.capacity(), f.value(0.0))
+}
+
 /// Build the linearized utilities `g_1 … g_n` from a super-optimal
 /// allocation. `g_i` has domain `[0, C]`.
 pub fn linearize(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
@@ -31,18 +41,8 @@ pub fn linearize(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
         problem.len(),
         "super-optimal allocation must cover every thread"
     );
-    problem
-        .threads()
-        .iter()
-        .zip(&so.amounts)
-        .map(|(f, &c_hat)| {
-            Linearized::new(
-                c_hat,
-                f.value(c_hat),
-                problem.capacity(),
-                f.value(0.0),
-            )
-        })
+    (0..problem.len())
+        .map(|i| linearize_one(problem, i, so.amounts[i]))
         .collect()
 }
 

@@ -129,6 +129,21 @@ pub trait Solver {
         self.try_solve_with(problem, &mut rng)
     }
 
+    /// Panic-free solve through a persistent
+    /// [`WarmState`](crate::incremental::WarmState): solvers with an
+    /// incremental path (see [`Algo2`]'s override) reuse the state's
+    /// warm bracket, linearizations and arena across calls, returning
+    /// output bit-identical to [`Solver::try_solve`]. The default simply
+    /// ignores the state, so epoch controllers can thread one through
+    /// any solver.
+    fn try_solve_warm(
+        &self,
+        problem: &Problem,
+        _state: &mut crate::incremental::WarmState,
+    ) -> Result<Assignment, SolveError> {
+        self.try_solve(problem)
+    }
+
     /// Solve every instance, fanning the batch out over the thread pool.
     /// See [`solve_batch`] (the free function) for the determinism and
     /// seeding contract.
@@ -226,6 +241,16 @@ impl Solver for Algo2 {
     }
     fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
         algo2::solve(problem)
+    }
+    fn try_solve_warm(
+        &self,
+        problem: &Problem,
+        state: &mut crate::incremental::WarmState,
+    ) -> Result<Assignment, SolveError> {
+        check_finite_utilities(problem)?;
+        let a = crate::incremental::solve_incremental(problem, state);
+        a.validate(problem).map_err(SolveError::Infeasible)?;
+        Ok(a)
     }
 }
 

@@ -97,6 +97,51 @@ pub fn super_optimal_budgeted(
     })
 }
 
+/// The delta path of [`super_optimal`]: re-run the bisection through a
+/// persistent [`bisection::WarmCache`], writing `ĉ` into the caller's
+/// `amounts` buffer. When the cached bracket from the previous solve
+/// still pins the water level (slow drift), this costs two demand maps;
+/// otherwise it re-brackets from the previous level ± a delta-derived
+/// margin, and falls back to an exact cold replay whenever identity
+/// cannot be proven. **Bit-identical** to [`super_optimal`]'s amounts in
+/// every mode. `views` is scratch the caller retains across solves so
+/// the steady state allocates nothing.
+///
+/// The utility sum `F̂` is *not* computed — the assignment phase only
+/// consumes `ĉ` — which is part of the warm path's speedup. Use
+/// [`super_optimal`] when the bound itself is needed.
+pub fn super_optimal_warm_into(
+    problem: &Problem,
+    cache: &mut bisection::WarmCache,
+    views: &mut Vec<crate::problem::CappedView>,
+    amounts: &mut Vec<f64>,
+) -> bisection::WarmStats {
+    views.clear();
+    views.extend((0..problem.len()).map(|i| problem.capped_thread(i)));
+    let pool = problem.servers() as f64 * problem.capacity();
+    bisection::allocate_warm_into(views, pool, cache, amounts)
+}
+
+/// [`super_optimal_warm_into`] under a solve [`Budget`], checked at
+/// bisection-iteration granularity. Expiry invalidates the cache (the
+/// bracket may be half-updated) and surfaces as the budget's typed
+/// error; while the budget holds the amounts are bit-identical to
+/// [`super_optimal`].
+pub fn super_optimal_warm_budgeted_into(
+    problem: &Problem,
+    solve_budget: &Budget,
+    cache: &mut bisection::WarmCache,
+    views: &mut Vec<crate::problem::CappedView>,
+    amounts: &mut Vec<f64>,
+) -> Result<bisection::WarmStats, SolveError> {
+    views.clear();
+    views.extend((0..problem.len()).map(|i| problem.capped_thread(i)));
+    let pool = problem.servers() as f64 * problem.capacity();
+    bisection::allocate_warm_into_interruptible(views, pool, cache, amounts, &mut || {
+        solve_budget.check()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

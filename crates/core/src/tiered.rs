@@ -30,6 +30,7 @@
 //! to degrade to.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use rand::RngCore;
@@ -162,6 +163,8 @@ pub struct TieredSolver {
     breaker_cooldown: u64,
     state: Vec<BreakerState>,
     requests: AtomicU64,
+    /// Opt-in warm state for the [`Tier::Algo2`] rung (see [`Self::warm`]).
+    warm: Option<Mutex<crate::incremental::WarmState>>,
 }
 
 impl Default for TieredSolver {
@@ -206,7 +209,34 @@ impl TieredSolver {
             breaker_cooldown: DEFAULT_BREAKER_COOLDOWN,
             state,
             requests: AtomicU64::new(0),
+            warm: None,
         }
+    }
+
+    /// Enable the warm incremental path for the [`Tier::Algo2`] rung:
+    /// the tier solves through
+    /// [`incremental::solve_incremental_budgeted`](crate::incremental::solve_incremental_budgeted)
+    /// with a [`WarmState`](crate::incremental::WarmState) that persists
+    /// across requests. Answers stay **bit-identical** to the cold
+    /// `algo2` path (the incremental engine's contract); only the
+    /// latency changes when consecutive requests drift slowly. Off by
+    /// default so existing ladders are byte-for-byte unchanged.
+    ///
+    /// The state sits behind a `Mutex`, so a shared solver serving
+    /// concurrent streams serializes its Algo2 rung; give each stream
+    /// its own warm `TieredSolver` (as `aa serve` does) to keep the
+    /// warm cache coherent per stream.
+    pub fn warm(mut self) -> Self {
+        self.warm = Some(Mutex::new(crate::incremental::WarmState::new()));
+        self
+    }
+
+    /// Stats from the most recent warm Algo2 solve, or `None` when the
+    /// warm path is not enabled.
+    pub fn warm_stats(&self) -> Option<crate::incremental::IncrementalStats> {
+        self.warm
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).last_stats())
     }
 
     /// Override the circuit breaker: open after `threshold` consecutive
@@ -249,7 +279,7 @@ impl TieredSolver {
                 continue;
             }
             let start = Instant::now();
-            let run = run_tier(tier, problem, budget)?;
+            let run = run_tier(tier, problem, budget, self.warm.as_ref())?;
             let micros = start.elapsed().as_micros() as u64;
             match run {
                 TierRun::Answer { assignment, partial } => {
@@ -327,7 +357,12 @@ impl TieredSolver {
     }
 }
 
-fn run_tier(tier: Tier, problem: &Problem, budget: &Budget) -> Result<TierRun, SolveError> {
+fn run_tier(
+    tier: Tier,
+    problem: &Problem,
+    budget: &Budget,
+    warm: Option<&Mutex<crate::incremental::WarmState>>,
+) -> Result<TierRun, SolveError> {
     match tier {
         Tier::BranchAndBound => match exact_bb::solve_budgeted(problem, budget) {
             Ok(b) => Ok(TierRun::Answer {
@@ -343,11 +378,23 @@ fn run_tier(tier: Tier, problem: &Problem, budget: &Budget) -> Result<TierRun, S
             Err(SolveError::DeadlineExceeded) => Ok(TierRun::Expired),
             Err(e) => Err(e),
         },
-        Tier::Algo2 => match algo2::solve_budgeted(problem, budget) {
-            Ok(a) => Ok(TierRun::Answer { assignment: a, partial: false }),
-            Err(SolveError::DeadlineExceeded) => Ok(TierRun::Expired),
-            Err(e) => Err(e),
-        },
+        Tier::Algo2 => {
+            // The warm incremental path is bit-identical to the cold
+            // solve (differential proptests pin this), so enabling it
+            // changes latency, never answers.
+            let run = match warm {
+                Some(w) => {
+                    let mut state = w.lock().unwrap_or_else(|e| e.into_inner());
+                    crate::incremental::solve_incremental_budgeted(problem, &mut state, budget)
+                }
+                None => algo2::solve_budgeted(problem, budget),
+            };
+            match run {
+                Ok(a) => Ok(TierRun::Answer { assignment: a, partial: false }),
+                Err(SolveError::DeadlineExceeded) => Ok(TierRun::Expired),
+                Err(e) => Err(e),
+            }
+        }
         Tier::Uu => {
             // The floor ignores expiry — it exists precisely so an
             // exhausted budget still yields a feasible answer — but an
@@ -585,6 +632,27 @@ mod tests {
         let a = solver.solve(&p);
         a.validate(&p).unwrap();
         assert_eq!(solver.try_solve(&p).unwrap(), a);
+    }
+
+    #[test]
+    fn warm_algo2_tier_is_bit_identical_and_keeps_state_across_requests() {
+        use crate::incremental::SolveMode;
+
+        let solver = TieredSolver::with_ladder(vec![Tier::Algo2, Tier::Uu]).warm();
+        for seed in 0..4 {
+            let p = mixed_problem(3, 11, seed);
+            let t = solver.solve_within(&p, &Budget::unlimited()).unwrap();
+            assert_eq!(t.assignment, algo2::solve(&p), "seed {seed}");
+        }
+        // Re-solving the *same* problem object hits the identical fast
+        // path: the warm state survived the previous requests.
+        let p = mixed_problem(3, 11, 9);
+        let first = solver.solve_within(&p, &Budget::unlimited()).unwrap();
+        let again = solver.solve_within(&p, &Budget::unlimited()).unwrap();
+        assert_eq!(first.assignment, again.assignment);
+        assert_eq!(solver.warm_stats().unwrap().mode, SolveMode::Identical);
+        // A cold solver never reports warm stats.
+        assert!(TieredSolver::new().warm_stats().is_none());
     }
 
     #[test]

@@ -89,9 +89,14 @@ impl Controller {
             .map(|e| traces.iter().map(|t| window(t, e, epochs)).collect())
             .collect();
 
-        // Initial plan from epoch 0's profile.
+        // Initial plan from epoch 0's profile. The warm state persists
+        // across epochs so warm-capable solvers (`Algo2` routes through
+        // the incremental engine) reuse their solver arena; answers are
+        // bit-identical to the cold path by the engine's contract, and
+        // solvers without a warm path fall back to `try_solve`.
+        let mut warm = aa_core::WarmState::new();
         let mut problem = self.machine.build_problem(&windows[0]);
-        let (mut plan, mut pending_error) = match solver.try_solve(&problem) {
+        let (mut plan, mut pending_error) = match solver.try_solve_warm(&problem, &mut warm) {
             Ok(p) => (p, None),
             Err(e) => (Assignment::trivial(traces.len()), Some(e.to_string())),
         };
@@ -127,7 +132,7 @@ impl Controller {
                     }
                     // A failed re-solve keeps the previous plan: the
                     // machine shape is fixed, so it stays feasible.
-                    RepairPolicy::Resolve => match solver.try_solve(&problem) {
+                    RepairPolicy::Resolve => match solver.try_solve_warm(&problem, &mut warm) {
                         Ok(p) => p,
                         Err(err) => {
                             pending_error = Some(err.to_string());
