@@ -27,6 +27,22 @@ use rayon::CancelToken;
 
 use crate::Allocation;
 
+/// Cached handles into the global metrics registry, created on the first
+/// *recorded* call so the zero-allocation steady state never sees the
+/// registry lock (the arena test's warmup epochs create them).
+fn obs_counters() -> &'static (aa_obs::Counter, aa_obs::Counter, aa_obs::Counter) {
+    static HANDLES: std::sync::OnceLock<(aa_obs::Counter, aa_obs::Counter, aa_obs::Counter)> =
+        std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = aa_obs::global();
+        (
+            r.counter("aa_bisection_cold_total"),
+            r.counter("aa_bisection_warm_total"),
+            r.counter("aa_bisection_demand_maps_total"),
+        )
+    })
+}
+
 /// Number of bisection iterations. 128 halvings shrink any initial bracket
 /// below f64 resolution; the budget-repair step mops up whatever remains.
 const MAX_ITERS: u32 = 128;
@@ -162,6 +178,10 @@ where
     E: From<Interrupted>,
 {
     assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
+    let _span = aa_obs::span!("bisection");
+    if aa_obs::record_enabled() {
+        obs_counters().0.inc();
+    }
     check()?;
     let n = utils.len();
     if n == 0 {
@@ -646,6 +666,10 @@ where
     E: From<Interrupted>,
 {
     assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and ≥ 0");
+    let _span = aa_obs::span!("bisection_warm");
+    if aa_obs::record_enabled() {
+        obs_counters().1.inc();
+    }
     check()?;
     cache.stats = WarmStats::default();
     if utils.is_empty() {
@@ -858,7 +882,12 @@ pub fn allocate_warm_into<U: Utility>(
     amounts: &mut Vec<f64>,
 ) -> WarmStats {
     match warm_impl::<U, Interrupted>(utils, budget, cache, amounts, &mut || Ok(())) {
-        Ok(stats) => stats,
+        Ok(stats) => {
+            if aa_obs::record_enabled() {
+                obs_counters().2.add(u64::from(stats.demand_maps));
+            }
+            stats
+        }
         Err(Interrupted) => unreachable!("infallible check cannot interrupt"),
     }
 }
@@ -880,7 +909,12 @@ where
     E: From<Interrupted>,
 {
     match warm_impl(utils, budget, cache, amounts, check) {
-        Ok(stats) => Ok(stats),
+        Ok(stats) => {
+            if aa_obs::record_enabled() {
+                obs_counters().2.add(u64::from(stats.demand_maps));
+            }
+            Ok(stats)
+        }
         Err(e) => {
             cache.valid = false;
             Err(e)

@@ -428,7 +428,10 @@ pub fn churn_document(
 
 /// Schema version of [`BenchReport`]; bump on breaking JSON changes.
 /// Version 2 added the always-present `incremental` drift entries.
-pub const BENCH_VERSION: u32 = 2;
+/// Version 3 added the per-stage time breakdowns (`superopt_micros`,
+/// `linearize_micros`, `assign_micros`) measured through the `aa-obs`
+/// span pipeline.
+pub const BENCH_VERSION: u32 = 3;
 
 /// Which benchmark suites `aa-solve bench` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -491,6 +494,13 @@ pub struct BenchEntry {
     pub so_bound: f64,
     /// `seq_utility / so_bound` (≥ α by Theorem VI.1).
     pub ratio_vs_so: f64,
+    /// Wall time inside the super-optimal bound stage, microseconds
+    /// (from an untimed instrumented solve; see [`BENCH_VERSION`]).
+    pub superopt_micros: u64,
+    /// Wall time inside the linearization stage, microseconds.
+    pub linearize_micros: u64,
+    /// Wall time inside the assignment stage, microseconds.
+    pub assign_micros: u64,
 }
 
 /// One cold-vs-warm drift run: a seeded instance mutated by a small
@@ -572,6 +582,48 @@ fn bench_sizes(small_only: bool) -> Vec<(&'static str, usize, usize)> {
     } else {
         vec![("small", 8, 8), ("large", 16, 512)]
     }
+}
+
+/// Per-stage wall-time breakdown of one `algo2::solve`, measured through
+/// the aa-obs span pipeline: install (or reuse) the process collector,
+/// open a uniquely-identified probe span, run one *untimed* solve under
+/// it, and sum the recorded `superopt`/`linearize`/`assign` spans that
+/// chain back to this probe. Filtering by parent id (rather than
+/// clearing the buffer) keeps the probe correct when other recording —
+/// `--trace`, concurrent tests — shares the collector. Returns
+/// `(superopt, linearize, assign)` in microseconds; all zeros if the
+/// probe's events were lost (buffer full, or recording raced off).
+fn stage_breakdown(problem: &Problem) -> (u64, u64, u64) {
+    let collector = aa_obs::Collector::install();
+    let was_enabled = collector.is_enabled();
+    collector.set_enabled(true);
+    let probe = aa_obs::trace::SpanGuard::enter("bench_probe");
+    let probe_id = probe.id();
+    let _ = algo2::solve(problem);
+    drop(probe);
+    collector.set_enabled(was_enabled);
+    let Some(probe_id) = probe_id else { return (0, 0, 0) };
+    let events = collector.events();
+    let Some(algo2_id) = events
+        .iter()
+        .find(|e| e.name == "algo2" && e.parent_id == probe_id)
+        .map(|e| e.id)
+    else {
+        return (0, 0, 0);
+    };
+    let mut sums = (0_u64, 0_u64, 0_u64);
+    for e in &events {
+        if e.parent_id != algo2_id {
+            continue;
+        }
+        match e.name {
+            "superopt" => sums.0 += e.duration_micros,
+            "linearize" => sums.1 += e.duration_micros,
+            "assign" => sums.2 += e.duration_micros,
+            _ => {}
+        }
+    }
+    sums
 }
 
 fn time_best<F: FnMut() -> aa_core::Assignment>(reps: usize, mut f: F) -> (f64, aa_core::Assignment) {
@@ -721,6 +773,7 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
             let seq_utility = seq.total_utility(&problem);
             let par_utility = par.total_utility(&problem);
             let so_bound = superopt::super_optimal(&problem).utility;
+            let (superopt_micros, linearize_micros, assign_micros) = stage_breakdown(&problem);
             entries.push(BenchEntry {
                 dist: dist_name.to_string(),
                 size: size.to_string(),
@@ -735,6 +788,9 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
                 identical: seq == par,
                 so_bound,
                 ratio_vs_so: if so_bound > 0.0 { seq_utility / so_bound } else { 1.0 },
+                superopt_micros,
+                linearize_micros,
+                assign_micros,
             });
         }
     }

@@ -12,6 +12,7 @@ use aa_workloads::Distribution;
 const USAGE: &str = "\
 usage:
   aa-solve solve <problem.json> [--solver NAME] [--seed S] [--pretty]
+                 [--trace out.json]
   aa-solve generate [--servers M] [--beta B] [--capacity C]
                     [--dist uniform|normal|powerlaw|discrete]
                     [--alpha A] [--gamma G] [--theta T] [--seed S] [--pretty]
@@ -21,15 +22,23 @@ usage:
                  [--flap-rate F] [--arrival-rate F] [--departure-rate F] [--pretty]
   aa-solve bench [--small] [--mode matrix|incremental|full]
                  [--out BENCH_solver.json] [--seed S] [--reps R]
-                 [--threads N] [--pretty]
+                 [--threads N] [--trace out.json] [--pretty]
   aa-solve serve [--queue N] [--deadline-ms D] [--grace-ms G]
                  [--breaker K] [--cooldown N] [--counters PATH]
+                 [--metrics-addr HOST:PORT] [--metrics-dump PATH]
   aa-solve solvers
+
+global flags (any command):
+  --log-format pretty|json   stderr diagnostics format (default pretty)
 
 serve reads LDJSON requests {\"id\":…, \"deadline_ms\":…, \"problem\":{…}} on
 stdin and writes one response per line on stdout; requests beyond the
 admission queue are shed with {\"status\":\"overloaded\",\"retry_after_ms\":…}.
 Counters are dumped to stderr (and --counters PATH as JSON) at EOF.
+--metrics-addr serves GET /metrics (Prometheus text) and /metrics.json
+while the loop runs; --metrics-dump writes the JSON snapshot at EOF.
+--trace records the solve pipeline's spans and writes a Chrome
+trace_event file (open at chrome://tracing or ui.perfetto.dev).
 
 exit codes:
   0  success                      4  solve failed (too large, non-finite,
@@ -75,7 +84,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(failure) => {
-            eprintln!("error: {failure}");
+            aa_obs::obs_error!("cli", "{failure}");
             if matches!(failure, Failure::Usage(_)) {
                 eprint!("{USAGE}");
             }
@@ -86,6 +95,10 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Failure> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Configure the logger before dispatch so every diagnostic line —
+    // including the error main() prints — honors the requested format.
+    let format: aa_obs::LogFormat = parsed_flag(&args, "--log-format", aa_obs::LogFormat::default())?;
+    aa_obs::init_logger(aa_obs::log::LogLevel::Info, format);
     let Some(command) = args.first() else {
         return Err(Failure::Usage("missing command".into()));
     };
@@ -152,6 +165,34 @@ fn to_json<T: serde::Serialize>(value: &T, pretty: bool) -> Result<String, Failu
     .map_err(|e| Failure::App(CliError::Parse(e)))
 }
 
+/// Write `contents` to `path`, classifying failures as i/o errors with
+/// the path in the message.
+fn write_file(path: &str, contents: &str) -> Result<(), Failure> {
+    std::fs::write(path, contents.as_bytes()).map_err(|e| {
+        Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{path}: {e}"))))
+    })
+}
+
+/// Arm span recording when `--trace PATH` was given: install the
+/// process collector (idempotent) and enable it. Returns the path.
+fn trace_flag(args: &[String]) -> Result<Option<&str>, Failure> {
+    let path = flag_value(args, "--trace")?;
+    if path.is_some() {
+        aa_obs::Collector::install().set_enabled(true);
+    }
+    Ok(path)
+}
+
+/// Dump the recorded spans as a Chrome trace_event file, if recording
+/// was armed by [`trace_flag`].
+fn write_trace(path: Option<&str>) -> Result<(), Failure> {
+    let Some(path) = path else { return Ok(()) };
+    let collector = aa_obs::Collector::install();
+    write_file(path, &aa_obs::export::chrome_trace_json(collector))?;
+    aa_obs::obs_info!("trace", "trace: {} spans → {path}", collector.len());
+    Ok(())
+}
+
 fn cmd_solve(args: &[String]) -> Result<(), Failure> {
     let path = args
         .iter()
@@ -160,11 +201,14 @@ fn cmd_solve(args: &[String]) -> Result<(), Failure> {
     let solver = flag_value(args, "--solver")?.unwrap_or("algo2");
     let seed: u64 = parsed_flag(args, "--seed", 2016)?;
     let pretty = args.iter().any(|a| a == "--pretty");
+    let trace_path = trace_flag(args)?;
 
     let json = read_file(path)?;
     let solution = solve_document(&json, solver, seed)?;
+    write_trace(trace_path)?;
     println!("{}", to_json(&solution, pretty)?);
-    eprintln!(
+    aa_obs::obs_info!(
+        "solve",
         "solver={} total={:.6} bound={:.6} ratio={:.4} (guarantee {:.4})",
         solution.solver,
         solution.total_utility,
@@ -211,7 +255,8 @@ fn cmd_churn(args: &[String]) -> Result<(), Failure> {
     };
     let report = churn_document(&json, script_json.as_deref(), &opts)?;
     println!("{}", to_json(&report, args.iter().any(|a| a == "--pretty"))?);
-    eprintln!(
+    aa_obs::obs_info!(
+        "churn",
         "epochs={} mean_retention={:.4} min_retention={:.4} degraded={} evacuated={} migrated={}",
         report.epochs.len(),
         report.mean_retention,
@@ -239,32 +284,36 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
     };
     let out_path = flag_value(args, "--out")?.unwrap_or("BENCH_solver.json");
     let threads: usize = parsed_flag(args, "--threads", 0)?;
+    let trace_path = trace_flag(args)?;
 
     let report = if threads > 0 {
         rayon::with_threads(threads, || bench_document(&opts))
     } else {
         bench_document(&opts)
     }?;
+    write_trace(trace_path)?;
 
     let json = to_json(&report, args.iter().any(|a| a == "--pretty"))?;
-    std::fs::write(out_path, json.as_bytes()).map_err(|e| {
-        Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{out_path}: {e}"))))
-    })?;
+    write_file(out_path, &json)?;
 
-    eprintln!(
+    aa_obs::obs_info!(
+        "bench",
         "bench: solver={} pool_threads={} hardware_threads={} seed={} → {out_path}",
         report.solver, report.pool_threads, report.hardware_threads, report.seed
     );
     for e in &report.entries {
-        eprintln!(
+        aa_obs::obs_info!(
+            "bench",
             "  {:<9} {:<6} n={:<6} seq={:>9.3}ms par={:>9.3}ms speedup={:>5.2}x \
-             ratio={:.4} identical={}",
+             ratio={:.4} identical={} stages so={}µs lin={}µs asg={}µs",
             e.dist, e.size, e.threads, e.seq_millis, e.par_millis, e.speedup,
-            e.ratio_vs_so, e.identical
+            e.ratio_vs_so, e.identical,
+            e.superopt_micros, e.linearize_micros, e.assign_micros
         );
     }
     for e in &report.incremental {
-        eprintln!(
+        aa_obs::obs_info!(
+            "bench",
             "  {:<9} {:<12} n={:<6} cold={:>9.3}ms warm={:>9.3}ms speedup={:>5.2}x \
              maps cold={:.1} warm={:.1} warm_epochs={}/{} identical={}",
             e.dist,
@@ -309,10 +358,19 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
         breaker_cooldown: parsed_flag(args, "--cooldown", defaults.breaker_cooldown)?,
     };
     let counters_path = flag_value(args, "--counters")?;
+    let metrics_dump = flag_value(args, "--metrics-dump")?;
+    let registry = aa_obs::global();
+    if let Some(addr) = flag_value(args, "--metrics-addr")? {
+        let local = aa_obs::export::spawn_metrics_server(addr, registry).map_err(|e| {
+            Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{addr}: {e}"))))
+        })?;
+        aa_obs::obs_info!("serve", "metrics: http://{local}/metrics");
+    }
 
-    let counters = run_serve(std::io::stdin().lock(), std::io::stdout(), &opts)?;
+    let counters = run_serve(std::io::stdin().lock(), std::io::stdout(), &opts, registry)?;
 
-    eprintln!(
+    aa_obs::obs_info!(
+        "serve",
         "serve: received={} solved={} shed={} expired_in_queue={} parse_errors={} \
          solve_errors={} deadline_misses={}",
         counters.received,
@@ -329,17 +387,18 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
         } else {
             0.0
         };
-        eprintln!(
+        aa_obs::obs_info!(
+            "serve",
             "  tier {tier}: answered={} mean={mean_ms:.3}ms max={:.3}ms",
             c.answered,
             c.max_micros as f64 / 1e3
         );
     }
     if let Some(path) = counters_path {
-        let json = to_json(&counters, true)?;
-        std::fs::write(path, json.as_bytes()).map_err(|e| {
-            Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{path}: {e}"))))
-        })?;
+        write_file(path, &to_json(&counters, true)?)?;
+    }
+    if let Some(path) = metrics_dump {
+        write_file(path, &aa_obs::export::json_snapshot(registry))?;
     }
     Ok(())
 }

@@ -17,8 +17,12 @@
 //!   the queue is answered `{"status":"error","class":"deadline"}`
 //!   without wasting a solve on it.
 //!
-//! Per-tier latency and shed counters accumulate in [`ServeCounters`],
-//! returned to the caller at EOF for the shutdown dump.
+//! All accounting flows through an [`aa_obs::Registry`] (the
+//! `aa_serve_*` metric family), so a live `--metrics-addr` scrape sees
+//! the same numbers the shutdown dump reports. [`ServeCounters`] is a
+//! snapshot of that registry taken at EOF; its latency percentiles are
+//! derived from the `aa_serve_latency_micros` histogram (log-linear
+//! buckets, capped at the exact observed maximum).
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -26,6 +30,7 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use aa_core::tiered::Tier;
 use aa_core::{Budget, SolveError, TieredSolver};
 use serde::{Deserialize, Serialize};
 
@@ -104,7 +109,8 @@ pub enum ServeResponse {
     },
 }
 
-/// Latency accounting for one ladder tier.
+/// Latency accounting for one ladder tier: a snapshot of the
+/// `aa_serve_tier_solve_micros{tier=…}` histogram.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct TierCounter {
     /// Requests this tier answered.
@@ -115,7 +121,8 @@ pub struct TierCounter {
     pub max_micros: u64,
 }
 
-/// Counters accumulated over one serve session, dumped at shutdown.
+/// Counters accumulated over one serve session, dumped at shutdown: a
+/// snapshot of the session's `aa_serve_*` registry entries taken at EOF.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct ServeCounters {
     /// Non-empty request lines read.
@@ -135,10 +142,12 @@ pub struct ServeCounters {
     /// by more than the grace window.
     pub deadline_misses: u64,
     /// Median end-to-end latency over `status: ok` responses,
-    /// milliseconds (nearest-rank; 0 when nothing was solved).
+    /// milliseconds (histogram-derived, capped at the exact observed
+    /// maximum; 0 when nothing was solved).
     pub latency_p50_ms: f64,
     /// 99th-percentile end-to-end latency over `status: ok` responses,
-    /// milliseconds (nearest-rank; 0 when nothing was solved).
+    /// milliseconds (histogram-derived, capped at the exact observed
+    /// maximum; 0 when nothing was solved).
     pub latency_p99_ms: f64,
     /// Latency accounting per answering tier.
     pub per_tier: BTreeMap<String, TierCounter>,
@@ -177,17 +186,104 @@ struct Job {
     arrived: Instant,
 }
 
+/// Registry handles for one serve session. Every count the loop keeps
+/// lives in the metrics registry; [`ServeCounters`] is derived from
+/// these handles at EOF.
+struct ServeMetrics {
+    received: aa_obs::Counter,
+    solved: aa_obs::Counter,
+    shed: aa_obs::Counter,
+    expired_in_queue: aa_obs::Counter,
+    parse_errors: aa_obs::Counter,
+    solve_errors: aa_obs::Counter,
+    deadline_misses: aa_obs::Counter,
+    /// End-to-end latency of `status: ok` responses.
+    latency: aa_obs::Histogram,
+    /// Solve wall time per answering tier
+    /// (`aa_serve_tier_solve_micros{tier=…}`).
+    per_tier: Vec<(&'static str, aa_obs::Histogram)>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &aa_obs::Registry) -> Self {
+        ServeMetrics {
+            received: registry.counter("aa_serve_received_total"),
+            solved: registry.counter("aa_serve_solved_total"),
+            shed: registry.counter("aa_serve_shed_total"),
+            expired_in_queue: registry.counter("aa_serve_expired_in_queue_total"),
+            parse_errors: registry.counter("aa_serve_parse_errors_total"),
+            solve_errors: registry.counter("aa_serve_solve_errors_total"),
+            deadline_misses: registry.counter("aa_serve_deadline_misses_total"),
+            latency: registry.histogram("aa_serve_latency_micros"),
+            per_tier: [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Uu]
+                .iter()
+                .map(|t| {
+                    (
+                        t.name(),
+                        registry.histogram_labeled("aa_serve_tier_solve_micros", "tier", t.name()),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn tier(&self, name: &str) -> &aa_obs::Histogram {
+        self.per_tier
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+            .expect("every ladder tier has a pre-registered histogram")
+    }
+
+    /// The EOF snapshot. Tiers that never answered are omitted, matching
+    /// the pre-registry dump (a `BTreeMap` populated on first answer).
+    fn snapshot(&self) -> ServeCounters {
+        let mut per_tier = BTreeMap::new();
+        for (name, h) in &self.per_tier {
+            if h.count() > 0 {
+                per_tier.insert(
+                    (*name).to_string(),
+                    TierCounter {
+                        answered: h.count(),
+                        total_micros: h.sum_micros(),
+                        max_micros: h.max_micros(),
+                    },
+                );
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        ServeCounters {
+            received: self.received.get(),
+            solved: self.solved.get(),
+            shed: self.shed.get(),
+            expired_in_queue: self.expired_in_queue.get(),
+            parse_errors: self.parse_errors.get(),
+            solve_errors: self.solve_errors.get(),
+            deadline_misses: self.deadline_misses.get(),
+            latency_p50_ms: self.latency.quantile_micros(0.50) as f64 / 1e3,
+            latency_p99_ms: self.latency.quantile_micros(0.99) as f64 / 1e3,
+            per_tier,
+        }
+    }
+}
+
 /// Run the request loop until `input` reaches EOF, then drain the queue
 /// and return the session counters. Responses go to `output` one JSON
-/// object per line.
+/// object per line; all accounting goes through `registry` (the
+/// `aa_serve_*` family), so a concurrent exporter sees live counts.
+///
+/// Handles are get-or-create: running two sessions through the same
+/// registry accumulates across both (pass a fresh [`aa_obs::Registry`]
+/// per session for isolated counts; the binary passes the process-global
+/// one so `--metrics-addr` scrapes cover the whole run).
 pub fn run_serve<R: BufRead, W: Write + Send>(
     input: R,
     output: W,
     opts: &ServeOpts,
+    registry: &aa_obs::Registry,
 ) -> Result<ServeCounters, CliError> {
     let out = Mutex::new(output);
-    let counters = Mutex::new(ServeCounters::default());
-    let latencies = Mutex::new(Vec::<f64>::new());
+    let metrics = ServeMetrics::new(registry);
     // One stream → one worker → one warm state: the solver's Algo2 tier
     // keeps its incremental `WarmState` across this stream's requests
     // (answers stay bit-identical to the cold path).
@@ -197,38 +293,23 @@ pub fn run_serve<R: BufRead, W: Write + Send>(
     let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue.max(1));
 
     let io_result = std::thread::scope(|s| {
-        let (solver, out, counters, latencies) = (&solver, &out, &counters, &latencies);
-        s.spawn(move || worker_loop(rx, solver, out, counters, latencies, opts));
-        let result = reader_loop(input, &tx, out, counters, opts.queue);
+        let (solver, out, metrics) = (&solver, &out, &metrics);
+        s.spawn(move || worker_loop(rx, solver, out, metrics, opts));
+        let result = reader_loop(input, &tx, out, metrics, opts.queue);
         // EOF (or a dead output pipe): closing the channel lets the
         // worker drain the backlog and exit, and the scope joins it.
         drop(tx);
         result
     });
     io_result?;
-    let mut counters = counters.into_inner().expect("serve threads joined");
-    let mut samples = latencies.into_inner().expect("serve threads joined");
-    samples.sort_unstable_by(f64::total_cmp);
-    counters.latency_p50_ms = percentile_nearest_rank(&samples, 50.0);
-    counters.latency_p99_ms = percentile_nearest_rank(&samples, 99.0);
-    Ok(counters)
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample set: the
-/// `⌈q·n/100⌉`-th smallest value (1-indexed), 0 for an empty set.
-fn percentile_nearest_rank(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
+    Ok(metrics.snapshot())
 }
 
 fn reader_loop<R: BufRead, W: Write>(
     input: R,
     tx: &SyncSender<Job>,
     out: &Mutex<W>,
-    counters: &Mutex<ServeCounters>,
+    metrics: &ServeMetrics,
     queue: usize,
 ) -> std::io::Result<()> {
     for line in input.lines() {
@@ -236,10 +317,10 @@ fn reader_loop<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        counters.lock().unwrap().received += 1;
+        metrics.received.inc();
         match serde_json::from_str::<ServeRequest>(&line) {
             Err(e) => {
-                counters.lock().unwrap().parse_errors += 1;
+                metrics.parse_errors.inc();
                 respond(
                     out,
                     &ServeResponse::Error {
@@ -254,8 +335,8 @@ fn reader_loop<R: BufRead, W: Write>(
                 match tx.try_send(Job { req, arrived: Instant::now() }) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
-                        let retry_after_ms = estimated_drain_ms(counters, queue);
-                        counters.lock().unwrap().shed += 1;
+                        let retry_after_ms = estimated_drain_ms(metrics, queue);
+                        metrics.shed.inc();
                         respond(out, &ServeResponse::Overloaded { id, retry_after_ms })?;
                     }
                     // Worker gone (panicked): stop reading; the scope
@@ -269,13 +350,13 @@ fn reader_loop<R: BufRead, W: Write>(
 }
 
 /// Backoff hint for a shed request: queue depth × the mean solve time
-/// observed so far (1 ms floor before any solve completes).
-fn estimated_drain_ms(counters: &Mutex<ServeCounters>, queue: usize) -> u64 {
-    let c = counters.lock().unwrap();
-    let (answered, micros) = c
+/// observed so far (1 ms floor before any solve completes), read from
+/// the per-tier histograms.
+fn estimated_drain_ms(metrics: &ServeMetrics, queue: usize) -> u64 {
+    let (answered, micros) = metrics
         .per_tier
-        .values()
-        .fold((0_u64, 0_u64), |(a, m), t| (a + t.answered, m + t.total_micros));
+        .iter()
+        .fold((0_u64, 0_u64), |(a, m), (_, h)| (a + h.count(), m + h.sum_micros()));
     let mean_micros = micros.checked_div(answered).unwrap_or(1000);
     (mean_micros.saturating_mul(queue as u64) / 1000).max(1)
 }
@@ -284,12 +365,11 @@ fn worker_loop<W: Write>(
     rx: Receiver<Job>,
     solver: &TieredSolver,
     out: &Mutex<W>,
-    counters: &Mutex<ServeCounters>,
-    latencies: &Mutex<Vec<f64>>,
+    metrics: &ServeMetrics,
     opts: &ServeOpts,
 ) {
     while let Ok(job) = rx.recv() {
-        if handle_job(job, solver, out, counters, latencies, opts).is_err() {
+        if handle_job(job, solver, out, metrics, opts).is_err() {
             // Output pipe is gone; keep draining so the reader's sends
             // don't wedge, but stop writing.
             for _ in rx.iter() {}
@@ -302,8 +382,7 @@ fn handle_job<W: Write>(
     job: Job,
     solver: &TieredSolver,
     out: &Mutex<W>,
-    counters: &Mutex<ServeCounters>,
-    latencies: &Mutex<Vec<f64>>,
+    metrics: &ServeMetrics,
     opts: &ServeOpts,
 ) -> std::io::Result<()> {
     let id = job.req.id;
@@ -314,7 +393,7 @@ fn handle_job<W: Write>(
     // solving would take the whole ladder — shed it here.
     if let Some(d) = deadline_ms {
         if queued_ms >= d as f64 {
-            counters.lock().unwrap().expired_in_queue += 1;
+            metrics.expired_in_queue.inc();
             return respond(
                 out,
                 &ServeResponse::Error {
@@ -329,7 +408,7 @@ fn handle_job<W: Write>(
     let problem = match build_problem(&job.req.problem) {
         Ok(p) => p,
         Err(e) => {
-            counters.lock().unwrap().solve_errors += 1;
+            metrics.solve_errors.inc();
             return respond(
                 out,
                 &ServeResponse::Error {
@@ -354,21 +433,17 @@ fn handle_job<W: Write>(
         Ok(solved) => {
             let solve_micros = solve_start.elapsed().as_micros() as u64;
             let latency_ms = job.arrived.elapsed().as_secs_f64() * 1e3;
-            latencies.lock().unwrap().push(latency_ms);
-            {
-                let mut c = counters.lock().unwrap();
-                c.solved += 1;
-                let tier = c
-                    .per_tier
-                    .entry(solved.degradation.tier.name().to_string())
-                    .or_default();
-                tier.answered += 1;
-                tier.total_micros += solve_micros;
-                tier.max_micros = tier.max_micros.max(solve_micros);
-                if let Some(d) = deadline_ms {
-                    if latency_ms > (d + opts.grace_ms) as f64 {
-                        c.deadline_misses += 1;
-                    }
+            metrics.solved.inc();
+            // Floor at 1 µs so percentile snapshots of sub-microsecond
+            // responses stay nonzero.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            metrics.latency.record_micros(((latency_ms * 1e3) as u64).max(1));
+            metrics
+                .tier(solved.degradation.tier.name())
+                .record_micros(solve_micros.max(1));
+            if let Some(d) = deadline_ms {
+                if latency_ms > (d + opts.grace_ms) as f64 {
+                    metrics.deadline_misses.inc();
                 }
             }
             respond(
@@ -385,7 +460,7 @@ fn handle_job<W: Write>(
             )
         }
         Err(e) => {
-            counters.lock().unwrap().solve_errors += 1;
+            metrics.solve_errors.inc();
             let class = match e {
                 SolveError::DeadlineExceeded | SolveError::Cancelled => "deadline",
                 _ => "solve",
@@ -435,7 +510,10 @@ mod tests {
 
     fn run(input: &str, opts: &ServeOpts) -> (ServeCounters, Vec<serde_json::Value>) {
         let mut output: Vec<u8> = Vec::new();
-        let counters = run_serve(input.as_bytes(), &mut output, opts).unwrap();
+        // A per-session registry keeps tests isolated from each other
+        // and from the process-global registry.
+        let registry = aa_obs::Registry::new();
+        let counters = run_serve(input.as_bytes(), &mut output, opts, &registry).unwrap();
         let responses = String::from_utf8(output)
             .unwrap()
             .lines()
@@ -476,15 +554,19 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
-        assert_eq!(percentile_nearest_rank(&[], 50.0), 0.0);
-        assert_eq!(percentile_nearest_rank(&[7.0], 50.0), 7.0);
-        assert_eq!(percentile_nearest_rank(&[7.0], 99.0), 7.0);
-        let v: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile_nearest_rank(&v, 50.0), 50.0);
-        assert_eq!(percentile_nearest_rank(&v, 99.0), 99.0);
-        assert_eq!(percentile_nearest_rank(&[1.0, 2.0, 3.0, 4.0], 50.0), 2.0);
-        assert_eq!(percentile_nearest_rank(&[1.0, 2.0, 3.0, 4.0], 99.0), 4.0);
+    fn live_registry_sees_the_same_counts_as_the_snapshot() {
+        let registry = aa_obs::Registry::new();
+        let mut output: Vec<u8> = Vec::new();
+        let input = format!("{}\n{}\n", request_line(1, None, 6), request_line(2, None, 8));
+        let counters =
+            run_serve(input.as_bytes(), &mut output, &ServeOpts::default(), &registry).unwrap();
+        // The registry holds the session's numbers — what a concurrent
+        // /metrics scrape would have reported at EOF.
+        let prom = aa_obs::export::prometheus_text(&registry);
+        assert!(prom.contains("aa_serve_received_total 2"), "{prom}");
+        assert!(prom.contains("aa_serve_solved_total 2"), "{prom}");
+        assert_eq!(counters.received, 2);
+        assert_eq!(counters.solved, 2);
     }
 
     #[test]

@@ -222,7 +222,7 @@ fn bench_small_writes_valid_schema_with_matching_utilities() {
 
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
-    assert_eq!(report["version"].as_u64(), Some(2));
+    assert_eq!(report["version"].as_u64(), Some(3));
     assert_eq!(report["solver"], "algo2");
     assert!(report["pool_threads"].as_u64().unwrap() >= 1);
     assert!(report["hardware_threads"].as_u64().unwrap() >= 1);
@@ -239,6 +239,10 @@ fn bench_small_writes_valid_schema_with_matching_utilities() {
             "so_bound", "ratio_vs_so",
         ] {
             assert!(e[field].as_f64().is_some(), "missing {field}: {e:?}");
+        }
+        // Schema v3: per-stage breakdowns are always present.
+        for field in ["superopt_micros", "linearize_micros", "assign_micros"] {
+            assert!(e[field].as_u64().is_some(), "missing {field}: {e:?}");
         }
         assert_eq!(e["size"], "small");
         assert_eq!(e["threads"].as_u64(), Some(64));
@@ -280,7 +284,7 @@ fn bench_incremental_mode_reports_warm_vs_cold() {
 
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
-    assert_eq!(report["version"].as_u64(), Some(2));
+    assert_eq!(report["version"].as_u64(), Some(3));
     assert!(report["entries"].as_array().unwrap().is_empty());
     let incremental = report["incremental"].as_array().unwrap();
     assert_eq!(incremental.len(), 4, "four distributions in the small drift suite");
@@ -462,6 +466,196 @@ fn serve_end_to_end_sheds_overload_and_exits_cleanly() {
     let p99 = counters["latency_p99_ms"].as_f64().unwrap();
     assert!(p50 > 0.0, "p50 {p50} with {solved} solved");
     assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+}
+
+// ---- observability ----
+
+#[test]
+fn solve_trace_writes_chrome_trace_covering_the_pipeline() {
+    let dir = tempdir();
+    let problem_path = dir.join("trace-problem.json");
+    let trace_path = dir.join("solve-trace.json");
+    let gen = bin()
+        .args(["generate", "--servers", "4", "--beta", "8", "--capacity", "100", "--seed", "21"])
+        .output()
+        .unwrap();
+    std::fs::write(&problem_path, &gen.stdout).unwrap();
+
+    let out = bin()
+        .args([
+            "solve", problem_path.to_str().unwrap(),
+            "--trace", trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty(), "no spans recorded");
+    let names: Vec<&str> = events.iter().map(|e| e["name"].as_str().unwrap()).collect();
+    for stage in ["algo2", "superopt", "linearize", "assign"] {
+        assert!(names.contains(&stage), "missing {stage} span in {names:?}");
+    }
+    for e in events {
+        assert_eq!(e["ph"], "X", "{e:?}");
+        assert!(e["ts"].as_u64().is_some(), "{e:?}");
+        assert!(e["dur"].as_u64().is_some(), "{e:?}");
+        assert!(e["tid"].as_u64().is_some(), "{e:?}");
+    }
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace:"), "missing trace summary: {err}");
+}
+
+#[test]
+fn bench_trace_covers_matrix_and_incremental_stages() {
+    let dir = tempdir();
+    let out_path = dir.join("bench-traced.json");
+    let trace_path = dir.join("bench-trace.json");
+    let out = bin()
+        .args([
+            "bench", "--small", "--mode", "full", "--reps", "1", "--seed", "5",
+            "--out", out_path.to_str().unwrap(),
+            "--trace", trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    let names: Vec<&str> = events.iter().map(|e| e["name"].as_str().unwrap()).collect();
+    for stage in ["bench_probe", "algo2", "superopt", "linearize", "assign", "incremental"] {
+        assert!(names.contains(&stage), "missing {stage} span in trace");
+    }
+
+    // With recording armed, the report's stage breakdowns must be live:
+    // the probe's untimed solve cannot lose its spans to a race because
+    // --trace keeps the collector enabled for the whole run.
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    for e in report["entries"].as_array().unwrap() {
+        let total = e["superopt_micros"].as_u64().unwrap()
+            + e["linearize_micros"].as_u64().unwrap()
+            + e["assign_micros"].as_u64().unwrap();
+        assert!(total > 0, "empty stage breakdown: {e:?}");
+    }
+}
+
+#[test]
+fn serve_metrics_endpoint_and_dump_expose_the_registry() {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    use std::process::Stdio;
+
+    let dir = tempdir();
+    let dump_path = dir.join("serve-metrics.json");
+    let mut child = bin()
+        .args([
+            "serve",
+            "--metrics-addr", "127.0.0.1:0",
+            "--metrics-dump", dump_path.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+
+    // The bound address is announced on stderr before the loop starts.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("metrics: http://")
+        .and_then(|rest| rest.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("unexpected metrics line: {line:?}"))
+        .to_string();
+
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(serve_request(1, None, 4).as_bytes()).unwrap();
+    stdin.write_all(b"\n").unwrap();
+    stdin.write_all(serve_request(2, None, 4).as_bytes()).unwrap();
+    stdin.write_all(b"\n").unwrap();
+    stdin.flush().unwrap();
+
+    // Scrape until both requests are visible (requests are counted on
+    // read, but give the loop time to pick them up).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut scrape = String::new();
+    loop {
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        scrape.clear();
+        conn.read_to_string(&mut scrape).unwrap();
+        if scrape.contains("aa_serve_received_total 2") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "metrics never caught up: {scrape}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+    assert!(scrape.contains("# TYPE aa_serve_received_total counter"), "{scrape}");
+
+    // The JSON endpoint serves the same registry.
+    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+    conn.write_all(b"GET /metrics.json HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut json_scrape = String::new();
+    conn.read_to_string(&mut json_scrape).unwrap();
+    assert!(json_scrape.contains("\"aa_serve_received_total\":2"), "{json_scrape}");
+
+    drop(stdin); // EOF ends the loop and triggers the dump.
+    let status = child.wait().unwrap();
+    assert!(status.success());
+
+    let dump: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&dump_path).unwrap()).unwrap();
+    assert_eq!(dump["counters"]["aa_serve_received_total"].as_u64(), Some(2));
+    assert_eq!(dump["counters"]["aa_serve_solved_total"].as_u64(), Some(2));
+    let latency = &dump["histograms"]["aa_serve_latency_micros"];
+    assert_eq!(latency["count"].as_u64(), Some(2));
+    assert!(latency["p50_micros"].as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn log_format_json_emits_one_object_per_line() {
+    let dir = tempdir();
+    let path = dir.join("log-json.json");
+    let gen = bin()
+        .args(["generate", "--servers", "2", "--beta", "2", "--capacity", "10", "--seed", "4"])
+        .output()
+        .unwrap();
+    std::fs::write(&path, &gen.stdout).unwrap();
+
+    let out = bin()
+        .args(["solve", path.to_str().unwrap(), "--log-format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    let mut saw_summary = false;
+    for line in err.lines().filter(|l| !l.is_empty()) {
+        let record: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("non-JSON log {line:?}: {e}"));
+        assert!(record["level"].as_str().is_some(), "{record:?}");
+        saw_summary |= record["msg"].as_str().is_some_and(|m| m.contains("ratio="));
+    }
+    assert!(saw_summary, "summary line missing from JSON stderr: {err}");
+
+    // Errors honor the format too, and the exit-code contract is intact.
+    let bad = bin()
+        .args(["solve", "/definitely/not/a/file.json", "--log-format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(6));
+    let first = String::from_utf8_lossy(&bad.stderr);
+    let record: serde_json::Value =
+        serde_json::from_str(first.lines().next().unwrap()).unwrap();
+    assert_eq!(record["level"], "error");
 }
 
 #[test]

@@ -23,6 +23,7 @@ use crate::superopt::{super_optimal, super_optimal_budgeted, super_optimal_par, 
 /// Run the complete Algorithm 1 pipeline: super-optimal allocation →
 /// linearization → greedy assignment.
 pub fn solve(problem: &Problem) -> Assignment {
+    let _span = aa_obs::span!("algo1");
     let so = super_optimal(problem);
     let gs = linearize(problem, &so);
     assign_with(problem, &so, &gs)
@@ -35,6 +36,7 @@ pub fn solve(problem: &Problem) -> Assignment {
 /// values in index order and reduces sequentially — which the
 /// differential test suite asserts exactly.
 pub fn solve_par(problem: &Problem) -> Assignment {
+    let _span = aa_obs::span!("algo1");
     let so = super_optimal_par(problem);
     let gs = linearize_par(problem, &so);
     assign_with(problem, &so, &gs)
@@ -48,6 +50,7 @@ pub fn solve_par(problem: &Problem) -> Assignment {
 /// [`SolveError::DeadlineExceeded`], external cancellation as
 /// [`SolveError::Cancelled`] — never a half-built assignment.
 pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Assignment, SolveError> {
+    let _span = aa_obs::span!("algo1");
     let so = super_optimal_budgeted(problem, budget)?;
     budget.check()?;
     let gs = linearize_par(problem, &so);

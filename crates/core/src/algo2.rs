@@ -55,9 +55,19 @@ use crate::superopt::{super_optimal, super_optimal_budgeted, super_optimal_par, 
 /// assert!(assignment.total_utility(&problem) >= ALPHA * bound - 1e-9);
 /// ```
 pub fn solve(problem: &Problem) -> Assignment {
+    let _span = aa_obs::span!("algo2");
+    if aa_obs::record_enabled() {
+        solve_counter().inc();
+    }
     let so = super_optimal(problem);
     let gs = linearize(problem, &so);
     assign_with(problem, &so, &gs)
+}
+
+/// Cached handle for the `aa_solve_total{solver="algo2"}` counter.
+fn solve_counter() -> &'static aa_obs::Counter {
+    static HANDLE: std::sync::OnceLock<aa_obs::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| aa_obs::global().counter_labeled("aa_solve_total", "solver", "algo2"))
 }
 
 /// [`solve`] with the super-optimal allocation and linearization fanned
@@ -76,6 +86,10 @@ pub fn solve(problem: &Problem) -> Assignment {
 pub fn solve_par(problem: &Problem) -> Assignment {
     if problem.len() < aa_allocator::bisection::PAR_THRESHOLD {
         return solve(problem);
+    }
+    let _span = aa_obs::span!("algo2");
+    if aa_obs::record_enabled() {
+        solve_counter().inc();
     }
     let so = super_optimal_par(problem);
     let gs = linearize_par(problem, &so);
@@ -104,6 +118,10 @@ pub fn solve_incremental(
 /// external cancellation as [`SolveError::Cancelled`] — never a
 /// half-built assignment.
 pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<Assignment, SolveError> {
+    let _span = aa_obs::span!("algo2");
+    if aa_obs::record_enabled() {
+        solve_counter().inc();
+    }
     let so = super_optimal_budgeted(problem, budget)?;
     budget.check()?;
     let gs = linearize_par(problem, &so);
@@ -140,6 +158,7 @@ fn assign_impl(
     gs: &[Linearized],
     budget: Option<&Budget>,
 ) -> Result<Assignment, SolveError> {
+    let _span = aa_obs::span!("assign");
     let n = problem.len();
     let m = problem.servers();
     assert_eq!(so.amounts.len(), n, "ĉ must cover every thread");

@@ -38,6 +38,7 @@ pub const MAX_THREADS: usize = 18;
 /// # Panics
 /// If `problem.len() > MAX_THREADS`.
 pub fn solve(problem: &Problem) -> Assignment {
+    let _span = aa_obs::span!("exact_bb");
     let n = problem.len();
     assert!(
         n <= MAX_THREADS,
@@ -170,6 +171,7 @@ pub struct BudgetedSolve {
 /// itself did not finish ([`SolveError::DeadlineExceeded`]), or the
 /// budget's token was cancelled externally ([`SolveError::Cancelled`]).
 pub fn solve_budgeted(problem: &Problem, budget: &Budget) -> Result<BudgetedSolve, SolveError> {
+    let _span = aa_obs::span!("exact_bb");
     let n = problem.len();
     if n > MAX_THREADS {
         return Err(SolveError::TooLarge { threads: n, limit: MAX_THREADS });

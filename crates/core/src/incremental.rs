@@ -242,6 +242,33 @@ fn heap_pop(h: &mut Vec<(f64, usize)>) -> Option<(f64, usize)> {
     top
 }
 
+/// Registry handles for the per-mode solve counters
+/// (`aa_incremental_{cold,identical,warm}_total`), cached so the record
+/// path touches only atomics — the arena's zero-allocation contract
+/// holds with a live collector.
+fn mode_counters() -> &'static [aa_obs::Counter; 3] {
+    static HANDLES: std::sync::OnceLock<[aa_obs::Counter; 3]> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = aa_obs::global();
+        [
+            r.counter("aa_incremental_cold_total"),
+            r.counter("aa_incremental_identical_total"),
+            r.counter("aa_incremental_warm_total"),
+        ]
+    })
+}
+
+fn record_mode(mode: SolveMode) {
+    if aa_obs::record_enabled() {
+        let idx = match mode {
+            SolveMode::Cold => 0,
+            SolveMode::Identical => 1,
+            SolveMode::Warm => 2,
+        };
+        mode_counters()[idx].inc();
+    }
+}
+
 /// The shared solve core. On success the assignment is in
 /// `state.arena.server` / `state.arena.out_amount` and the previous
 /// instance snapshot has been advanced; on error the caller must
@@ -251,6 +278,7 @@ fn solve_impl(
     state: &mut WarmState,
     budget: Option<&Budget>,
 ) -> Result<(), SolveError> {
+    let _span = aa_obs::span!("incremental");
     let n = problem.len();
     let m = problem.servers();
     let cap = problem.capacity();
@@ -274,6 +302,7 @@ fn solve_impl(
             mode: SolveMode::Identical,
             ..IncrementalStats::default()
         };
+        record_mode(SolveMode::Identical);
         return Ok(());
     }
 
@@ -293,6 +322,7 @@ fn solve_impl(
     // Stage 2: delta linearization. `structural` means every per-thread
     // quantity is stale (no baseline, or the capacity changed — C is an
     // input to every g_i and every capped view).
+    let lin_span = aa_obs::span!("linearize_delta");
     let structural = !state.has_prev || state.prev_capacity.to_bits() != cap.to_bits();
     let prev_n = state.prev_threads.len();
     a.gs.resize(n, Linearized::new(0.0, 0.0, cap, 0.0));
@@ -329,6 +359,7 @@ fn solve_impl(
             dirty_count += 1;
         }
     }
+    drop(lin_span);
     if let Some(b) = budget {
         b.check()?;
     }
@@ -336,6 +367,7 @@ fn solve_impl(
     // Stage 3: repair (or rebuild) the key-sorted permutation, then the
     // density re-sort of the tail. See the module docs for the crossover
     // rule.
+    let sort_span = aa_obs::span!("sort_repair");
     let SolverArena {
         keys,
         dens,
@@ -366,6 +398,7 @@ fn solve_impl(
     if n > m {
         order[m..].sort_unstable_by(|&x, &y| cmp_tail(keys, dens, x, y));
     }
+    drop(sort_span);
 
     // Stage 4: heap placement. All servers start at C — equal keys form
     // a valid max-heap with no sifting — and the arena's heap buffer is
@@ -401,6 +434,7 @@ fn solve_impl(
         dirty: dirty_count,
         sort_rebuilt: rebuild,
     };
+    record_mode(state.stats.mode);
     Ok(())
 }
 

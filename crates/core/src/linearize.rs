@@ -36,6 +36,7 @@ pub fn linearize_one(problem: &Problem, i: usize, c_hat: f64) -> Linearized {
 /// Build the linearized utilities `g_1 … g_n` from a super-optimal
 /// allocation. `g_i` has domain `[0, C]`.
 pub fn linearize(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
+    let _span = aa_obs::span!("linearize");
     assert_eq!(
         so.amounts.len(),
         problem.len(),
@@ -60,6 +61,7 @@ pub fn linearize_par(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
     if problem.len() < PAR_THRESHOLD {
         return linearize(problem, so);
     }
+    let _span = aa_obs::span!("linearize");
     problem
         .threads()
         .par_iter()

@@ -25,6 +25,7 @@ use crate::solver::SolveError;
 /// Exactly re-split every server's resource among its assigned threads
 /// using the original concave utilities. Placement is untouched.
 pub fn refine_allocation(problem: &Problem, assignment: &Assignment) -> Assignment {
+    let _span = aa_obs::span!("refine");
     // Same computation as the online module's zero-migration repair, but
     // motivated as a solve-time polish rather than drift recovery.
     crate::online::reallocate_in_place(problem, assignment)
@@ -39,6 +40,7 @@ pub fn refine_allocation_budgeted(
     assignment: &Assignment,
     budget: &Budget,
 ) -> Result<Assignment, SolveError> {
+    let _span = aa_obs::span!("refine");
     let views: Vec<CappedView> = problem.capped_threads();
     let amount =
         crate::exact::allocate_groups_budgeted(problem, &views, &assignment.server, budget)?;

@@ -45,6 +45,7 @@ pub struct SuperOptimal {
 /// assert!(so.amounts.iter().all(|&c| (c - 3.0).abs() < 1e-6));
 /// ```
 pub fn super_optimal(problem: &Problem) -> SuperOptimal {
+    let _span = aa_obs::span!("superopt");
     let views = problem.capped_threads();
     let budget = problem.servers() as f64 * problem.capacity();
     let alloc = bisection::allocate(&views, budget);
@@ -63,6 +64,7 @@ pub fn super_optimal(problem: &Problem) -> SuperOptimal {
 /// sequentially. Falls back to the sequential path below the parallel
 /// threshold, so it is always safe to call.
 pub fn super_optimal_par(problem: &Problem) -> SuperOptimal {
+    let _span = aa_obs::span!("superopt");
     let views = problem.capped_threads();
     let budget = problem.servers() as f64 * problem.capacity();
     let alloc = bisection::allocate_par(&views, budget);
@@ -83,6 +85,7 @@ pub fn super_optimal_budgeted(
     problem: &Problem,
     budget: &Budget,
 ) -> Result<SuperOptimal, SolveError> {
+    let _span = aa_obs::span!("superopt");
     let views = problem.capped_threads();
     let pool = problem.servers() as f64 * problem.capacity();
     let alloc = bisection::allocate_par_interruptible(
@@ -116,6 +119,7 @@ pub fn super_optimal_warm_into(
     views: &mut Vec<crate::problem::CappedView>,
     amounts: &mut Vec<f64>,
 ) -> bisection::WarmStats {
+    let _span = aa_obs::span!("warm_bisection");
     views.clear();
     views.extend((0..problem.len()).map(|i| problem.capped_thread(i)));
     let pool = problem.servers() as f64 * problem.capacity();
@@ -134,6 +138,7 @@ pub fn super_optimal_warm_budgeted_into(
     views: &mut Vec<crate::problem::CappedView>,
     amounts: &mut Vec<f64>,
 ) -> Result<bisection::WarmStats, SolveError> {
+    let _span = aa_obs::span!("warm_bisection");
     views.clear();
     views.extend((0..problem.len()).map(|i| problem.capped_thread(i)));
     let pool = problem.servers() as f64 * problem.capacity();

@@ -180,6 +180,40 @@ enum TierRun {
     TooLarge,
 }
 
+/// Span name for one ladder rung. Spans carry `&'static str` names, so
+/// the per-tier names are enumerated rather than formatted at runtime.
+fn tier_span_name(tier: Tier) -> &'static str {
+    match tier {
+        Tier::BranchAndBound => "tier_exact_bb",
+        Tier::Algo2Refined => "tier_algo2_refined",
+        Tier::Algo2 => "tier_algo2",
+        Tier::Uu => "tier_uu",
+    }
+}
+
+/// Registry handles for `aa_tier_attempts_total{tier}` /
+/// `aa_tier_completed_total{tier}`, cached so the record path never
+/// takes the registry lock.
+fn tier_counters(tier: Tier) -> &'static (aa_obs::Counter, aa_obs::Counter) {
+    static HANDLES: std::sync::OnceLock<[(aa_obs::Counter, aa_obs::Counter); 4]> =
+        std::sync::OnceLock::new();
+    let idx = match tier {
+        Tier::BranchAndBound => 0,
+        Tier::Algo2Refined => 1,
+        Tier::Algo2 => 2,
+        Tier::Uu => 3,
+    };
+    &HANDLES.get_or_init(|| {
+        [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Uu].map(|t| {
+            let r = aa_obs::global();
+            (
+                r.counter_labeled("aa_tier_attempts_total", "tier", t.name()),
+                r.counter_labeled("aa_tier_completed_total", "tier", t.name()),
+            )
+        })
+    })[idx]
+}
+
 impl TieredSolver {
     /// The full ladder: `exact-bb → algo2-refined → algo2 → uu`.
     pub fn new() -> Self {
@@ -278,11 +312,18 @@ impl TieredSolver {
                 });
                 continue;
             }
+            let _tier_span = aa_obs::span!(tier_span_name(tier));
+            if aa_obs::record_enabled() {
+                tier_counters(tier).0.inc();
+            }
             let start = Instant::now();
             let run = run_tier(tier, problem, budget, self.warm.as_ref())?;
             let micros = start.elapsed().as_micros() as u64;
             match run {
                 TierRun::Answer { assignment, partial } => {
+                    if aa_obs::record_enabled() {
+                        tier_counters(tier).1.inc();
+                    }
                     if partial {
                         self.record_failure(idx, req);
                     } else {

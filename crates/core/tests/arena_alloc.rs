@@ -71,6 +71,13 @@ fn steady_state_incremental_solve_does_not_allocate() {
     let capacity = 100.0;
     let n = 64;
 
+    // Observability must not erode the zero-allocation contract: run
+    // the whole measurement with a live, enabled span collector. The
+    // span buffer is preallocated at install time and every metric
+    // handle is created during warmup, so the steady-state record path
+    // (span push + counter inc + histogram observe) stays free.
+    aa_obs::Collector::install().set_enabled(true);
+
     // Build the base instance and a drift sequence of problems UP
     // FRONT: `Problem::new` clones the thread vec and the mutated
     // epochs allocate fresh `Arc`s — all setup cost, none of it on the
@@ -111,8 +118,14 @@ fn steady_state_incremental_solve_does_not_allocate() {
          the arena hot path must be allocation-free"
     );
 
-    // Sanity: the measured solve produced a real answer.
+    // Sanity: the measured solve produced a real answer, and the
+    // collector really was recording it (not silently disabled).
     assert_eq!(out.server.len(), n);
     assert_eq!(out.amount.len(), n);
     assert!(out.amount.iter().all(|a| a.is_finite()));
+    let collector = aa_obs::Collector::get().expect("installed above");
+    assert!(
+        collector.events().iter().any(|e| e.name == "incremental"),
+        "no incremental spans recorded — the zero-alloc run was not observed"
+    );
 }

@@ -1,0 +1,87 @@
+//! Differential test of the observability layer itself.
+//!
+//! The bit-identity contract from DESIGN.md §9: enabling the span
+//! collector may slow a solve down, but it must never change a single
+//! bit of output — recording sits entirely outside solver arithmetic.
+//! For random instances, every instrumented entry point is solved with
+//! recording **off** (the oracle) and again with a live, enabled
+//! collector, at 1, 2, and 8 pool threads, and the results must be
+//! **exactly equal** (`assert_eq!`, not within-tolerance).
+//!
+//! This file deliberately contains a single `proptest!` block driven
+//! from one `#[test]`-like property set: the collector is
+//! process-global, so sibling tests toggling it concurrently would
+//! race. Everything runs through one enable/disable discipline — the
+//! oracle solves happen before the collector flips on, the observed
+//! solves after.
+
+use std::sync::Arc;
+
+use aa_core::incremental::WarmState;
+use aa_core::{algo2, Problem};
+use aa_utility::{CappedLinear, DynUtility, LogUtility, Power};
+use proptest::prelude::*;
+
+/// Thread counts matching the main differential suite: inline path,
+/// minimal fan-out, oversubscribed.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn any_utility(cap: f64) -> impl Strategy<Value = DynUtility> {
+    prop_oneof![
+        (0.1..10.0f64, 0.2..1.0f64)
+            .prop_map(move |(s, b)| Arc::new(Power::new(s, b, cap)) as DynUtility),
+        (0.1..10.0f64, 0.1..4.0f64)
+            .prop_map(move |(s, r)| Arc::new(LogUtility::new(s, r, cap)) as DynUtility),
+        (0.1..10.0f64, 0.05..1.0f64)
+            .prop_map(move |(s, k)| Arc::new(CappedLinear::new(s, k * cap, cap)) as DynUtility),
+    ]
+}
+
+fn any_problem() -> impl Strategy<Value = Problem> {
+    (2usize..9, 1usize..40, 1.0..100.0f64).prop_flat_map(|(m, n, cap)| {
+        prop::collection::vec(any_utility(cap), n)
+            .prop_map(move |threads| Problem::new(m, cap, threads).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn recording_is_bit_invisible_to_every_solve_path(p in any_problem()) {
+        let collector = aa_obs::Collector::install();
+
+        // Oracle pass: recording off.
+        collector.set_enabled(false);
+        let seq = algo2::solve(&p);
+        let pars: Vec<_> = THREAD_COUNTS
+            .iter()
+            .map(|&t| rayon::with_threads(t, || algo2::solve_par(&p)))
+            .collect();
+        let mut warm_off = WarmState::new();
+        let inc = algo2::solve_incremental(&p, &mut warm_off);
+        let inc_again = algo2::solve_incremental(&p, &mut warm_off);
+
+        // Observed pass: identical calls under a live collector.
+        collector.set_enabled(true);
+        let seq_on = algo2::solve(&p);
+        prop_assert!(aa_obs::record_enabled(), "collector raced off mid-test");
+        for (&threads, par_off) in THREAD_COUNTS.iter().zip(&pars) {
+            let par_on = rayon::with_threads(threads, || algo2::solve_par(&p));
+            prop_assert_eq!(par_off, &par_on, "solve_par diverged at {} threads", threads);
+        }
+        let mut warm_on = WarmState::new();
+        let inc_on = algo2::solve_incremental(&p, &mut warm_on);
+        let inc_on_again = algo2::solve_incremental(&p, &mut warm_on);
+        collector.set_enabled(false);
+
+        prop_assert_eq!(&seq, &seq_on, "algo2::solve diverged under recording");
+        prop_assert_eq!(&inc, &inc_on, "cold incremental solve diverged under recording");
+        prop_assert_eq!(&inc_again, &inc_on_again, "warm incremental solve diverged");
+        // The headline number is bit-identical, not merely close.
+        prop_assert_eq!(
+            seq.total_utility(&p).to_bits(),
+            seq_on.total_utility(&p).to_bits()
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Exporters: Prometheus text exposition, a JSON metrics snapshot, a
+//! Chrome-trace (`trace_event`) span dump, and a minimal scrape server.
+//!
+//! All writers are hand-rolled over `std` — this crate cannot depend on
+//! `serde_json` (it sits below everything in the workspace graph), and
+//! the formats involved are small and fixed.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use crate::metrics::{bucket_boundary_micros, Metric, Registry, NUM_BOUNDARIES};
+use crate::trace::Collector;
+
+/// Render `registry` in the Prometheus text exposition format.
+///
+/// Counters and gauges are one sample each; histograms emit cumulative
+/// `_bucket{le="…"}` samples (only up to the last non-empty bucket, to
+/// keep the page readable), `_sum` and `_count`. Histogram names carry
+/// their unit (`…_micros`) so the µs-domain buckets are unambiguous.
+#[must_use]
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<(String, &'static str)> = None;
+    for (key, metric) in registry.snapshot() {
+        let (name, labels) = split_key(&key);
+        let kind = match metric {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        };
+        if last_type.as_ref() != Some(&(name.to_string(), kind)) {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_type = Some((name.to_string(), kind));
+        }
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "{key} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "{key} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let counts = h.bucket_counts();
+                let last_nonempty = counts.iter().rposition(|&c| c > 0);
+                let mut cumulative = 0u64;
+                for (i, &c) in counts.iter().enumerate().take(NUM_BOUNDARIES) {
+                    cumulative += c;
+                    if last_nonempty.is_some_and(|l| i <= l) {
+                        let le = bucket_boundary_micros(i);
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{{}le=\"{le}\"}} {cumulative}",
+                            label_prefix(labels)
+                        );
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{}le=\"+Inf\"}} {}",
+                    label_prefix(labels),
+                    h.count()
+                );
+                let _ = writeln!(out, "{name}_sum{labels} {}", h.sum_micros());
+                let _ = writeln!(out, "{name}_count{labels} {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Split an export key `name{k="v"}` into `(name, "{k=\"v\"}" | "")`.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => key.split_at(i),
+        None => (key, ""),
+    }
+}
+
+/// `{k="v"}` → `k="v",` (to splice before `le="…"`); empty stays empty.
+fn label_prefix(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{},", &labels[1..labels.len() - 1])
+    }
+}
+
+/// Render `registry` as a JSON snapshot:
+/// `{"counters":{…},"gauges":{…},"histograms":{name:{count,sum_micros,
+/// max_micros,p50_micros,p90_micros,p99_micros}}}`.
+#[must_use]
+pub fn json_snapshot(registry: &Registry) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut histograms = String::new();
+    for (key, metric) in registry.snapshot() {
+        match metric {
+            Metric::Counter(c) => {
+                if !counters.is_empty() {
+                    counters.push(',');
+                }
+                let _ = write!(counters, "{}:{}", json_string(&key), c.get());
+            }
+            Metric::Gauge(g) => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
+                }
+                let _ = write!(gauges, "{}:{}", json_string(&key), json_f64(g.get()));
+            }
+            Metric::Histogram(h) => {
+                if !histograms.is_empty() {
+                    histograms.push(',');
+                }
+                let _ = write!(
+                    histograms,
+                    "{}:{{\"count\":{},\"sum_micros\":{},\"max_micros\":{},\
+                     \"p50_micros\":{},\"p90_micros\":{},\"p99_micros\":{}}}",
+                    json_string(&key),
+                    h.count(),
+                    h.sum_micros(),
+                    h.max_micros(),
+                    h.quantile_micros(0.50),
+                    h.quantile_micros(0.90),
+                    h.quantile_micros(0.99),
+                );
+            }
+        }
+    }
+    format!("{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}")
+}
+
+/// Render the collector's span buffer in the Chrome `trace_event`
+/// format (JSON object form, complete `"ph":"X"` events, µs
+/// timestamps): load the file at `chrome://tracing` or
+/// <https://ui.perfetto.dev> to see the solve as a flamegraph.
+#[must_use]
+pub fn chrome_trace_json(collector: &Collector) -> String {
+    let mut events = String::new();
+    for e in collector.events() {
+        if !events.is_empty() {
+            events.push(',');
+        }
+        let _ = write!(
+            events,
+            "{{\"name\":{},\"cat\":\"aa\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            json_string(e.name),
+            e.start_micros,
+            e.duration_micros,
+            e.thread_id,
+            e.id,
+            e.parent_id,
+        );
+    }
+    format!(
+        "{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\",\
+         \"otherData\":{{\"dropped_events\":{}}}}}",
+        collector.dropped_events()
+    )
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/Inf: emit null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Bind `addr` and serve `registry` over HTTP on a detached thread:
+/// `GET /metrics` → Prometheus text, `GET /metrics.json` → JSON
+/// snapshot. Returns the actual bound address (so `…:0` picks a free
+/// port). The thread runs until the process exits.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn spawn_metrics_server(
+    addr: &str,
+    registry: &'static Registry,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("aa-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One tiny request at a time; a scrape endpoint needs
+                // no concurrency and must never take down the server.
+                let _ = handle_scrape(stream, registry);
+            }
+        })?;
+    Ok(local)
+}
+
+fn handle_scrape(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 && line != "\r\n" && line != "\n" {
+        line.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            prometheus_text(registry),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", json_snapshot(registry)),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_text_covers_all_kinds() {
+        let r = Registry::new();
+        r.counter("aa_solve_total").add(3);
+        r.gauge("aa_queue_depth").set(2.0);
+        let h = r.histogram("aa_latency_micros");
+        h.record_micros(5);
+        h.record_micros(1_500);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE aa_solve_total counter"), "{text}");
+        assert!(text.contains("aa_solve_total 3"), "{text}");
+        assert!(text.contains("aa_queue_depth 2"), "{text}");
+        assert!(text.contains("# TYPE aa_latency_micros histogram"), "{text}");
+        assert!(text.contains("aa_latency_micros_bucket{le=\"5\"} 1"), "{text}");
+        // Cumulative by the 2000 µs boundary, and the +Inf closing sample.
+        assert!(text.contains("aa_latency_micros_bucket{le=\"2000\"} 2"), "{text}");
+        assert!(text.contains("aa_latency_micros_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("aa_latency_micros_sum 1505"), "{text}");
+        assert!(text.contains("aa_latency_micros_count 2"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histogram_places_label_before_le() {
+        let r = Registry::new();
+        r.histogram_labeled("aa_tier_micros", "tier", "algo2").record_micros(10);
+        let text = prometheus_text(&r);
+        assert!(
+            text.contains("aa_tier_micros_bucket{tier=\"algo2\",le=\"10\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("aa_tier_micros_sum{tier=\"algo2\"} 10"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let r = Registry::new();
+        r.counter("aa_a_total").inc();
+        r.gauge("aa_b").set(1.25);
+        r.histogram("aa_c_micros").record_micros(42);
+        let json = json_snapshot(&r);
+        assert!(json.contains("\"aa_a_total\":1"), "{json}");
+        assert!(json.contains("\"aa_b\":1.25"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"p99_micros\":42"), "{json}");
+        // Braces balance — cheap structural sanity without a parser.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close, "{json}");
+    }
+}

@@ -1,0 +1,207 @@
+//! A single leveled logger for the workspace's human-facing
+//! diagnostics (stderr only — stdout everywhere in the CLI is
+//! machine-parsable and must stay that way).
+//!
+//! Two formats, selected once at startup (`aa … --log-format`):
+//!
+//! * `pretty` — the message text as-is for `info` (preserving the
+//!   CLI's historical stderr contract, e.g. `serve: received=8 …`),
+//!   prefixed with the level for `warn`/`error`/`debug`;
+//! * `json` — one `{"level":…,"target":…,"msg":…}` object per line.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or user-visible failures.
+    Error = 0,
+    /// Degradations worth noticing (shed requests, expired deadlines).
+    Warn = 1,
+    /// Normal operational summaries.
+    Info = 2,
+    /// Extra detail for debugging.
+    Debug = 3,
+}
+
+impl LogLevel {
+    fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+/// Output format for log lines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-readable plain text (the default).
+    #[default]
+    Pretty,
+    /// One JSON object per line.
+    Json,
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pretty" => Ok(LogFormat::Pretty),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format {other:?} (pretty|json)")),
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0);
+
+/// Configure the process-wide logger. May be called again to
+/// reconfigure (last call wins); without any call the logger defaults
+/// to `Info` / `Pretty`.
+pub fn init_logger(level: LogLevel, format: LogFormat) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    FORMAT.store(
+        match format {
+            LogFormat::Pretty => 0,
+            LogFormat::Json => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Would a record at `level` be emitted?
+#[must_use]
+pub fn log_enabled(level: LogLevel) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Current output format.
+#[must_use]
+pub fn log_format() -> LogFormat {
+    if FORMAT.load(Ordering::Relaxed) == 1 {
+        LogFormat::Json
+    } else {
+        LogFormat::Pretty
+    }
+}
+
+/// Emit one record. Prefer the [`crate::obs_info!`]-family macros.
+pub fn log_record(level: LogLevel, target: &str, args: fmt::Arguments<'_>) {
+    if !log_enabled(level) {
+        return;
+    }
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = match log_format() {
+        LogFormat::Pretty => match level {
+            LogLevel::Info => writeln!(out, "{args}"),
+            other => writeln!(out, "{}: {args}", other.as_str()),
+        },
+        LogFormat::Json => writeln!(
+            out,
+            "{{\"level\":\"{}\",\"target\":\"{}\",\"msg\":{}}}",
+            level.as_str(),
+            target,
+            escape_json(&args.to_string()),
+        ),
+    };
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Log at `info`: `obs_info!("serve", "received={n}")`.
+#[macro_export]
+macro_rules! obs_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_record(
+            $crate::log::LogLevel::Info, $target, format_args!($($arg)*),
+        )
+    };
+}
+
+/// Log at `warn`.
+#[macro_export]
+macro_rules! obs_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_record(
+            $crate::log::LogLevel::Warn, $target, format_args!($($arg)*),
+        )
+    };
+}
+
+/// Log at `error`.
+#[macro_export]
+macro_rules! obs_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_record(
+            $crate::log::LogLevel::Error, $target, format_args!($($arg)*),
+        )
+    };
+}
+
+/// Log at `debug` (off by default).
+#[macro_export]
+macro_rules! obs_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_record(
+            $crate::log::LogLevel::Debug, $target, format_args!($($arg)*),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filtering_orders_correctly() {
+        init_logger(LogLevel::Info, LogFormat::Pretty);
+        assert!(log_enabled(LogLevel::Error));
+        assert!(log_enabled(LogLevel::Warn));
+        assert!(log_enabled(LogLevel::Info));
+        assert!(!log_enabled(LogLevel::Debug));
+        init_logger(LogLevel::Debug, LogFormat::Json);
+        assert!(log_enabled(LogLevel::Debug));
+        assert_eq!(log_format(), LogFormat::Json);
+        // Restore defaults for sibling tests in this process.
+        init_logger(LogLevel::Info, LogFormat::Pretty);
+    }
+
+    #[test]
+    fn format_parses() {
+        assert_eq!("pretty".parse::<LogFormat>().unwrap(), LogFormat::Pretty);
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert!("yaml".parse::<LogFormat>().is_err());
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

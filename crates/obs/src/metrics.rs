@@ -1,0 +1,347 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! log-linear histograms.
+//!
+//! Handles are cheap `Arc` clones around atomics; the **record path
+//! never allocates and never takes the registry lock** — callers fetch
+//! a handle once (allocating the registry entry) and then record
+//! through it for the rest of the process. Quantiles (p50/p90/p99) are
+//! derived from the fixed buckets at *export* time, so observing a
+//! value into a histogram is a couple of relaxed atomic adds — cheap
+//! enough for the solver hot path and allocation-free by construction,
+//! which is what keeps the `arena_alloc` zero-allocation guarantee
+//! intact with a live collector.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log-linear bucket boundaries: `m·10^e` for `m ∈ 1..=9`,
+/// `e ∈ 0..=8` — 1 µs up to 900 s, nine buckets per decade. Values
+/// above the last boundary land in the overflow bucket.
+pub const NUM_BOUNDARIES: usize = 81;
+
+/// The `i`-th bucket boundary in microseconds: `(i % 9 + 1) · 10^(i / 9)`.
+#[must_use]
+pub fn bucket_boundary_micros(i: usize) -> u64 {
+    debug_assert!(i < NUM_BOUNDARIES);
+    (i as u64 % 9 + 1) * 10u64.pow(i as u32 / 9)
+}
+
+/// Index of the smallest boundary `≥ value` (le-semantics), or
+/// `NUM_BOUNDARIES` for the overflow bucket. Pure integer math — no
+/// search, no float, no allocation.
+#[must_use]
+pub fn bucket_index(value_micros: u64) -> usize {
+    if value_micros <= 1 {
+        return 0;
+    }
+    let d = value_micros.ilog10() as u64;
+    let scale = 10u64.pow(d as u32);
+    let m = value_micros / scale;
+    let round_up = u64::from(value_micros > m * scale);
+    let idx = (d * 9 + (m - 1) + round_up) as usize;
+    idx.min(NUM_BOUNDARIES)
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    buckets: [AtomicU64; NUM_BOUNDARIES + 1],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+/// A fixed-bucket log-linear latency histogram over microseconds.
+///
+/// `record_*` is allocation-free: one bucket index computation plus
+/// four relaxed atomic updates. `count`/`sum`/`max` are tracked
+/// exactly; quantiles are bucket-resolved upper bounds capped at the
+/// exact observed maximum (so `quantile(0.99) ≤ max` always holds, and
+/// any quantile of a non-empty histogram is ≥ 1 µs).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Record one observation, in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        let inner = &self.0;
+        inner.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        inner.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Record one observation from a [`Duration`].
+    pub fn record_duration(&self, d: Duration) {
+        self.record_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    #[must_use]
+    pub fn sum_micros(&self) -> u64 {
+        self.0.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation, in microseconds (0 when empty).
+    #[must_use]
+    pub fn max_micros(&self) -> u64 {
+        self.0.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, boundaries then overflow.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Bucket-resolved `q`-quantile in microseconds: the boundary of the
+    /// bucket holding the nearest-rank observation, capped at the exact
+    /// observed maximum. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let max = self.max_micros();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                if i == NUM_BOUNDARIES {
+                    return max;
+                }
+                return bucket_boundary_micros(i).min(max);
+            }
+        }
+        max
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Counter),
+    /// A [`Gauge`].
+    Gauge(Gauge),
+    /// A [`Histogram`].
+    Histogram(Histogram),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    /// Optional single `key="value"` label pair.
+    pub(crate) label: Option<(String, String)>,
+    pub(crate) metric: Metric,
+}
+
+impl Entry {
+    /// `name` or `name{key="value"}` — the stable export key.
+    pub(crate) fn key(&self) -> String {
+        match &self.label {
+            None => self.name.clone(),
+            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Instantiable (tests and the serve loop pass their own so process
+/// state never leaks between runs); [`crate::global`] is the shared
+/// process-wide instance the solver pipeline records into.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_create(&self, name: &str, label: Option<(&str, &str)>, make: fn() -> Metric) -> Metric {
+        let mut entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = entries.iter().find(|e| {
+            e.name == name
+                && e.label.as_ref().map(|(k, v)| (k.as_str(), v.as_str())) == label
+        }) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            label: label.map(|(k, v)| (k.to_string(), v.to_string())),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_create(name, None, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the counter `name{key="value"}`.
+    ///
+    /// # Panics
+    /// If the name/label pair is already registered as a different kind.
+    pub fn counter_labeled(&self, name: &str, key: &str, value: &str) -> Counter {
+        match self.get_or_create(name, Some((key, value)), || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_create(name, None, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_create(name, None, || Metric::Histogram(Histogram::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram `name{key="value"}`.
+    ///
+    /// # Panics
+    /// If the name/label pair is already registered as a different kind.
+    pub fn histogram_labeled(&self, name: &str, key: &str, value: &str) -> Histogram {
+        match self.get_or_create(name, Some((key, value)), || {
+            Metric::Histogram(Histogram::default())
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Snapshot of every registered entry, sorted by export key —
+    /// deterministic regardless of registration order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        let entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Vec<(String, Metric)> =
+            entries.iter().map(|e| (e.key(), e.metric.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("aa_test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("aa_test_total").get(), 5, "same handle by name");
+        let g = r.gauge("aa_test_gauge");
+        g.set(2.5);
+        assert_eq!(r.gauge("aa_test_gauge").get(), 2.5);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct() {
+        let r = Registry::new();
+        r.counter_labeled("aa_tier_total", "tier", "algo2").add(3);
+        r.counter_labeled("aa_tier_total", "tier", "uu").add(7);
+        assert_eq!(r.counter_labeled("aa_tier_total", "tier", "algo2").get(), 3);
+        assert_eq!(r.counter_labeled("aa_tier_total", "tier", "uu").get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("aa_kind");
+        r.gauge("aa_kind");
+    }
+}

@@ -1,0 +1,291 @@
+//! Lightweight structured spans.
+//!
+//! A span is entered with [`crate::span!`] and records, on drop, a
+//! fixed-size [`SpanEvent`] — name, enter/exit timestamps relative to
+//! the collector epoch, a per-thread id and a parent link — into the
+//! installed [`Collector`]'s preallocated buffer.
+//!
+//! Cost model, because this wraps the solver hot path:
+//!
+//! * **no collector installed / disabled**: one relaxed atomic load and
+//!   a branch per span — effectively free, and `SpanGuard` carries no
+//!   state (`active: None`).
+//! * **collector live**: two `Instant::now()` calls, two thread-local
+//!   `Cell` updates, and one push into a `Mutex`-guarded `Vec` that was
+//!   preallocated at install time. **No heap allocation** on any record
+//!   path (span names are `&'static str`); when the buffer is full new
+//!   events are counted in `dropped_events` and discarded rather than
+//!   growing the buffer.
+//!
+//! Parent links are tracked per thread (a thread-local current-span
+//! cell), so spans opened on pool worker threads start a fresh chain on
+//! that thread — exactly how a Chrome trace renders them (one lane per
+//! thread id).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default span-buffer capacity (events) for [`Collector::install`].
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One completed span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (static — recording never allocates).
+    pub name: &'static str,
+    /// Microseconds from the collector epoch to span entry.
+    pub start_micros: u64,
+    /// Span duration in microseconds.
+    pub duration_micros: u64,
+    /// Dense per-process thread id (assigned on each thread's first span).
+    pub thread_id: u64,
+    /// Unique span id (never 0).
+    pub id: u64,
+    /// Id of the span active on this thread at entry; 0 for roots.
+    pub parent_id: u64,
+}
+
+/// The process-wide span collector. Installed at most once; recording
+/// compiles down to a no-op check when it is absent or disabled.
+#[derive(Debug)]
+pub struct Collector {
+    epoch: Instant,
+    enabled: AtomicBool,
+    next_span_id: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<Vec<SpanEvent>>,
+    capacity: usize,
+}
+
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+impl Collector {
+    /// Install the global collector (enabled, [`DEFAULT_CAPACITY`]
+    /// events) and return it. Idempotent: later calls return the
+    /// already-installed collector unchanged.
+    pub fn install() -> &'static Collector {
+        Collector::install_with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Install with an explicit span-buffer capacity. The buffer is
+    /// fully preallocated here so the record path never grows it.
+    pub fn install_with_capacity(capacity: usize) -> &'static Collector {
+        COLLECTOR.get_or_init(|| Collector {
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(true),
+            next_span_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+        })
+    }
+
+    /// The installed collector, if any.
+    #[must_use]
+    pub fn get() -> Option<&'static Collector> {
+        COLLECTOR.get()
+    }
+
+    /// Turn span recording on or off. Metrics handles are unaffected;
+    /// this gates only the trace buffer and the solver-side
+    /// [`crate::record_enabled`] fast path.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Is recording currently on?
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because the buffer was full.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the recorded events (in completion order).
+    #[must_use]
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Is the buffer empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard all recorded events (capacity is retained).
+    pub fn clear(&self) {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    fn record(&self, event: SpanEvent) {
+        let mut events = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if events.len() < self.capacity {
+            events.push(event);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn micros_since_epoch(&self, at: Instant) -> u64 {
+        u64::try_from(at.duration_since(self.epoch).as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Is a collector installed *and* enabled? One `OnceLock` load plus one
+/// relaxed atomic load — the gate every instrumentation site sits
+/// behind.
+#[must_use]
+pub fn recording() -> bool {
+    Collector::get().is_some_and(Collector::is_enabled)
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|tid| {
+        let id = tid.get();
+        if id != 0 {
+            return id;
+        }
+        let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        tid.set(id);
+        id
+    })
+}
+
+/// RAII guard for one span: created by [`crate::span!`], records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    collector: &'static Collector,
+    name: &'static str,
+    start: Instant,
+    id: u64,
+    parent_id: u64,
+}
+
+impl SpanGuard {
+    /// This span's id, or `None` for an inert guard. Lets a caller that
+    /// opened a probe span find its children in the event buffer later
+    /// (events carry `parent_id`).
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// Enter a span named `name`. Inert (and free) when no collector is
+    /// installed or recording is disabled.
+    #[must_use]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let Some(collector) = Collector::get().filter(|c| c.is_enabled()) else {
+            return SpanGuard { active: None };
+        };
+        let id = collector.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent_id = CURRENT_SPAN.with(|cur| cur.replace(id));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                collector,
+                name,
+                start: Instant::now(),
+                id,
+                parent_id,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else { return };
+        let end = Instant::now();
+        CURRENT_SPAN.with(|cur| cur.set(active.parent_id));
+        let start_micros = active.collector.micros_since_epoch(active.start);
+        let end_micros = active.collector.micros_since_epoch(end);
+        active.collector.record(SpanEvent {
+            name: active.name,
+            start_micros,
+            duration_micros: end_micros.saturating_sub(start_micros),
+            thread_id: thread_id(),
+            id: active.id,
+            parent_id: active.parent_id,
+        });
+    }
+}
+
+/// Enter a span: `let _span = aa_obs::span!("superopt");`. The span
+/// closes when the guard drops. No-op unless a collector is installed
+/// and enabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global, so all span behavior is covered
+    // by one test body (sibling tests would race on install/enable).
+    #[test]
+    fn spans_nest_and_record() {
+        let collector = Collector::install_with_capacity(16);
+        collector.clear();
+        collector.set_enabled(true);
+        {
+            let _outer = crate::span!("outer");
+            let _inner = crate::span!("inner");
+        }
+        let events = collector.events();
+        assert_eq!(events.len(), 2, "{events:?}");
+        // Inner drops first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[0].parent_id, events[1].id, "inner's parent is outer");
+        assert_eq!(events[1].parent_id, 0, "outer is a root");
+        assert_eq!(events[0].thread_id, events[1].thread_id);
+        assert!(events[0].start_micros >= events[1].start_micros);
+
+        // Disabled ⇒ inert guards, nothing recorded.
+        collector.set_enabled(false);
+        assert!(!recording());
+        {
+            let _off = crate::span!("off");
+        }
+        assert_eq!(collector.len(), 2);
+
+        // Full buffer ⇒ drop-new, counted.
+        collector.set_enabled(true);
+        for _ in 0..40 {
+            let _s = crate::span!("fill");
+        }
+        assert_eq!(collector.len(), 16);
+        assert!(collector.dropped_events() > 0);
+        collector.clear();
+        assert!(collector.is_empty());
+        assert_eq!(collector.dropped_events(), 0);
+    }
+}

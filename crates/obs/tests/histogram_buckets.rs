@@ -1,0 +1,117 @@
+//! Bucket-boundary unit tests for the log-linear histogram: the
+//! le-semantics of `bucket_index`, the boundary generator, and the
+//! quantile estimator's capping behavior.
+
+use aa_obs::metrics::{bucket_boundary_micros, bucket_index, Histogram, NUM_BOUNDARIES};
+
+#[test]
+fn boundaries_are_log_linear_and_strictly_increasing() {
+    // m·10^e for m ∈ 1..=9, e ∈ 0..=8: 1, 2, …, 9, 10, 20, …, 900_000_000.
+    assert_eq!(bucket_boundary_micros(0), 1);
+    assert_eq!(bucket_boundary_micros(8), 9);
+    assert_eq!(bucket_boundary_micros(9), 10);
+    assert_eq!(bucket_boundary_micros(10), 20);
+    assert_eq!(bucket_boundary_micros(17), 90);
+    assert_eq!(bucket_boundary_micros(18), 100);
+    assert_eq!(bucket_boundary_micros(NUM_BOUNDARIES - 1), 900_000_000);
+    for i in 1..NUM_BOUNDARIES {
+        assert!(
+            bucket_boundary_micros(i) > bucket_boundary_micros(i - 1),
+            "boundary {i} not increasing"
+        );
+    }
+}
+
+#[test]
+fn index_is_smallest_boundary_at_or_above_value() {
+    // Exhaustive oracle over a dense low range plus targeted probes: the
+    // correct bucket is the first boundary ≥ v (le-semantics).
+    let oracle = |v: u64| {
+        (0..NUM_BOUNDARIES)
+            .find(|&i| bucket_boundary_micros(i) >= v)
+            .unwrap_or(NUM_BOUNDARIES)
+    };
+    for v in 0..5_000 {
+        assert_eq!(bucket_index(v), oracle(v), "value {v}");
+    }
+    for v in [
+        99_999,
+        100_000,
+        100_001,
+        899_999_999,
+        900_000_000,
+        900_000_001,
+        u64::MAX,
+    ] {
+        assert_eq!(bucket_index(v), oracle(v), "value {v}");
+    }
+}
+
+#[test]
+fn exact_boundaries_land_in_their_own_bucket() {
+    for i in 0..NUM_BOUNDARIES {
+        assert_eq!(bucket_index(bucket_boundary_micros(i)), i, "boundary {i}");
+    }
+    // One past a boundary rolls into the next bucket — including the
+    // 9→10 decade rollover.
+    assert_eq!(bucket_index(9), 8);
+    assert_eq!(bucket_index(10), 9);
+    assert_eq!(bucket_index(11), 10);
+    assert_eq!(bucket_index(900), 26); // le=900 = 2·9 + 8
+    assert_eq!(bucket_index(901), 27); // 901 → le=1000 = 3·9 + 0
+}
+
+#[test]
+fn values_above_the_last_boundary_overflow() {
+    assert_eq!(bucket_index(900_000_001), NUM_BOUNDARIES);
+    assert_eq!(bucket_index(u64::MAX), NUM_BOUNDARIES);
+}
+
+#[test]
+fn quantiles_are_bucket_upper_bounds_capped_at_max() {
+    let h = Histogram::default();
+    assert_eq!(h.quantile_micros(0.5), 0, "empty histogram");
+    // 100 observations: 1..=100 µs.
+    for v in 1..=100 {
+        h.record_micros(v);
+    }
+    assert_eq!(h.count(), 100);
+    assert_eq!(h.sum_micros(), 5050);
+    assert_eq!(h.max_micros(), 100);
+    // Rank 50 lands in the le=50 bucket (values 41..=50).
+    assert_eq!(h.quantile_micros(0.50), 50);
+    // Rank 99 → le=100 bucket; rank 100 likewise, capped at max=100.
+    assert_eq!(h.quantile_micros(0.99), 100);
+    assert_eq!(h.quantile_micros(1.0), 100);
+    // Monotone in q and never above the exact max.
+    let mut last = 0;
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        let v = h.quantile_micros(q);
+        assert!(v >= last, "quantile not monotone at q={q}");
+        assert!(v <= h.max_micros());
+        last = v;
+    }
+}
+
+#[test]
+fn quantile_of_skewed_data_stays_at_or_above_true_value() {
+    // The estimator reports the bucket *upper* bound, so it may round a
+    // true quantile up within its bucket but never below it.
+    let h = Histogram::default();
+    for _ in 0..999 {
+        h.record_micros(3);
+    }
+    h.record_micros(7_777);
+    assert_eq!(h.quantile_micros(0.50), 3);
+    assert_eq!(h.quantile_micros(0.99), 3);
+    // The single outlier defines the tail: le=8000 capped at max=7777.
+    assert_eq!(h.quantile_micros(1.0), 7_777);
+}
+
+#[test]
+fn overflow_observations_report_exact_max() {
+    let h = Histogram::default();
+    h.record_micros(2_000_000_000); // past the last boundary
+    assert_eq!(h.quantile_micros(0.5), 2_000_000_000);
+    assert_eq!(h.max_micros(), 2_000_000_000);
+}

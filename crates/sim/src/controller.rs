@@ -83,6 +83,7 @@ impl Controller {
         epochs: usize,
         solver: &S,
     ) -> Vec<EpochReport> {
+        let _span = aa_obs::span!("controller_run");
         assert!(epochs >= 1, "need at least one epoch");
         assert!(!traces.is_empty(), "need at least one thread");
         let windows: Vec<Vec<Trace>> = (0..epochs)
@@ -113,6 +114,14 @@ impl Controller {
                 .zip(&prev_cores)
                 .filter(|(a, b)| a != b)
                 .count();
+            if aa_obs::record_enabled() {
+                let (epochs_c, migrations_c, errors_c) = controller_counters();
+                epochs_c.inc();
+                migrations_c.add(migrations as u64);
+                if pending_error.is_some() {
+                    errors_c.inc();
+                }
+            }
             reports.push(EpochReport {
                 epoch: e,
                 measured,
@@ -145,6 +154,21 @@ impl Controller {
         }
         reports
     }
+}
+
+/// Registry handles for the controller counters
+/// (`aa_sim_controller_{epochs,migrations,solve_errors}_total`).
+fn controller_counters() -> &'static (aa_obs::Counter, aa_obs::Counter, aa_obs::Counter) {
+    static HANDLES: std::sync::OnceLock<(aa_obs::Counter, aa_obs::Counter, aa_obs::Counter)> =
+        std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = aa_obs::global();
+        (
+            r.counter("aa_sim_controller_epochs_total"),
+            r.counter("aa_sim_controller_migrations_total"),
+            r.counter("aa_sim_controller_solve_errors_total"),
+        )
+    })
 }
 
 /// Window `e` of `epochs` equal slices of a trace.

@@ -124,10 +124,32 @@ fn request_problem(cfg: &OverloadConfig, rng: &mut StdRng) -> Problem {
     b.build().expect("generated problems are well-formed")
 }
 
+/// Registry handles for the overload counters
+/// (`aa_sim_overload_{shed,solved,deadline_misses,expired}_total`).
+fn overload_counters(
+) -> &'static (aa_obs::Counter, aa_obs::Counter, aa_obs::Counter, aa_obs::Counter) {
+    static HANDLES: std::sync::OnceLock<(
+        aa_obs::Counter,
+        aa_obs::Counter,
+        aa_obs::Counter,
+        aa_obs::Counter,
+    )> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let r = aa_obs::global();
+        (
+            r.counter("aa_sim_overload_shed_total"),
+            r.counter("aa_sim_overload_solved_total"),
+            r.counter("aa_sim_overload_deadline_misses_total"),
+            r.counter("aa_sim_overload_expired_total"),
+        )
+    })
+}
+
 /// Run the scenario. Deterministic in its admission decisions for the
 /// t=0 burst (the first `queue + 1` burst requests are admitted, the
 /// rest shed); later admissions depend on measured solve times.
 pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
+    let _span = aa_obs::span!("overload");
     assert!(cfg.queue >= 1, "need an admission queue");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -243,6 +265,13 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadReport {
     if report.solved > 0 {
         report.miss_rate = report.deadline_misses as f64 / report.solved as f64;
         report.mean_retention = retention_sum / report.solved as f64;
+    }
+    if aa_obs::record_enabled() {
+        let (shed, solved, misses, expired) = overload_counters();
+        shed.add(report.shed as u64);
+        solved.add(report.solved as u64);
+        misses.add(report.deadline_misses as u64);
+        expired.add(report.expired_in_queue as u64);
     }
     report
 }

@@ -12,7 +12,9 @@
 //! * [`core`] — the AA problem, Algorithms 1 & 2, heuristics, exact
 //!   solvers;
 //! * [`workloads`] — the paper's Section VII synthetic workload generator;
-//! * [`sim`] — trace-driven multicore-cache and cloud-hosting simulators.
+//! * [`sim`] — trace-driven multicore-cache and cloud-hosting simulators;
+//! * [`obs`] — observability substrate: spans, metrics registry,
+//!   Prometheus/JSON/Chrome-trace exporters, leveled logging.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@
 
 pub use aa_allocator as allocator;
 pub use aa_core as core;
+pub use aa_obs as obs;
 pub use aa_sim as sim;
 pub use aa_utility as utility;
 pub use aa_workloads as workloads;
