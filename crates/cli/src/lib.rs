@@ -93,6 +93,10 @@ pub enum CliError {
     /// The solve itself failed (oversized instance, non-finite utility
     /// curve, infeasible output, budget expiry, cancellation).
     Solve(SolveError),
+    /// `--metrics-addr` could not be bound. Distinct from [`CliError::Io`]
+    /// so orchestrators can tell "the observability endpoint is taken"
+    /// (retry on another port) from a failed data read.
+    MetricsBind(std::io::Error),
 }
 
 impl std::fmt::Display for CliError {
@@ -109,6 +113,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Churn(msg) => write!(f, "churn run failed: {msg}"),
             CliError::Solve(e) => write!(f, "solve failed: {e}"),
+            CliError::MetricsBind(e) => write!(f, "could not bind metrics endpoint: {e}"),
         }
     }
 }
@@ -127,6 +132,7 @@ impl CliError {
     /// | 5 | deadline exceeded or cancelled |
     /// | 6 | i/o failure |
     /// | 7 | churn run failed |
+    /// | 8 | metrics endpoint bind failed (`--metrics-addr` taken/invalid) |
     ///
     /// (0 is success; 1 is reserved for usage errors in the binary.)
     pub fn exit_code(&self) -> u8 {
@@ -137,6 +143,7 @@ impl CliError {
             CliError::Solve(_) => 4,
             CliError::Io(_) => 6,
             CliError::Churn(_) => 7,
+            CliError::MetricsBind(_) => 8,
         }
     }
 }

@@ -6,6 +6,7 @@ use aa_cli::serve::{run_serve, ServeOpts};
 use aa_cli::{bench_document, churn_document, generate_document, solve_document, BenchMode,
              BenchOpts, ChurnOpts, CliError, GenerateOpts, SOLVER_NAMES};
 use aa_sim::controller::RepairPolicy;
+use aa_sim::ChaosConfig;
 use aa_sim::faults::FaultScriptConfig;
 use aa_workloads::Distribution;
 
@@ -23,29 +24,45 @@ usage:
   aa-solve bench [--small] [--mode matrix|incremental|full]
                  [--out BENCH_solver.json] [--seed S] [--reps R]
                  [--threads N] [--trace out.json] [--pretty]
-  aa-solve serve [--queue N] [--deadline-ms D] [--grace-ms G]
-                 [--breaker K] [--cooldown N] [--counters PATH]
-                 [--metrics-addr HOST:PORT] [--metrics-dump PATH]
+  aa-solve serve [--shards N] [--queue N] [--deadline-ms D] [--grace-ms G]
+                 [--breaker K] [--cooldown N] [--max-line-bytes B]
+                 [--counters PATH] [--metrics-addr HOST:PORT]
+                 [--metrics-dump PATH]
+  aa-solve chaos [--shards N] [--rounds N] [--kills N]
+                 [--streams-per-shard N] [--seed S] [--out PATH] [--pretty]
   aa-solve solvers
 
 global flags (any command):
   --log-format pretty|json   stderr diagnostics format (default pretty)
 
-serve reads LDJSON requests {\"id\":…, \"deadline_ms\":…, \"problem\":{…}} on
-stdin and writes one response per line on stdout; requests beyond the
-admission queue are shed with {\"status\":\"overloaded\",\"retry_after_ms\":…}.
-Counters are dumped to stderr (and --counters PATH as JSON) at EOF.
---metrics-addr serves GET /metrics (Prometheus text) and /metrics.json
-while the loop runs; --metrics-dump writes the JSON snapshot at EOF.
+serve reads LDJSON requests {\"id\":…, \"stream\":…, \"deadline_ms\":…,
+\"problem\":{…}} on stdin and writes one response per line on stdout;
+requests beyond the admission queue are shed with
+{\"status\":\"overloaded\",\"retry_after_ms\":…}. --shards N runs N
+crash-isolated worker shards under a supervisor: requests sharing a
+\"stream\" key route to a fixed shard (warm incremental state), a
+panicking solve answers {\"status\":\"error\",\"class\":\"solve_panic\"}
+and a dead shard is restarted with backoff while its queue drains as
+\"internal\" errors. Lines beyond --max-line-bytes (default 1 MiB) are
+answered with a \"parse\" error. Counters are dumped to stderr (and
+--counters PATH as JSON) at EOF. --metrics-addr serves GET /metrics
+(Prometheus text) and /metrics.json while the loop runs; --metrics-dump
+writes the JSON snapshot at EOF.
+chaos runs the seeded kill/stall/panic storm from aa-sim against a real
+shard pool (every shard killed --kills times) and prints the chaos
+report as JSON; it exits nonzero unless every robustness invariant held
+(no request lost or duplicated, every shard restarted, warm latency
+recovered).
 --trace records the solve pipeline's spans and writes a Chrome
 trace_event file (open at chrome://tracing or ui.perfetto.dev).
 
 exit codes:
-  0  success                      4  solve failed (too large, non-finite,
-  1  usage error                     infeasible)
-  2  malformed input (JSON, spec, 5  deadline exceeded / cancelled
-     problem validation)          6  i/o failure
-  3  unknown solver               7  churn run failed
+  0  success                      5  deadline exceeded / cancelled
+  1  usage error                  6  i/o failure
+  2  malformed input (JSON, spec, 7  churn or chaos run failed
+     problem validation)          8  metrics endpoint bind failed
+  3  unknown solver
+  4  solve failed (too large, non-finite, infeasible)
 ";
 
 /// A binary-level failure: either a usage mistake (exit 1, prints the
@@ -108,6 +125,7 @@ fn run() -> Result<(), Failure> {
         "churn" => cmd_churn(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "solvers" => {
             for name in SOLVER_NAMES {
                 println!("{name}");
@@ -356,13 +374,19 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
         grace_ms: parsed_flag(args, "--grace-ms", defaults.grace_ms)?,
         breaker_threshold: parsed_flag(args, "--breaker", defaults.breaker_threshold)?,
         breaker_cooldown: parsed_flag(args, "--cooldown", defaults.breaker_cooldown)?,
+        shards: parsed_flag(args, "--shards", defaults.shards)?,
+        max_line_bytes: parsed_flag(args, "--max-line-bytes", defaults.max_line_bytes)?,
+        chaos: None,
     };
     let counters_path = flag_value(args, "--counters")?;
     let metrics_dump = flag_value(args, "--metrics-dump")?;
     let registry = aa_obs::global();
     if let Some(addr) = flag_value(args, "--metrics-addr")? {
         let local = aa_obs::export::spawn_metrics_server(addr, registry).map_err(|e| {
-            Failure::App(CliError::Io(std::io::Error::new(e.kind(), format!("{addr}: {e}"))))
+            Failure::App(CliError::MetricsBind(std::io::Error::new(
+                e.kind(),
+                format!("{addr}: {e}"),
+            )))
         })?;
         aa_obs::obs_info!("serve", "metrics: http://{local}/metrics");
     }
@@ -372,13 +396,15 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
     aa_obs::obs_info!(
         "serve",
         "serve: received={} solved={} shed={} expired_in_queue={} parse_errors={} \
-         solve_errors={} deadline_misses={}",
+         solve_errors={} solve_panics={} internal_errors={} deadline_misses={}",
         counters.received,
         counters.solved,
         counters.shed,
         counters.expired_in_queue,
         counters.parse_errors,
         counters.solve_errors,
+        counters.solve_panics,
+        counters.internal_errors,
         counters.deadline_misses
     );
     for (tier, c) in &counters.per_tier {
@@ -399,6 +425,62 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
     }
     if let Some(path) = metrics_dump {
         write_file(path, &aa_obs::export::json_snapshot(registry))?;
+    }
+    Ok(())
+}
+
+/// Run the deterministic chaos storm from `aa-sim` against a real shard
+/// pool and gate on its robustness invariants. The report prints to
+/// stdout (and `--out PATH`) whether or not the gate passes, so CI can
+/// always archive it.
+fn cmd_chaos(args: &[String]) -> Result<(), Failure> {
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        shards: parsed_flag(args, "--shards", defaults.shards)?,
+        streams_per_shard: parsed_flag(args, "--streams-per-shard", defaults.streams_per_shard)?,
+        rounds: parsed_flag(args, "--rounds", defaults.rounds)?,
+        kills_per_shard: parsed_flag(args, "--kills", defaults.kills_per_shard)?,
+        seed: parsed_flag(args, "--seed", defaults.seed)?,
+        ..defaults
+    };
+    if cfg.shards == 0 || cfg.rounds == 0 || cfg.streams_per_shard == 0 {
+        return Err(Failure::Usage(
+            "chaos needs --shards, --rounds, and --streams-per-shard >= 1".into(),
+        ));
+    }
+    let report = aa_sim::run_chaos(&cfg);
+    let json = to_json(&report, args.iter().any(|a| a == "--pretty"))?;
+    println!("{json}");
+    if let Some(path) = flag_value(args, "--out")? {
+        write_file(path, &json)?;
+    }
+    aa_obs::obs_info!(
+        "chaos",
+        "chaos: admitted={} completed={} ok={} crashed={} drained={} solve_panics={} \
+         restarts={:?} live_shards={}/{} exactly_once={} survived={}",
+        report.admitted,
+        report.completed,
+        report.ok,
+        report.crashed,
+        report.drained,
+        report.solve_panics,
+        report.restarts,
+        report.live_shards,
+        cfg.shards,
+        report.exactly_once,
+        report.survived
+    );
+    if !report.healthy() {
+        return Err(Failure::App(CliError::Churn(format!(
+            "chaos invariants violated: exactly_once={} survived={} live_shards={}/{} \
+             restarts={:?} unrecovered_streams={}",
+            report.exactly_once,
+            report.survived,
+            report.live_shards,
+            cfg.shards,
+            report.restarts,
+            report.recoveries.iter().filter(|r| !r.recovered).count()
+        ))));
     }
     Ok(())
 }

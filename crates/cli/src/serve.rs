@@ -1,47 +1,63 @@
-//! `aa-solve serve` — a deadline-aware LDJSON request loop with
-//! bounded-queue overload shedding.
+//! `aa-solve serve` — a deadline-aware LDJSON request loop over a
+//! supervised pool of crash-isolated worker shards.
 //!
 //! Requests arrive one JSON object per line on stdin; responses leave
 //! one JSON object per line on stdout, in completion order (clients
-//! correlate by echoed `id`). The loop is two threads and one bounded
-//! queue:
+//! correlate by echoed `id`). The loop is a reader thread, a writer
+//! thread, and an [`aa_core::ShardPool`] between them:
 //!
-//! * the **reader** parses lines and admits jobs with a non-blocking
-//!   `try_send`. A full queue is answered immediately with
+//! * the **reader** parses lines (bounded by `--max-line-bytes`; an
+//!   oversized line is answered with a `class:"parse"` error instead of
+//!   growing the buffer without bound) and admits jobs with a
+//!   non-blocking submit. A full queue is answered immediately with
 //!   `{"status":"overloaded","retry_after_ms":…}` — load is shed at the
 //!   door instead of growing an unbounded backlog that makes every
-//!   deadline unmeetable;
-//! * the **worker** solves admitted jobs with a shared
-//!   [`TieredSolver`], giving each request whatever remains of its
-//!   deadline after queueing delay. A request whose deadline lapsed in
-//!   the queue is answered `{"status":"error","class":"deadline"}`
-//!   without wasting a solve on it.
+//!   deadline unmeetable. Requests carrying a `stream` key route to a
+//!   fixed shard by consistent hashing, so that stream's incremental
+//!   [`WarmState`](aa_core::WarmState) stays hot; key-less requests go
+//!   to a shared cold queue any idle shard steals from;
+//! * each **shard** solves with its own [`TieredSolver`](aa_core::TieredSolver)
+//!   behind a `catch_unwind` boundary: a panicking solve yields
+//!   `{"status":"error","class":"solve_panic"}` and the shard keeps
+//!   serving. If a shard thread itself dies, the pool's supervisor
+//!   answers its in-flight request, drains its queued requests with
+//!   `class:"internal"` errors (serving continues from surviving
+//!   shards — a shard death never tears down the loop), and restarts
+//!   the shard with exponential backoff; a shard that keeps crashing is
+//!   retired and its streams reroute;
+//! * the **writer** turns pool completions back into response lines and
+//!   owns all latency/deadline accounting.
 //!
 //! All accounting flows through an [`aa_obs::Registry`] (the
-//! `aa_serve_*` metric family), so a live `--metrics-addr` scrape sees
-//! the same numbers the shutdown dump reports. [`ServeCounters`] is a
-//! snapshot of that registry taken at EOF; its latency percentiles are
-//! derived from the `aa_serve_latency_micros` histogram (log-linear
-//! buckets, capped at the exact observed maximum).
+//! `aa_serve_*` family, plus the pool's `aa_shard_*` / `aa_supervisor_*`
+//! gauges and counters), so a live `--metrics-addr` scrape sees the same
+//! numbers the shutdown dump reports. [`ServeCounters`] is a snapshot of
+//! that registry taken at EOF.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, Write};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Mutex;
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use aa_core::shard::{ChaosHook, ShardCompletion, ShardConfig, ShardError, ShardJob, ShardPool};
 use aa_core::tiered::Tier;
-use aa_core::{Budget, SolveError, TieredSolver};
+use aa_core::{SolveError, SubmitError};
 use serde::{Deserialize, Serialize};
 
 use crate::{build_problem, CliError, ProblemFile};
 
 /// One request line: an optional correlation `id` (echoed back
-/// verbatim), an optional per-request deadline, and the problem.
+/// verbatim), an optional stream key for warm-state locality, an
+/// optional per-request deadline, and the problem.
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
     /// Client correlation token; any JSON value, echoed in the response.
     pub id: serde_json::Value,
+    /// Warm-state routing key: requests sharing a `stream` go to the
+    /// same shard and reuse its incremental solver state. Omitted →
+    /// cold queue (any shard).
+    pub stream: Option<u64>,
     /// Wall-clock deadline for this request, milliseconds from arrival.
     /// Falls back to the loop's `--deadline-ms` default, else unlimited.
     pub deadline_ms: Option<u64>,
@@ -49,12 +65,18 @@ pub struct ServeRequest {
     pub problem: ProblemFile,
 }
 
-// Hand-written so `id` and `deadline_ms` may be omitted entirely; the
-// derive treats every field as required.
+// Hand-written so `id`, `stream`, and `deadline_ms` may be omitted
+// entirely; the derive treats every field as required.
 impl Deserialize for ServeRequest {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         let obj = serde::expect_obj(v, "ServeRequest")?;
         let id = v.get("id").cloned().unwrap_or(serde::Value::Null);
+        let stream = match v.get("stream") {
+            None | Some(serde::Value::Null) => None,
+            Some(s) => Some(s.as_u64().ok_or_else(|| {
+                format!("ServeRequest.stream: expected unsigned integer, found {s:?}")
+            })?),
+        };
         let deadline_ms = match v.get("deadline_ms") {
             None | Some(serde::Value::Null) => None,
             Some(d) => Some(d.as_u64().ok_or_else(|| {
@@ -62,7 +84,7 @@ impl Deserialize for ServeRequest {
             })?),
         };
         let problem = serde::de_field(obj, "problem", "ServeRequest")?;
-        Ok(ServeRequest { id, deadline_ms, problem })
+        Ok(ServeRequest { id, stream, deadline_ms, problem })
     }
 }
 
@@ -102,7 +124,10 @@ pub enum ServeResponse {
     Error {
         /// Echoed request id (`null` for unparseable lines).
         id: serde_json::Value,
-        /// Error class: `parse`, `problem`, `deadline`, or `solve`.
+        /// Error class: `parse`, `problem`, `deadline`, `solve`,
+        /// `solve_panic` (a contained panic or shard crash mid-solve),
+        /// or `internal` (the request was queued on a shard that died;
+        /// safe to retry).
         class: String,
         /// Human-readable detail.
         error: String,
@@ -131,13 +156,20 @@ pub struct ServeCounters {
     pub solved: u64,
     /// Requests shed at admission (queue full).
     pub shed: u64,
-    /// Admitted requests whose deadline lapsed before the worker got to
+    /// Admitted requests whose deadline lapsed before a shard got to
     /// them (answered without a solve).
     pub expired_in_queue: u64,
-    /// Lines that were not valid requests.
+    /// Lines that were not valid requests (including oversized lines).
     pub parse_errors: u64,
-    /// Admitted requests whose solve failed (bad problem, cancellation).
+    /// Admitted requests whose solve failed (bad problem, cancellation,
+    /// contained panic, shard crash).
     pub solve_errors: u64,
+    /// Solves that panicked (contained) or took their shard down
+    /// mid-request; a subset of `solve_errors`.
+    pub solve_panics: u64,
+    /// Admitted requests drained from a dead shard's queue and answered
+    /// with `class:"internal"`.
+    pub internal_errors: u64,
     /// Solved requests whose end-to-end latency exceeded their deadline
     /// by more than the grace window.
     pub deadline_misses: u64,
@@ -154,9 +186,9 @@ pub struct ServeCounters {
 }
 
 /// Configuration for [`run_serve`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeOpts {
-    /// Admission queue depth; requests beyond it are shed.
+    /// Per-shard admission queue depth; requests beyond it are shed.
     pub queue: usize,
     /// Deadline for requests that don't carry their own, milliseconds.
     pub default_deadline_ms: Option<u64>,
@@ -167,6 +199,15 @@ pub struct ServeOpts {
     pub breaker_threshold: u32,
     /// Circuit breaker: requests a tripped tier sits out.
     pub breaker_cooldown: u64,
+    /// Worker shards (crash domains). 1 preserves the classic
+    /// single-worker loop, just supervised.
+    pub shards: usize,
+    /// Longest accepted input line, bytes; longer lines are answered
+    /// with a `class:"parse"` error and skipped.
+    pub max_line_bytes: usize,
+    /// Deterministic fault injection for tests and chaos drills; `None`
+    /// in production.
+    pub chaos: Option<ChaosHook>,
 }
 
 impl Default for ServeOpts {
@@ -177,12 +218,35 @@ impl Default for ServeOpts {
             grace_ms: 10,
             breaker_threshold: aa_core::tiered::DEFAULT_BREAKER_THRESHOLD,
             breaker_cooldown: aa_core::tiered::DEFAULT_BREAKER_COOLDOWN,
+            shards: 1,
+            max_line_bytes: 1 << 20,
+            chaos: None,
         }
     }
 }
 
-struct Job {
-    req: ServeRequest,
+impl std::fmt::Debug for ServeOpts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOpts")
+            .field("queue", &self.queue)
+            .field("default_deadline_ms", &self.default_deadline_ms)
+            .field("grace_ms", &self.grace_ms)
+            .field("breaker_threshold", &self.breaker_threshold)
+            .field("breaker_cooldown", &self.breaker_cooldown)
+            .field("shards", &self.shards)
+            .field("max_line_bytes", &self.max_line_bytes)
+            .field("chaos", &self.chaos.is_some())
+            .finish()
+    }
+}
+
+/// Reader-side bookkeeping for an admitted request, keyed by the job's
+/// pool sequence number until its completion arrives. Exactly-once at
+/// the serve layer: every entry is inserted before submit and removed by
+/// exactly one completion.
+struct Pending {
+    id: serde_json::Value,
+    deadline_ms: Option<u64>,
     arrived: Instant,
 }
 
@@ -196,6 +260,8 @@ struct ServeMetrics {
     expired_in_queue: aa_obs::Counter,
     parse_errors: aa_obs::Counter,
     solve_errors: aa_obs::Counter,
+    solve_panics: aa_obs::Counter,
+    internal_errors: aa_obs::Counter,
     deadline_misses: aa_obs::Counter,
     /// End-to-end latency of `status: ok` responses.
     latency: aa_obs::Histogram,
@@ -213,6 +279,8 @@ impl ServeMetrics {
             expired_in_queue: registry.counter("aa_serve_expired_in_queue_total"),
             parse_errors: registry.counter("aa_serve_parse_errors_total"),
             solve_errors: registry.counter("aa_serve_solve_errors_total"),
+            solve_panics: registry.counter("aa_serve_solve_panics_total"),
+            internal_errors: registry.counter("aa_serve_internal_errors_total"),
             deadline_misses: registry.counter("aa_serve_deadline_misses_total"),
             latency: registry.histogram("aa_serve_latency_micros"),
             per_tier: [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Uu]
@@ -259,6 +327,8 @@ impl ServeMetrics {
             expired_in_queue: self.expired_in_queue.get(),
             parse_errors: self.parse_errors.get(),
             solve_errors: self.solve_errors.get(),
+            solve_panics: self.solve_panics.get(),
+            internal_errors: self.internal_errors.get(),
             deadline_misses: self.deadline_misses.get(),
             latency_p50_ms: self.latency.quantile_micros(0.50) as f64 / 1e3,
             latency_p99_ms: self.latency.quantile_micros(0.99) as f64 / 1e3,
@@ -267,10 +337,12 @@ impl ServeMetrics {
     }
 }
 
-/// Run the request loop until `input` reaches EOF, then drain the queue
-/// and return the session counters. Responses go to `output` one JSON
-/// object per line; all accounting goes through `registry` (the
-/// `aa_serve_*` family), so a concurrent exporter sees live counts.
+/// Run the request loop until `input` reaches EOF, then drain the pool
+/// (every admitted request still gets its one response) and return the
+/// session counters. Responses go to `output` one JSON object per line;
+/// all accounting goes through `registry` (the `aa_serve_*` family plus
+/// the pool's `aa_shard_*` gauges), so a concurrent exporter sees live
+/// counts.
 ///
 /// Handles are get-or-create: running two sessions through the same
 /// registry accumulates across both (pass a fresh [`aa_obs::Registry`]
@@ -284,41 +356,139 @@ pub fn run_serve<R: BufRead, W: Write + Send>(
 ) -> Result<ServeCounters, CliError> {
     let out = Mutex::new(output);
     let metrics = ServeMetrics::new(registry);
-    // One stream → one worker → one warm state: the solver's Algo2 tier
-    // keeps its incremental `WarmState` across this stream's requests
-    // (answers stay bit-identical to the cold path).
-    let solver = TieredSolver::new()
-        .breaker(opts.breaker_threshold, opts.breaker_cooldown)
-        .warm();
-    let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue.max(1));
+    let pending: Mutex<HashMap<u64, Pending>> = Mutex::new(HashMap::new());
+    let (ctx, crx) = mpsc::channel::<ShardCompletion>();
+    let pool = ShardPool::new(
+        ShardConfig {
+            shards: opts.shards.max(1),
+            queue: opts.queue.max(1),
+            cold_queue: opts.queue.max(1),
+            breaker_threshold: opts.breaker_threshold,
+            breaker_cooldown: opts.breaker_cooldown,
+            chaos: opts.chaos.clone(),
+            ..ShardConfig::default()
+        },
+        registry,
+        // The pool's completion callback must not panic; sending on an
+        // unbounded channel can't. A dropped receiver (writer bailed on
+        // a dead pipe) makes this a no-op.
+        Arc::new(move |c| {
+            let _ = ctx.send(c);
+        }),
+    );
 
     let io_result = std::thread::scope(|s| {
-        let (solver, out, metrics) = (&solver, &out, &metrics);
-        s.spawn(move || worker_loop(rx, solver, out, metrics, opts));
-        let result = reader_loop(input, &tx, out, metrics, opts.queue);
-        // EOF (or a dead output pipe): closing the channel lets the
-        // worker drain the backlog and exit, and the scope joins it.
-        drop(tx);
-        result
+        let (out, metrics, pending) = (&out, &metrics, &pending);
+        let writer = s.spawn(move || writer_loop(crx, out, pending, metrics, opts));
+        let read_result = reader_loop(input, &pool, out, pending, metrics, opts);
+        // EOF (or a dead output pipe): draining the pool completes every
+        // admitted job, and dropping it closes the completion channel so
+        // the writer exits after the last response.
+        pool.shutdown();
+        let write_result = writer.join().expect("writer thread does not panic");
+        read_result.and(write_result)
     });
     io_result?;
     Ok(metrics.snapshot())
 }
 
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// End of input.
+    Eof,
+    /// A complete line is in the buffer (trailing newline stripped).
+    Line,
+    /// The line exceeded the cap; the buffer holds its prefix and the
+    /// rest was discarded up to the next newline.
+    Oversized,
+}
+
+/// Read one `\n`-terminated line into `buf`, never buffering more than
+/// `max + 1` bytes of it. The overflow tail is consumed (discarded) so
+/// the reader stays line-synchronized for the next request.
+fn read_bounded_line<R: BufRead>(
+    input: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let n = std::io::Read::take(&mut *input, max as u64 + 1).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        return Ok(LineRead::Line);
+    }
+    if buf.len() <= max {
+        // Final line without a trailing newline.
+        return Ok(LineRead::Line);
+    }
+    // Over the cap mid-line: skip to the next newline without buffering.
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                input.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                input.consume(len);
+            }
+        }
+    }
+    Ok(LineRead::Oversized)
+}
+
 fn reader_loop<R: BufRead, W: Write>(
-    input: R,
-    tx: &SyncSender<Job>,
+    mut input: R,
+    pool: &ShardPool,
     out: &Mutex<W>,
+    pending: &Mutex<HashMap<u64, Pending>>,
     metrics: &ServeMetrics,
-    queue: usize,
+    opts: &ServeOpts,
 ) -> std::io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
+    let mut buf = Vec::new();
+    let mut seq = 0u64;
+    loop {
+        match read_bounded_line(&mut input, &mut buf, opts.max_line_bytes)? {
+            LineRead::Eof => return Ok(()),
+            LineRead::Oversized => {
+                metrics.received.inc();
+                metrics.parse_errors.inc();
+                respond(
+                    out,
+                    &ServeResponse::Error {
+                        id: serde_json::Value::Null,
+                        class: "parse".to_string(),
+                        error: format!(
+                            "request line exceeds the {} byte cap (--max-line-bytes)",
+                            opts.max_line_bytes
+                        ),
+                    },
+                )?;
+                continue;
+            }
+            LineRead::Line => {}
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request stream is not valid UTF-8",
+            ));
+        };
         if line.trim().is_empty() {
             continue;
         }
         metrics.received.inc();
-        match serde_json::from_str::<ServeRequest>(&line) {
+        let req = match serde_json::from_str::<ServeRequest>(line) {
             Err(e) => {
                 metrics.parse_errors.inc();
                 respond(
@@ -329,110 +499,124 @@ fn reader_loop<R: BufRead, W: Write>(
                         error: e.to_string(),
                     },
                 )?;
+                continue;
             }
-            Ok(req) => {
-                let id = req.id.clone();
-                match tx.try_send(Job { req, arrived: Instant::now() }) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(_)) => {
-                        let retry_after_ms = estimated_drain_ms(metrics, queue);
+            Ok(req) => req,
+        };
+        let id = req.id.clone();
+        let problem = match build_problem(&req.problem) {
+            Ok(p) => p,
+            Err(e) => {
+                metrics.solve_errors.inc();
+                respond(
+                    out,
+                    &ServeResponse::Error {
+                        id,
+                        class: "problem".to_string(),
+                        error: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        let deadline_ms = req.deadline_ms.or(opts.default_deadline_ms);
+        let arrived = Instant::now();
+        let deadline = deadline_ms.map(|d| arrived + Duration::from_millis(d));
+        // Insert before submit: a fast shard may complete before this
+        // thread runs again, and the writer must find the entry.
+        pending.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            seq,
+            Pending { id: id.clone(), deadline_ms, arrived },
+        );
+        let job = ShardJob { seq, stream: req.stream, problem, deadline, arrived };
+        match pool.submit(job) {
+            Ok(()) => {}
+            Err(e) => {
+                pending.lock().unwrap_or_else(|e| e.into_inner()).remove(&seq);
+                match e {
+                    SubmitError::QueueFull { .. } => {
                         metrics.shed.inc();
+                        let retry_after_ms = estimated_drain_ms(metrics, opts.queue);
                         respond(out, &ServeResponse::Overloaded { id, retry_after_ms })?;
                     }
-                    // Worker gone (panicked): stop reading; the scope
-                    // join below will propagate the panic.
-                    Err(TrySendError::Disconnected(_)) => break,
+                    SubmitError::NoLiveShards | SubmitError::ShuttingDown => {
+                        metrics.internal_errors.inc();
+                        respond(
+                            out,
+                            &ServeResponse::Error {
+                                id,
+                                class: "internal".to_string(),
+                                error: e.to_string(),
+                            },
+                        )?;
+                    }
                 }
             }
         }
+        seq += 1;
     }
-    Ok(())
 }
 
 /// Backoff hint for a shed request: queue depth × the mean solve time
-/// observed so far (1 ms floor before any solve completes), read from
-/// the per-tier histograms.
+/// observed so far. Pure so its invariants are property-tested: the
+/// hint is monotone (non-decreasing) in queue depth and strictly
+/// positive — a shed client is never told to retry in zero milliseconds.
+pub fn drain_hint_ms(answered: u64, total_micros: u64, queue: usize) -> u64 {
+    // 1 ms/solve assumed before any solve completes.
+    let mean_micros = total_micros.checked_div(answered).unwrap_or(1000);
+    (mean_micros.saturating_mul(queue as u64) / 1000).max(1)
+}
+
+/// [`drain_hint_ms`] fed from the per-tier histograms.
 fn estimated_drain_ms(metrics: &ServeMetrics, queue: usize) -> u64 {
     let (answered, micros) = metrics
         .per_tier
         .iter()
         .fold((0_u64, 0_u64), |(a, m), (_, h)| (a + h.count(), m + h.sum_micros()));
-    let mean_micros = micros.checked_div(answered).unwrap_or(1000);
-    (mean_micros.saturating_mul(queue as u64) / 1000).max(1)
+    drain_hint_ms(answered, micros, queue)
 }
 
-fn worker_loop<W: Write>(
-    rx: Receiver<Job>,
-    solver: &TieredSolver,
+fn writer_loop<W: Write>(
+    crx: Receiver<ShardCompletion>,
     out: &Mutex<W>,
+    pending: &Mutex<HashMap<u64, Pending>>,
     metrics: &ServeMetrics,
     opts: &ServeOpts,
-) {
-    while let Ok(job) = rx.recv() {
-        if handle_job(job, solver, out, metrics, opts).is_err() {
-            // Output pipe is gone; keep draining so the reader's sends
-            // don't wedge, but stop writing.
-            for _ in rx.iter() {}
-            return;
+) -> std::io::Result<()> {
+    while let Ok(completion) = crx.recv() {
+        let Some(p) = pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&completion.seq)
+        else {
+            // Exactly-once is enforced by the pool; an unknown seq would
+            // mean a duplicate completion. Don't answer it twice.
+            continue;
+        };
+        if write_completion(completion, p, out, metrics, opts).is_err() {
+            // Output pipe is gone: stop writing. The pool keeps
+            // draining into the dead channel and run_serve returns the
+            // error after shutdown.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "response pipe closed",
+            ));
         }
     }
+    Ok(())
 }
 
-fn handle_job<W: Write>(
-    job: Job,
-    solver: &TieredSolver,
+fn write_completion<W: Write>(
+    completion: ShardCompletion,
+    p: Pending,
     out: &Mutex<W>,
     metrics: &ServeMetrics,
     opts: &ServeOpts,
 ) -> std::io::Result<()> {
-    let id = job.req.id;
-    let deadline_ms = job.req.deadline_ms.or(opts.default_deadline_ms);
-    let queued_ms = job.arrived.elapsed().as_secs_f64() * 1e3;
-
-    // A deadline that lapsed in the queue: answering takes microseconds,
-    // solving would take the whole ladder — shed it here.
-    if let Some(d) = deadline_ms {
-        if queued_ms >= d as f64 {
-            metrics.expired_in_queue.inc();
-            return respond(
-                out,
-                &ServeResponse::Error {
-                    id,
-                    class: "deadline".to_string(),
-                    error: format!("deadline ({d} ms) expired after {queued_ms:.1} ms in queue"),
-                },
-            );
-        }
-    }
-
-    let problem = match build_problem(&job.req.problem) {
-        Ok(p) => p,
-        Err(e) => {
-            metrics.solve_errors.inc();
-            return respond(
-                out,
-                &ServeResponse::Error {
-                    id,
-                    class: "problem".to_string(),
-                    error: e.to_string(),
-                },
-            );
-        }
-    };
-
-    let budget = match deadline_ms {
-        Some(d) => {
-            let remaining = (d as f64 - queued_ms).max(0.0) / 1e3;
-            Budget::with_deadline(Duration::from_secs_f64(remaining))
-        }
-        None => Budget::unlimited(),
-    };
-
-    let solve_start = Instant::now();
-    match solver.try_solve_within(&problem, &budget) {
+    let id = p.id;
+    let latency_ms = p.arrived.elapsed().as_secs_f64() * 1e3;
+    match completion.outcome {
         Ok(solved) => {
-            let solve_micros = solve_start.elapsed().as_micros() as u64;
-            let latency_ms = job.arrived.elapsed().as_secs_f64() * 1e3;
             metrics.solved.inc();
             // Floor at 1 µs so percentile snapshots of sub-microsecond
             // responses stay nonzero.
@@ -440,8 +624,8 @@ fn handle_job<W: Write>(
             metrics.latency.record_micros(((latency_ms * 1e3) as u64).max(1));
             metrics
                 .tier(solved.degradation.tier.name())
-                .record_micros(solve_micros.max(1));
-            if let Some(d) = deadline_ms {
+                .record_micros(completion.solve_micros.max(1));
+            if let Some(d) = p.deadline_ms {
                 if latency_ms > (d + opts.grace_ms) as f64 {
                     metrics.deadline_misses.inc();
                 }
@@ -459,9 +643,28 @@ fn handle_job<W: Write>(
                 },
             )
         }
-        Err(e) => {
+        Err(ShardError::Expired) => {
+            metrics.expired_in_queue.inc();
+            let d = p.deadline_ms.unwrap_or(0);
+            respond(
+                out,
+                &ServeResponse::Error {
+                    id,
+                    class: "deadline".to_string(),
+                    error: format!(
+                        "deadline ({d} ms) expired after {:.1} ms in queue",
+                        completion.waited_micros as f64 / 1e3
+                    ),
+                },
+            )
+        }
+        Err(ShardError::Solve(e)) => {
             metrics.solve_errors.inc();
-            let class = match e {
+            let class = match &e {
+                SolveError::Panicked(_) => {
+                    metrics.solve_panics.inc();
+                    "solve_panic"
+                }
                 SolveError::DeadlineExceeded | SolveError::Cancelled => "deadline",
                 _ => "solve",
             };
@@ -474,12 +677,35 @@ fn handle_job<W: Write>(
                 },
             )
         }
+        Err(e @ ShardError::Crashed) => {
+            metrics.solve_errors.inc();
+            metrics.solve_panics.inc();
+            respond(
+                out,
+                &ServeResponse::Error {
+                    id,
+                    class: "solve_panic".to_string(),
+                    error: format!("{e}; the shard is restarting"),
+                },
+            )
+        }
+        Err(e @ ShardError::Drained) => {
+            metrics.internal_errors.inc();
+            respond(
+                out,
+                &ServeResponse::Error {
+                    id,
+                    class: "internal".to_string(),
+                    error: format!("{e}; safe to retry"),
+                },
+            )
+        }
     }
 }
 
 fn respond<W: Write>(out: &Mutex<W>, response: &ServeResponse) -> std::io::Result<()> {
     let line = serde_json::to_string(response).expect("responses always serialize");
-    let mut w = out.lock().unwrap();
+    let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
     writeln!(w, "{line}")?;
     w.flush()
 }
@@ -487,6 +713,7 @@ fn respond<W: Write>(out: &Mutex<W>, response: &ServeResponse) -> std::io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aa_core::shard::FaultAction;
     use aa_utility::UtilitySpec;
 
     fn request_line(id: u64, deadline_ms: Option<u64>, threads: usize) -> String {
@@ -506,6 +733,22 @@ mod tests {
             Some(d) => format!(r#"{{"id":{id},"deadline_ms":{d},"problem":{problem}}}"#),
             None => format!(r#"{{"id":{id},"problem":{problem}}}"#),
         }
+    }
+
+    fn stream_request_line(id: u64, stream: u64, threads: usize) -> String {
+        let problem = ProblemFile {
+            servers: 4,
+            capacity: 100.0,
+            threads: (0..threads)
+                .map(|i| UtilitySpec::Power {
+                    scale: 1.0 + (i % 7) as f64,
+                    beta: 0.5,
+                    cap: 100.0,
+                })
+                .collect(),
+        };
+        let problem = serde_json::to_string(&problem).unwrap();
+        format!(r#"{{"id":{id},"stream":{stream},"problem":{problem}}}"#)
     }
 
     fn run(input: &str, opts: &ServeOpts) -> (ServeCounters, Vec<serde_json::Value>) {
@@ -565,13 +808,16 @@ mod tests {
         let prom = aa_obs::export::prometheus_text(&registry);
         assert!(prom.contains("aa_serve_received_total 2"), "{prom}");
         assert!(prom.contains("aa_serve_solved_total 2"), "{prom}");
+        // The shard tier exports through the same registry.
+        assert!(prom.contains("aa_shard_solves_total"), "{prom}");
+        assert!(prom.contains("aa_supervisor_restarts_total 0"), "{prom}");
         assert_eq!(counters.received, 2);
         assert_eq!(counters.solved, 2);
     }
 
     #[test]
     fn burst_beyond_the_queue_is_shed_with_backoff_hints() {
-        // First request is large and unbudgeted: the worker is busy for
+        // First request is large and unbudgeted: the shard is busy for
         // many milliseconds while the reader (all in-memory) admits one
         // more and must shed the rest of the burst.
         let mut input = request_line(0, None, 4000);
@@ -609,7 +855,7 @@ mod tests {
 
     #[test]
     fn deadline_that_lapses_in_queue_is_answered_without_a_solve() {
-        // Large unbudgeted head request occupies the worker; the second
+        // Large unbudgeted head request occupies the shard; the second
         // request's 1 ms deadline lapses while it waits.
         let input = format!(
             "{}\n{}\n",
@@ -664,5 +910,101 @@ mod tests {
         let (counters, responses) = run("", &ServeOpts::default());
         assert_eq!(counters, ServeCounters::default());
         assert!(responses.is_empty());
+    }
+
+    #[test]
+    fn sharded_serve_answers_keyed_streams_from_fixed_shards() {
+        let mut input = String::new();
+        for i in 0..24u64 {
+            input.push_str(&stream_request_line(i, i % 6, 6));
+            input.push('\n');
+        }
+        let registry = aa_obs::Registry::new();
+        let mut output: Vec<u8> = Vec::new();
+        let opts = ServeOpts { shards: 3, queue: 64, ..ServeOpts::default() };
+        let counters = run_serve(input.as_bytes(), &mut output, &opts, &registry).unwrap();
+        assert_eq!(counters.received, 24);
+        assert_eq!(counters.solved, 24);
+        assert_eq!(counters.shed, 0);
+        // Per-shard accounting flowed through the shared registry.
+        let prom = aa_obs::export::prometheus_text(&registry);
+        assert!(prom.contains(r#"aa_shard_solves_total{shard="0"}"#), "{prom}");
+    }
+
+    #[test]
+    fn oversized_line_gets_a_parse_error_and_serving_continues() {
+        let big = format!(r#"{{"id":1,"problem":"{}"}}"#, "x".repeat(8192));
+        let input = format!("{big}\n{}\n", request_line(2, None, 4));
+        let opts = ServeOpts { max_line_bytes: 1024, ..ServeOpts::default() };
+        let (counters, responses) = run(&input, &opts);
+        assert_eq!(counters.received, 2);
+        assert_eq!(counters.parse_errors, 1);
+        assert_eq!(counters.solved, 1);
+        let parse = responses.iter().find(|r| r["status"] == "error").unwrap();
+        assert_eq!(parse["class"], "parse");
+        assert!(parse["error"].as_str().unwrap().contains("max-line-bytes"));
+        assert!(responses
+            .iter()
+            .any(|r| r["status"] == "ok" && r["id"].as_u64() == Some(2)));
+    }
+
+    #[test]
+    fn shard_death_yields_structured_errors_and_serving_continues() {
+        // Kill the only shard on its first solve. The in-flight request
+        // is answered `solve_panic`; anything queued behind it drains as
+        // `internal`; requests arriving after the restart solve normally.
+        // The old loop propagated the panic and died (serve.rs used to
+        // break on worker disconnect) — this is the regression test.
+        let chaos: ChaosHook = Arc::new(|_shard, seq| {
+            if seq == 1 {
+                FaultAction::KillShard
+            } else {
+                FaultAction::None
+            }
+        });
+        let mut input = String::new();
+        for i in 0..6u64 {
+            input.push_str(&stream_request_line(i, 1, 6));
+            input.push('\n');
+        }
+        let opts = ServeOpts { chaos: Some(chaos), queue: 64, ..ServeOpts::default() };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (counters, responses) = run(&input, &opts);
+        std::panic::set_hook(prev);
+        // The loop survived to EOF and every request was answered once.
+        assert_eq!(counters.received, 6);
+        assert_eq!(responses.len(), 6);
+        assert_eq!(counters.solve_panics, 1, "{counters:?}");
+        assert!(
+            responses.iter().any(|r| r["class"] == "solve_panic"),
+            "{responses:?}"
+        );
+        // Everything not caught in the crash was actually solved or
+        // answered with a retryable internal error.
+        for r in &responses {
+            let ok = r["status"] == "ok"
+                || r["class"] == "solve_panic"
+                || r["class"] == "internal";
+            assert!(ok, "unexpected response {r:?}");
+        }
+        assert_eq!(
+            counters.solved + counters.solve_panics + counters.internal_errors,
+            6,
+            "{counters:?}"
+        );
+    }
+
+    #[test]
+    fn drain_hint_is_monotone_and_positive() {
+        assert_eq!(drain_hint_ms(0, 0, 0), 1);
+        assert_eq!(drain_hint_ms(0, 0, 16), 16);
+        let mut last = 0;
+        for queue in 0..200 {
+            let hint = drain_hint_ms(10, 50_000, queue);
+            assert!(hint >= 1);
+            assert!(hint >= last, "hint regressed at queue={queue}");
+            last = hint;
+        }
     }
 }

@@ -689,3 +689,150 @@ fn bench_thread_override_changes_reported_pool_size_not_results() {
         assert_eq!(ea["par_utility"], eb["par_utility"], "thread count changed output");
     }
 }
+
+#[test]
+fn serve_oversized_line_gets_parse_error_not_oom() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    // A multi-megabyte line (past the default 1 MiB cap) followed by a
+    // valid request: the loop answers the monster with a parse error and
+    // keeps serving instead of buffering it whole.
+    let mut input = String::with_capacity(3 << 20);
+    input.push_str(r#"{"id":0,"problem":""#);
+    input.push_str(&"x".repeat(3 << 20));
+    input.push_str("\"}\n");
+    input.push_str(&serve_request(1, None, 4));
+    input.push('\n');
+
+    let mut child = bin()
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().unwrap();
+    let writer = std::thread::spawn(move || {
+        stdin.write_all(input.as_bytes()).unwrap();
+    });
+    let out = child.wait_with_output().unwrap();
+    writer.join().unwrap();
+
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let responses: Vec<serde_json::Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 2, "{responses:?}");
+    let parse = responses.iter().find(|r| r["status"] == "error").unwrap();
+    assert_eq!(parse["class"], "parse", "{parse:?}");
+    assert_eq!(parse["id"], serde_json::Value::Null);
+    assert!(
+        parse["error"].as_str().unwrap().contains("max-line-bytes"),
+        "{parse:?}"
+    );
+    assert!(
+        responses.iter().any(|r| r["status"] == "ok" && r["id"].as_u64() == Some(1)),
+        "{responses:?}"
+    );
+}
+
+#[test]
+fn serve_with_shards_answers_keyed_streams() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let mut input = String::new();
+    for i in 0..8u64 {
+        input.push_str(&format!(
+            r#"{{"id":{i},"stream":{},"problem":{{"servers":4,"capacity":100.0,"threads":[{{"kind":"power","scale":2.0,"beta":0.5,"cap":100.0}}]}}}}"#,
+            i % 4
+        ));
+        input.push('\n');
+    }
+
+    let mut child = bin()
+        .args(["serve", "--shards", "2", "--queue", "32"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().unwrap();
+    let writer = std::thread::spawn(move || {
+        stdin.write_all(input.as_bytes()).unwrap();
+    });
+    let out = child.wait_with_output().unwrap();
+    writer.join().unwrap();
+
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let responses: Vec<serde_json::Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 8);
+    assert!(responses.iter().all(|r| r["status"] == "ok"), "{responses:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("serve: received=8"), "missing summary: {err}");
+}
+
+#[test]
+fn metrics_addr_bind_failure_exits_8() {
+    // Occupy a port, then ask serve to bind it: the distinct exit code
+    // lets orchestrators tell "metrics endpoint taken" from data i/o
+    // failures (exit 6).
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = holder.local_addr().unwrap().to_string();
+    let out = bin()
+        .args(["serve", "--metrics-addr", &addr])
+        .stdin(std::process::Stdio::null())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(8), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("could not bind metrics endpoint"), "{err}");
+
+    // The code is part of the documented contract.
+    let help = bin().arg("help").output().unwrap();
+    let text = String::from_utf8_lossy(&help.stdout);
+    assert!(text.contains("8  metrics endpoint bind failed"), "{text}");
+}
+
+// ---- chaos ----
+
+#[test]
+fn chaos_command_gates_on_robustness_invariants() {
+    let dir = tempdir();
+    let report_path = dir.join("chaos-report.json");
+    // Small storm (CI runs on few cores): 2 shards each killed twice,
+    // with contained panics and stalls from the default schedule.
+    let out = bin()
+        .args([
+            "chaos", "--shards", "2", "--streams-per-shard", "1", "--rounds", "40",
+            "--kills", "2", "--seed", "7", "--out", report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "chaos gate failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report["exactly_once"].as_bool(), Some(true), "{report:?}");
+    assert_eq!(report["survived"].as_bool(), Some(true), "{report:?}");
+    assert_eq!(report["live_shards"].as_u64(), Some(2), "{report:?}");
+    assert!(report["missing_seqs"].as_array().unwrap().is_empty(), "{report:?}");
+    assert!(report["duplicate_seqs"].as_array().unwrap().is_empty(), "{report:?}");
+    for r in report["restarts"].as_array().unwrap() {
+        assert!(r.as_u64().unwrap() >= 2, "a shard was not killed twice: {report:?}");
+    }
+    // stdout carries the same JSON for piping.
+    let piped: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(piped["exactly_once"].as_bool(), Some(true));
+}

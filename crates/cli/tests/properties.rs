@@ -64,3 +64,29 @@ proptest! {
         prop_assert_eq!(sol.server.len(), parsed.threads.len());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The shed-response backoff hint is strictly positive (a shed
+    /// client is never told to retry immediately) and monotone
+    /// non-decreasing in queue depth (a deeper backlog never shortens
+    /// the hint).
+    #[test]
+    fn drain_hint_positive_and_monotone_in_queue(
+        answered in 0u64..100_000,
+        total_micros in 0u64..10_000_000_000,
+        q1 in 0usize..100_000,
+        q2 in 0usize..100_000,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let hint_lo = aa_cli::serve::drain_hint_ms(answered, total_micros, lo);
+        let hint_hi = aa_cli::serve::drain_hint_ms(answered, total_micros, hi);
+        prop_assert!(hint_lo >= 1, "zero backoff hint at queue={lo}");
+        prop_assert!(hint_hi >= 1, "zero backoff hint at queue={hi}");
+        prop_assert!(
+            hint_lo <= hint_hi,
+            "hint regressed: queue {lo} -> {hint_lo} ms but queue {hi} -> {hint_hi} ms"
+        );
+    }
+}

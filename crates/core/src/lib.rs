@@ -53,6 +53,7 @@ pub mod online;
 pub mod problem;
 pub mod reduction;
 pub mod refine;
+pub mod shard;
 pub mod solver;
 pub mod stats;
 pub mod superopt;
@@ -63,6 +64,10 @@ pub use budget::Budget;
 pub use churn::{ClusterEvent, MigrationBudget, Repair, RepairArena, RepairError, RepairReport};
 pub use incremental::{IncrementalStats, SolveMode, SolverArena, WarmState};
 pub use problem::{Assignment, AssignmentError, Problem, ProblemBuilder, ProblemError};
+pub use shard::{
+    ChaosHook, FaultAction, ShardCompletion, ShardConfig, ShardError, ShardJob, ShardPool,
+    SubmitError,
+};
 pub use solver::{batch_seed, solve_batch, try_solve_batch, SolveError, Solver};
 pub use tiered::{Degradation, Tier, TierOutcome, TierStatus, TieredSolve, TieredSolver};
 

@@ -42,6 +42,13 @@ pub enum SolveError {
     /// The solve's cancel token was fired externally. Not degradable:
     /// the caller no longer wants any answer.
     Cancelled,
+    /// The solve panicked and the panic was contained by a
+    /// `catch_unwind` boundary (e.g.
+    /// [`TieredSolver::try_solve_within_caught`](crate::tiered::TieredSolver::try_solve_within_caught)).
+    /// Carries the panic payload's message when it was a string. Any
+    /// warm state threaded through the panicking solve must be treated
+    /// as corrupt and discarded.
+    Panicked(String),
 }
 
 impl std::fmt::Display for SolveError {
@@ -56,6 +63,7 @@ impl std::fmt::Display for SolveError {
             SolveError::Infeasible(e) => write!(f, "solver produced infeasible output: {e}"),
             SolveError::DeadlineExceeded => write!(f, "solve budget exhausted before completion"),
             SolveError::Cancelled => write!(f, "solve cancelled by caller"),
+            SolveError::Panicked(msg) => write!(f, "solve panicked: {msg}"),
         }
     }
 }

@@ -300,6 +300,85 @@ impl TieredSolver {
         problem: &Problem,
         budget: &Budget,
     ) -> Result<TieredSolve, SolveError> {
+        self.solve_within_impl(problem, budget, None)
+    }
+
+    /// [`Self::solve_within`] with a caller-owned [`WarmState`] for the
+    /// [`Tier::Algo2`] rung instead of the solver's internal one (if
+    /// any). This is the per-stream entry point: a shard holding one
+    /// `WarmState` per request stream threads the right state through a
+    /// *shared* `TieredSolver`, keeping breaker state per shard while
+    /// warm brackets stay per stream. Answers are **bit-identical** to
+    /// the cold path regardless of the state passed (the incremental
+    /// engine's contract).
+    pub fn solve_within_warm(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+        warm: &mut crate::incremental::WarmState,
+    ) -> Result<TieredSolve, SolveError> {
+        self.solve_within_impl(problem, budget, Some(warm))
+    }
+
+    /// [`Self::solve_within_warm`] with the same input/output screening
+    /// as [`Self::try_solve_within`].
+    pub fn try_solve_within_warm(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+        warm: &mut crate::incremental::WarmState,
+    ) -> Result<TieredSolve, SolveError> {
+        crate::solver::check_finite_utilities(problem)?;
+        let solved = self.solve_within_impl(problem, budget, Some(warm))?;
+        solved
+            .assignment
+            .validate(problem)
+            .map_err(SolveError::Infeasible)?;
+        Ok(solved)
+    }
+
+    /// Panic-containing solve entry: [`Self::try_solve_within`] (or the
+    /// warm variant when `warm` is given) behind a
+    /// [`std::panic::catch_unwind`] boundary. A panic anywhere in the
+    /// solve pipeline comes back as [`SolveError::Panicked`] instead of
+    /// unwinding into (and killing) the calling worker thread.
+    ///
+    /// On a panic the passed warm state may have been half-updated;
+    /// this entry point [`invalidate`](crate::incremental::WarmState::invalidate)s
+    /// it before returning so the next solve through it rebuilds from
+    /// scratch rather than trusting corrupt brackets.
+    pub fn try_solve_within_caught(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+        warm: Option<&mut crate::incremental::WarmState>,
+    ) -> Result<TieredSolve, SolveError> {
+        match warm {
+            None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.try_solve_within(problem, budget)
+            }))
+            .unwrap_or_else(|payload| Err(SolveError::Panicked(panic_message(&*payload)))),
+            Some(state) => {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.try_solve_within_warm(problem, budget, &mut *state)
+                }));
+                match result {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        state.invalidate();
+                        Err(SolveError::Panicked(panic_message(&*payload)))
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve_within_impl(
+        &self,
+        problem: &Problem,
+        budget: &Budget,
+        mut external: Option<&mut crate::incremental::WarmState>,
+    ) -> Result<TieredSolve, SolveError> {
         let req = self.requests.fetch_add(1, Ordering::AcqRel) + 1;
         let mut outcomes: Vec<TierOutcome> = Vec::with_capacity(self.ladder.len());
         for (idx, &tier) in self.ladder.iter().enumerate() {
@@ -317,7 +396,7 @@ impl TieredSolver {
                 tier_counters(tier).0.inc();
             }
             let start = Instant::now();
-            let run = run_tier(tier, problem, budget, self.warm.as_ref())?;
+            let run = run_tier(tier, problem, budget, self.warm.as_ref(), external.as_deref_mut())?;
             let micros = start.elapsed().as_micros() as u64;
             match run {
                 TierRun::Answer { assignment, partial } => {
@@ -398,11 +477,23 @@ impl TieredSolver {
     }
 }
 
+/// Best-effort string form of a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn run_tier(
     tier: Tier,
     problem: &Problem,
     budget: &Budget,
     warm: Option<&Mutex<crate::incremental::WarmState>>,
+    external: Option<&mut crate::incremental::WarmState>,
 ) -> Result<TierRun, SolveError> {
     match tier {
         Tier::BranchAndBound => match exact_bb::solve_budgeted(problem, budget) {
@@ -422,13 +513,17 @@ fn run_tier(
         Tier::Algo2 => {
             // The warm incremental path is bit-identical to the cold
             // solve (differential proptests pin this), so enabling it
-            // changes latency, never answers.
-            let run = match warm {
-                Some(w) => {
+            // changes latency, never answers. A caller-owned per-stream
+            // state takes precedence over the solver's shared one.
+            let run = match (external, warm) {
+                (Some(state), _) => {
+                    crate::incremental::solve_incremental_budgeted(problem, state, budget)
+                }
+                (None, Some(w)) => {
                     let mut state = w.lock().unwrap_or_else(|e| e.into_inner());
                     crate::incremental::solve_incremental_budgeted(problem, &mut state, budget)
                 }
-                None => algo2::solve_budgeted(problem, budget),
+                (None, None) => algo2::solve_budgeted(problem, budget),
             };
             match run {
                 Ok(a) => Ok(TierRun::Answer { assignment: a, partial: false }),
@@ -694,6 +789,90 @@ mod tests {
         assert_eq!(solver.warm_stats().unwrap().mode, SolveMode::Identical);
         // A cold solver never reports warm stats.
         assert!(TieredSolver::new().warm_stats().is_none());
+    }
+
+    #[test]
+    fn external_warm_state_is_bit_identical_and_stays_warm() {
+        use crate::incremental::{SolveMode, WarmState};
+
+        let solver = TieredSolver::with_ladder(vec![Tier::Algo2, Tier::Uu]);
+        let mut stream_a = WarmState::new();
+        let mut stream_b = WarmState::new();
+        let pa = mixed_problem(3, 11, 0);
+        let pb = mixed_problem(3, 13, 1);
+        for _ in 0..3 {
+            let a = solver.solve_within_warm(&pa, &Budget::unlimited(), &mut stream_a).unwrap();
+            assert_eq!(a.assignment, algo2::solve(&pa));
+            let b = solver.solve_within_warm(&pb, &Budget::unlimited(), &mut stream_b).unwrap();
+            assert_eq!(b.assignment, algo2::solve(&pb));
+        }
+        // Each stream's state converged to the identical fast path on
+        // its own problem — interleaving did not thrash the brackets.
+        assert_eq!(stream_a.last_stats().mode, SolveMode::Identical);
+        assert_eq!(stream_b.last_stats().mode, SolveMode::Identical);
+    }
+
+    #[test]
+    fn caught_entry_matches_uncaught_on_healthy_solves() {
+        let solver = TieredSolver::new();
+        let p = mixed_problem(3, 11, 2);
+        let caught = solver
+            .try_solve_within_caught(&p, &Budget::unlimited(), None)
+            .unwrap();
+        let plain = solver.try_solve_within(&p, &Budget::unlimited()).unwrap();
+        assert_eq!(caught.assignment, plain.assignment);
+    }
+
+    #[test]
+    fn caught_entry_contains_panics_and_invalidates_warm_state() {
+        use crate::incremental::{SolveMode, WarmState};
+        use aa_utility::Utility;
+
+        // A utility curve that panics when evaluated: finite on the
+        // probe grid 0..=cap (so input screening admits it) is not
+        // achievable while also panicking — instead, panic on the
+        // *derivative*, which screening never calls but the bisection
+        // hot loop does.
+        #[derive(Debug)]
+        struct Grenade;
+        impl Utility for Grenade {
+            fn value(&self, x: f64) -> f64 {
+                x.sqrt()
+            }
+            fn derivative(&self, _x: f64) -> f64 {
+                panic!("chaos: derivative detonated")
+            }
+            fn cap(&self) -> f64 {
+                12.0
+            }
+        }
+
+        let p = Problem::builder(2, 12.0)
+            .threads((0..4).map(|_| Arc::new(Grenade) as aa_utility::DynUtility))
+            .build()
+            .unwrap();
+        let solver = TieredSolver::with_ladder(vec![Tier::Algo2]);
+        let mut warm = WarmState::new();
+        // Quiet the default panic hook for the intentional detonation.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = solver
+            .try_solve_within_caught(&p, &Budget::unlimited(), Some(&mut warm))
+            .unwrap_err();
+        std::panic::set_hook(hook);
+        match err {
+            SolveError::Panicked(msg) => assert!(msg.contains("detonated"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The half-updated warm state was invalidated: the next solve
+        // through it must rebuild rather than reuse corrupt brackets.
+        let healthy = mixed_problem(2, 5, 0);
+        let solver2 = TieredSolver::with_ladder(vec![Tier::Algo2, Tier::Uu]);
+        let again = solver2
+            .solve_within_warm(&healthy, &Budget::unlimited(), &mut warm)
+            .unwrap();
+        assert_eq!(again.assignment, algo2::solve(&healthy));
+        assert_eq!(warm.last_stats().mode, SolveMode::Cold);
     }
 
     #[test]

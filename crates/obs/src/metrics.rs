@@ -276,6 +276,17 @@ impl Registry {
         }
     }
 
+    /// Get or create the gauge `name{key="value"}`.
+    ///
+    /// # Panics
+    /// If the name/label pair is already registered as a different kind.
+    pub fn gauge_labeled(&self, name: &str, key: &str, value: &str) -> Gauge {
+        match self.get_or_create(name, Some((key, value)), || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
     /// Get or create the histogram `name`.
     ///
     /// # Panics
@@ -335,6 +346,15 @@ mod tests {
         r.counter_labeled("aa_tier_total", "tier", "uu").add(7);
         assert_eq!(r.counter_labeled("aa_tier_total", "tier", "algo2").get(), 3);
         assert_eq!(r.counter_labeled("aa_tier_total", "tier", "uu").get(), 7);
+    }
+
+    #[test]
+    fn labeled_gauges_are_distinct() {
+        let r = Registry::new();
+        r.gauge_labeled("aa_shard_queue_depth", "shard", "0").set(3.0);
+        r.gauge_labeled("aa_shard_queue_depth", "shard", "1").set(8.0);
+        assert_eq!(r.gauge_labeled("aa_shard_queue_depth", "shard", "0").get(), 3.0);
+        assert_eq!(r.gauge_labeled("aa_shard_queue_depth", "shard", "1").get(), 8.0);
     }
 
     #[test]

@@ -28,12 +28,16 @@
 //!   tiered solver behind a bounded queue: shed rate, deadline-miss
 //!   rate, and per-tier utility retention under overload;
 //! * [`perf`] — a first-order IPC model turning miss ratios into
-//!   performance, for IPC-objective partitioning.
+//!   performance, for IPC-objective partitioning;
+//! * [`chaos`] — seeded kill/stall/panic storms and an open-loop load
+//!   blast against the supervised shard pool, asserting liveness,
+//!   exactly-once completion, and post-restart warm-latency recovery.
 //!
 //! Everything here is built from scratch; no external simulator is
 //! required (see DESIGN.md's substitution table).
 
 pub mod cache;
+pub mod chaos;
 pub mod controller;
 pub mod faults;
 pub mod hosting;
@@ -43,6 +47,7 @@ pub mod overload;
 pub mod perf;
 pub mod trace;
 
+pub use chaos::{run_chaos, run_load, ChaosConfig, ChaosReport, LoadConfig, LoadReport};
 pub use controller::{Controller, EpochReport, RepairPolicy};
 pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use multicore::{Multicore, PartitionOutcome};
