@@ -21,7 +21,7 @@
 //! (order-stable collect, sequential reduction) makes the two
 //! **bit-identical** for every thread count.
 
-use aa_utility::Utility;
+use aa_utility::{DemandTable, Utility};
 use rayon::prelude::*;
 use rayon::CancelToken;
 
@@ -51,6 +51,18 @@ const MAX_ITERS: u32 = 128;
 /// demand evaluation out over the thread pool. Below it the sequential
 /// path is faster (the fork-join overhead exceeds the work); results are
 /// identical either way.
+///
+/// Re-audited with the batched demand kernel (bench schema v4): the
+/// struct-of-arrays sweep cuts per-element cost — most sharply for
+/// PCHIP, whose closed-form inverse replaced an inner per-element
+/// bisection — which *raises* the relative weight of fork-join overhead
+/// and pushes the true crossover up, not down. 4096 therefore remains a
+/// safe floor: below it the parallel wrappers fall through to the
+/// sequential path outright, and on a single-thread pool the vendored
+/// executor's inline fast path keeps the fanned-out sweep within noise
+/// of sequential (the bench matrix asserts par ≥ 0.95× seq on every
+/// entry). The per-sweep `kernel_sweep_micros` bench field exists to
+/// re-measure this crossover on real multi-core hosts.
 pub const PAR_THRESHOLD: usize = 4096;
 
 /// Marker error: an interruptible allocation was abandoned because its
@@ -73,13 +85,25 @@ impl std::error::Error for Interrupted {}
 /// fan each one out. Each map is a pure per-element function, so the
 /// sequential and parallel strategies return identical vectors.
 ///
+/// The demand map goes through the compiled [`DemandTable`] — the
+/// struct-of-arrays kernel — rather than per-element virtual dispatch;
+/// the table's bit-identity contract keeps all strategies exact.
+///
 /// `None` means the strategy's pool observed a cancel token mid-map; the
 /// infallible strategies ([`Seq`], [`Par`]) always return `Some`.
 trait EvalStrategy<U: Utility> {
     /// `cap_i` for every thread.
     fn caps(&self, utils: &[U]) -> Option<Vec<f64>>;
-    /// `x_i(λ) = f_i′⁻¹(λ)` for every thread.
-    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>>;
+    /// One demand sweep: `out[i] = x_i(λ)` into the reused buffer, plus
+    /// the index-order sum (the same additions, in the same order, for
+    /// every strategy — the bit-identity backbone).
+    fn demands_into(
+        &self,
+        table: &DemandTable,
+        utils: &[U],
+        lambda: f64,
+        out: &mut Vec<f64>,
+    ) -> Option<f64>;
     /// `Σ f_i(x_i)` (summed in index order).
     fn total_utility(&self, utils: &[U], amounts: &[f64]) -> Option<f64> {
         Some(
@@ -101,23 +125,42 @@ impl<U: Utility> EvalStrategy<U> for Seq {
     fn caps(&self, utils: &[U]) -> Option<Vec<f64>> {
         Some(utils.iter().map(|f| f.cap()).collect())
     }
-    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>> {
-        Some(utils.iter().map(|f| f.inverse_derivative(lambda)).collect())
+    fn demands_into(
+        &self,
+        table: &DemandTable,
+        utils: &[U],
+        lambda: f64,
+        out: &mut Vec<f64>,
+    ) -> Option<f64> {
+        Some(table_demands_into(table, utils, lambda, out))
     }
     fn values(&self, utils: &[U], amounts: &[f64]) -> Option<Vec<f64>> {
         Some(utils.iter().zip(amounts).map(|(f, &x)| f.value(x)).collect())
     }
 }
 
-/// Pool fan-out per map. Requires `U: Sync`; bit-identical to [`Seq`].
+/// Pool fan-out per map. Requires `U: Sync`; bit-identical to [`Seq`]:
+/// the demand sweep writes each slot by index in parallel, then the sum
+/// folds sequentially on the calling thread in index order.
 struct Par;
 
 impl<U: Utility + Sync> EvalStrategy<U> for Par {
     fn caps(&self, utils: &[U]) -> Option<Vec<f64>> {
         Some(utils.par_iter().map(|f| f.cap()).collect())
     }
-    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>> {
-        Some(utils.par_iter().map(|f| f.inverse_derivative(lambda)).collect())
+    fn demands_into(
+        &self,
+        table: &DemandTable,
+        utils: &[U],
+        lambda: f64,
+        out: &mut Vec<f64>,
+    ) -> Option<f64> {
+        out.clear();
+        out.resize(utils.len(), 0.0);
+        out.par_iter_mut()
+            .zip(0..utils.len())
+            .for_each(|(slot, i)| *slot = table.eval(utils, i, lambda));
+        Some(out.iter().sum())
     }
     fn values(&self, utils: &[U], amounts: &[f64]) -> Option<Vec<f64>> {
         Some(
@@ -141,12 +184,20 @@ impl<U: Utility + Sync> EvalStrategy<U> for ParCancel<'_> {
     fn caps(&self, utils: &[U]) -> Option<Vec<f64>> {
         utils.par_iter().map(|f| f.cap()).collect_cancellable(self.0).ok()
     }
-    fn demands(&self, utils: &[U], lambda: f64) -> Option<Vec<f64>> {
-        utils
-            .par_iter()
-            .map(|f| f.inverse_derivative(lambda))
-            .collect_cancellable(self.0)
-            .ok()
+    fn demands_into(
+        &self,
+        table: &DemandTable,
+        utils: &[U],
+        lambda: f64,
+        out: &mut Vec<f64>,
+    ) -> Option<f64> {
+        out.clear();
+        out.resize(utils.len(), 0.0);
+        out.par_iter_mut()
+            .zip(0..utils.len())
+            .for_each_cancellable(self.0, |(slot, i)| *slot = table.eval(utils, i, lambda))
+            .ok()?;
+        Some(out.iter().sum())
     }
     fn values(&self, utils: &[U], amounts: &[f64]) -> Option<Vec<f64>> {
         utils
@@ -158,6 +209,104 @@ impl<U: Utility + Sync> EvalStrategy<U> for ParCancel<'_> {
     }
 }
 
+/// The next float above a positive finite `x`.
+#[inline]
+fn next_up(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0);
+    f64::from_bits(x.to_bits() + 1)
+}
+
+/// All-discrete fast path: when every element compiled to a unit-scale
+/// staircase, total demand `D(λ)` is a finite staircase whose knots all
+/// sit on the table's merged [`ladder`](DemandTable::ladder), and the
+/// predicate `D(λ) > budget` is *exactly* `λ ≤ t` for the largest knot
+/// `t` with `D(t) > budget` (per-element staircase demands are exactly
+/// nonincreasing in λ and rounded float addition is monotone in each
+/// operand, so the index-order sum inherits exact monotonicity). The
+/// generic bisection's collapsed bracket is therefore the adjacent-float
+/// pair `(t, nextafter(t))` — this routine finds it by binary search
+/// over the ladder, `O(log k)` sweeps instead of ~130.
+///
+/// Returns `None` whenever it cannot *prove* the generic search would
+/// collapse onto that pair — no positive knot over budget (the generic
+/// loop then exits at [`MAX_ITERS`] with a sub-resolution bracket), `t`
+/// below [`WARM_MIN_PRICE`], or the float gap at `t` too small for 128
+/// halvings from the generic starting bracket. Callers fall back to the
+/// generic loop, never emulate it.
+fn discrete_flip<U, S, E>(
+    table: &DemandTable,
+    utils: &[U],
+    budget: f64,
+    strategy: &S,
+    probe: &mut Vec<f64>,
+    sweeps: &mut u32,
+    check: &mut dyn FnMut() -> Result<(), E>,
+) -> Result<Option<(f64, f64)>, E>
+where
+    U: Utility,
+    S: EvalStrategy<U>,
+    E: From<Interrupted>,
+{
+    let ladder = table.ladder();
+    if ladder.is_empty() {
+        return Ok(None);
+    }
+    let mut demand = |lambda: f64,
+                      sweeps: &mut u32,
+                      check: &mut dyn FnMut() -> Result<(), E>|
+     -> Result<f64, E> {
+        check()?;
+        *sweeps += 1;
+        match strategy.demands_into(table, utils, lambda, probe) {
+            Some(d) => Ok(d),
+            None => Err(match check() {
+                Err(e) => e,
+                Ok(()) => Interrupted.into(),
+            }),
+        }
+    };
+    // D is maximal over positive prices at the smallest knot; if even
+    // that fits the budget, no positive knot flips the predicate.
+    if demand(ladder[0], sweeps, check)? <= budget {
+        return Ok(None);
+    }
+    // Largest index with D(ladder[i]) > budget: ladder[0] is known true,
+    // indices past the flip are false (D nonincreasing).
+    let mut lo_i = 0_usize;
+    let mut hi_i = ladder.len();
+    while hi_i - lo_i > 1 {
+        let mid = lo_i + (hi_i - lo_i) / 2;
+        if demand(ladder[mid], sweeps, check)? > budget {
+            lo_i = mid;
+        } else {
+            hi_i = mid;
+        }
+    }
+    let t = ladder[lo_i];
+    if t < WARM_MIN_PRICE {
+        // The generic search may not collapse this low (see the warm
+        // module notes); only it knows its own answer.
+        return Ok(None);
+    }
+    let hi = next_up(t);
+    // The generic bracket starts at width ≤ hi_grown (the first power of
+    // two above t, or 1); 128 halvings must reach the float gap at t.
+    let mut hi_grown = 1.0_f64;
+    while hi_grown <= t {
+        hi_grown *= 2.0;
+    }
+    if hi_grown * 2.0_f64.powi(-126) >= hi - t {
+        return Ok(None);
+    }
+    // Verification sweep: the flip really is at (t, nextafter(t)). The
+    // encodings guarantee it (demand past the top knot is the zero
+    // level), but one sweep buys insurance against a miscompiled table.
+    if demand(hi, sweeps, check)? > budget {
+        return Ok(None);
+    }
+    Ok(Some((t, hi)))
+}
+
 /// The full algorithm, generic over the evaluation strategy and an
 /// interruption check. `check` is consulted once up front, once per
 /// bracket-growth step, once per bisection iteration, and once before the
@@ -166,10 +315,18 @@ impl<U: Utility + Sync> EvalStrategy<U> for ParCancel<'_> {
 /// aborts with whatever `check` reports, falling back to
 /// [`Interrupted`] when `check` still says `Ok` (an external cancel that
 /// raced ahead of the caller's own bookkeeping).
+///
+/// The utility slice is compiled into a [`DemandTable`] once up front;
+/// every demand sweep then runs through the struct-of-arrays kernel.
+/// With `use_ladder`, an all-discrete table routes through
+/// [`discrete_flip`] before falling back to the generic search; either
+/// way the final bracket is the same unique adjacent-float pair, so the
+/// results are bit-identical.
 fn allocate_impl<U, S, E>(
     utils: &[U],
     budget: f64,
     strategy: &S,
+    use_ladder: bool,
     check: &mut dyn FnMut() -> Result<(), E>,
 ) -> Result<Allocation, E>
 where
@@ -216,97 +373,92 @@ where
         return Ok(Allocation { amounts, utility });
     }
 
-    let demand = |lambda: f64| -> Option<f64> {
-        Some(strategy.demands(utils, lambda)?.iter().sum())
+    // Compile the struct-of-arrays demand kernel for this slice: one
+    // pass now buys ~130 virtual-dispatch-free sweeps below.
+    let mut table = DemandTable::new();
+    table.compile(utils);
+    let mut sweeps: u32 = 0;
+    let mut probe: Vec<f64> = Vec::with_capacity(n);
+
+    let ladder_bracket = if use_ladder && table.all_discrete() {
+        discrete_flip(&table, utils, budget, strategy, &mut probe, &mut sweeps, check)?
+    } else {
+        None
     };
 
-    // Bracket the price. At λ = 0 demand is Σ caps > budget (checked
-    // above). Grow λ_hi geometrically until demand fits under the budget;
-    // derivatives may be +∞ at x = 0 but are finite for x > 0, so demand
-    // eventually drops below any positive budget... except when some
-    // utility has infinite derivative on a set of positive measure, which
-    // no concave function has.
-    let mut lo = 0.0_f64;
-    let mut hi = 1.0_f64;
-    let mut grow = 0;
-    loop {
-        check()?;
-        match demand(hi) {
-            None => return Err(interrupted(check)),
-            Some(d) if d > budget => {
-                lo = hi;
-                hi *= 2.0;
-                grow += 1;
-                assert!(
-                    grow < 1100,
-                    "could not bracket the marginal price; utility derivatives do not decay"
-                );
+    let (lo, hi) = match ladder_bracket {
+        Some(pair) => pair,
+        None => {
+            // Bracket the price. At λ = 0 demand is Σ caps > budget
+            // (checked above). Grow λ_hi geometrically until demand fits
+            // under the budget; derivatives may be +∞ at x = 0 but are
+            // finite for x > 0, so demand eventually drops below any
+            // positive budget... except when some utility has infinite
+            // derivative on a set of positive measure, which no concave
+            // function has.
+            let mut lo = 0.0_f64;
+            let mut hi = 1.0_f64;
+            let mut grow = 0;
+            loop {
+                check()?;
+                sweeps += 1;
+                match strategy.demands_into(&table, utils, hi, &mut probe) {
+                    None => return Err(interrupted(check)),
+                    Some(d) if d > budget => {
+                        lo = hi;
+                        hi *= 2.0;
+                        grow += 1;
+                        assert!(
+                            grow < 1100,
+                            "could not bracket the marginal price; utility derivatives do not decay"
+                        );
+                    }
+                    Some(_) => break,
+                }
             }
-            Some(_) => break,
-        }
-    }
 
-    // Invariant: demand(lo) > budget ≥ demand(hi).
-    for _ in 0..MAX_ITERS {
-        let mid = 0.5 * (lo + hi);
-        if mid <= lo || mid >= hi {
-            break; // bracket collapsed to adjacent floats
+            // Invariant: demand(lo) > budget ≥ demand(hi).
+            for _ in 0..MAX_ITERS {
+                let mid = 0.5 * (lo + hi);
+                if mid <= lo || mid >= hi {
+                    break; // bracket collapsed to adjacent floats
+                }
+                check()?;
+                sweeps += 1;
+                match strategy.demands_into(&table, utils, mid, &mut probe) {
+                    None => return Err(interrupted(check)),
+                    Some(d) if d > budget => lo = mid,
+                    Some(_) => hi = mid,
+                }
+            }
+            (lo, hi)
         }
-        check()?;
-        match demand(mid) {
-            None => return Err(interrupted(check)),
-            Some(d) if d > budget => lo = mid,
-            Some(_) => hi = mid,
-        }
-    }
+    };
 
     // Base allocation at the high price (fits in the budget), then spread
     // the leftover over threads whose demand is elastic across the bracket
     // — the marginal threads sitting exactly at the price.
     check()?;
-    let mut amounts: Vec<f64> = match strategy.demands(utils, hi) {
-        Some(v) => v,
+    let spent = match strategy.demands_into(&table, utils, hi, &mut probe) {
+        Some(s) => s,
         None => return Err(interrupted(check)),
     };
-    let spent: f64 = amounts.iter().sum();
-    let mut leftover = budget - spent;
+    sweeps += 1;
+    let mut amounts: Vec<f64> = probe.clone();
+    let leftover = budget - spent;
     if leftover > 0.0 {
-        let lo_amounts: Vec<f64> = match strategy.demands(utils, lo) {
-            Some(v) => v,
+        match strategy.demands_into(&table, utils, lo, &mut probe) {
+            Some(_) => {}
             None => return Err(interrupted(check)),
-        };
-        let slack: Vec<f64> = lo_amounts
-            .iter()
-            .zip(&amounts)
-            .map(|(&a, &b)| (a - b).max(0.0))
-            .collect();
-        let total_slack: f64 = slack.iter().sum();
-        if total_slack > 0.0 {
-            // Proportional fill: all slack sits at (numerically) the same
-            // marginal value, so any split is optimal; proportional keeps
-            // the result deterministic.
-            let frac = (leftover / total_slack).min(1.0);
-            for (amt, s) in amounts.iter_mut().zip(&slack) {
-                *amt += frac * s;
-            }
-            leftover -= frac * total_slack;
         }
-        // Numerical crumbs (or zero-slack corner): pour into any thread
-        // with remaining cap; utilities are nondecreasing so this never
-        // hurts. Ensures Lemma V.3 (full budget use) exactly.
-        if leftover > 0.0 {
-            for (amt, &cap) in amounts.iter_mut().zip(&caps) {
-                let room = cap - *amt;
-                if room > 0.0 {
-                    let add = room.min(leftover);
-                    *amt += add;
-                    leftover -= add;
-                    if leftover <= 0.0 {
-                        break;
-                    }
-                }
-            }
-        }
+        sweeps += 1;
+        spread_leftover(&mut amounts, &probe, &caps, leftover);
+    }
+
+    // Per-sweep accounting: one increment per whole-slice demand map,
+    // matching the warm wrappers' granularity.
+    if aa_obs::record_enabled() {
+        obs_counters().2.add(u64::from(sweeps));
     }
 
     let utility = match strategy.total_utility(utils, &amounts) {
@@ -352,7 +504,51 @@ fn expect_complete(result: Result<Allocation, Interrupted>) -> Allocation {
 /// assert!((alloc.amounts[1] - 4.0).abs() < 1e-6);
 /// ```
 pub fn allocate<U: Utility>(utils: &[U], budget: f64) -> Allocation {
-    expect_complete(allocate_impl(utils, budget, &Seq, &mut || Ok(())))
+    expect_complete(allocate_impl(utils, budget, &Seq, true, &mut || Ok(())))
+}
+
+/// [`allocate`] with the all-discrete ladder fast path disabled: always
+/// runs the generic bracket-growth + 128-halving search. **Bit-identical**
+/// to [`allocate`] on every input (the ladder only ever lands on the
+/// bracket the generic search would collapse to); exists as the reference
+/// arm for differential tests and benchmarks of the discrete path.
+pub fn allocate_generic<U: Utility>(utils: &[U], budget: f64) -> Allocation {
+    expect_complete(allocate_impl(utils, budget, &Seq, false, &mut || Ok(())))
+}
+
+/// Diagnostic: the adjacent-float bracket the all-discrete ladder fast
+/// path would hand the epilogue for this instance, or `None` when the
+/// ladder disengages (mixed/non-staircase utilities, saturating budget,
+/// no positive knot over budget, or an unprovable collapse). `Some` means
+/// [`allocate`] answered — or would answer — this instance with
+/// `O(log k)` demand sweeps instead of ~130.
+pub fn discrete_ladder_bracket<U: Utility>(utils: &[U], budget: f64) -> Option<(f64, f64)> {
+    if !(budget >= 0.0 && budget.is_finite()) {
+        return None;
+    }
+    let mut table = DemandTable::new();
+    table.compile(utils);
+    if !table.all_discrete() {
+        return None;
+    }
+    let total_cap: f64 = utils.iter().map(|f| f.cap()).sum();
+    if budget >= total_cap {
+        return None; // saturation answers before any bracket search
+    }
+    let mut probe = Vec::with_capacity(utils.len());
+    let mut sweeps = 0_u32;
+    match discrete_flip::<U, Seq, Interrupted>(
+        &table,
+        utils,
+        budget,
+        &Seq,
+        &mut probe,
+        &mut sweeps,
+        &mut || Ok(()),
+    ) {
+        Ok(b) => b,
+        Err(Interrupted) => unreachable!("infallible check cannot interrupt"),
+    }
 }
 
 /// [`allocate`] with a cooperative interruption check, the building
@@ -371,7 +567,7 @@ where
     U: Utility,
     E: From<Interrupted>,
 {
-    allocate_impl(utils, budget, &Seq, check)
+    allocate_impl(utils, budget, &Seq, true, check)
 }
 
 /// [`allocate`] with the per-λ demand evaluation fanned out over the
@@ -389,7 +585,7 @@ pub fn allocate_par<U: Utility + Sync>(utils: &[U], budget: f64) -> Allocation {
     if utils.len() < PAR_THRESHOLD {
         return allocate(utils, budget);
     }
-    expect_complete(allocate_impl(utils, budget, &Par, &mut || Ok(())))
+    expect_complete(allocate_impl(utils, budget, &Par, true, &mut || Ok(())))
 }
 
 /// [`allocate_par`] with a cooperative interruption check *and* a
@@ -413,7 +609,7 @@ where
     if utils.len() < PAR_THRESHOLD {
         return allocate_interruptible(utils, budget, check);
     }
-    allocate_impl(utils, budget, &ParCancel(token), check)
+    allocate_impl(utils, budget, &ParCancel(token), true, check)
 }
 
 // ---- warm-started allocation ----
@@ -506,6 +702,10 @@ pub struct WarmCache {
     d_lo: Vec<f64>,
     d_hi: Vec<f64>,
     d_probe: Vec<f64>,
+    /// The compiled demand kernel, recompiled per call (utilities drift
+    /// between epochs); its buffers retain capacity, so steady-state
+    /// recompiles allocate nothing.
+    table: DemandTable,
     stats: WarmStats,
 }
 
@@ -534,14 +734,21 @@ impl WarmCache {
     }
 }
 
-/// Sequential demand map into a reused buffer; returns the index-order
-/// sum — the same additions, in the same order, as the cold path's
-/// `demands(λ).iter().sum()`.
-fn demands_into<U: Utility>(utils: &[U], lambda: f64, out: &mut Vec<f64>) -> f64 {
+/// Sequential demand sweep through the compiled kernel into a reused
+/// buffer; returns the index-order sum — the same additions, in the same
+/// order, as every other strategy. The table's bit-identity contract
+/// makes each element equal `utils[i].inverse_derivative(lambda)`
+/// exactly.
+fn table_demands_into<U: Utility>(
+    table: &DemandTable,
+    utils: &[U],
+    lambda: f64,
+    out: &mut Vec<f64>,
+) -> f64 {
     out.clear();
     let mut sum = 0.0;
-    for f in utils {
-        let d = f.inverse_derivative(lambda);
+    for i in 0..utils.len() {
+        let d = table.eval(utils, i, lambda);
         out.push(d);
         sum += d;
     }
@@ -583,7 +790,9 @@ fn spread_leftover(amounts: &mut [f64], lo_amounts: &[f64], caps: &[f64], mut le
 
 /// The cold search transcribed into the cache's buffers: identical
 /// bracket growth, identical halving, identical epilogue — only the
-/// allocations are gone. Records the final bracket (and whether it
+/// allocations are gone. All-discrete instances first try the ladder
+/// flip ([`discrete_flip`]), which lands on the same collapsed bracket
+/// in `O(log k)` sweeps. Records the final bracket (and whether it
 /// collapsed) so the *next* call can go warm.
 fn cold_replay<U, E>(
     utils: &[U],
@@ -597,52 +806,72 @@ where
     E: From<Interrupted>,
 {
     cache.stats.mode = WarmMode::Cold;
-    let mut lo = 0.0_f64;
-    let mut hi = 1.0_f64;
-    let mut grow = 0;
-    loop {
-        check()?;
-        let d = demands_into(utils, hi, &mut cache.d_probe);
-        cache.stats.demand_maps += 1;
-        if d > budget {
-            lo = hi;
-            hi *= 2.0;
-            grow += 1;
-            assert!(
-                grow < 1100,
-                "could not bracket the marginal price; utility derivatives do not decay"
-            );
-        } else {
-            break;
-        }
-    }
+    let ladder_bracket = if cache.table.all_discrete() {
+        discrete_flip(
+            &cache.table,
+            utils,
+            budget,
+            &Seq,
+            &mut cache.d_probe,
+            &mut cache.stats.demand_maps,
+            check,
+        )?
+    } else {
+        None
+    };
 
-    for _ in 0..MAX_ITERS {
-        let mid = 0.5 * (lo + hi);
-        if mid <= lo || mid >= hi {
-            break;
+    let (lo, hi, collapsed) = match ladder_bracket {
+        // The ladder bracket IS the generic search's collapsed pair.
+        Some((lo, hi)) => (lo, hi, true),
+        None => {
+            let mut lo = 0.0_f64;
+            let mut hi = 1.0_f64;
+            let mut grow = 0;
+            loop {
+                check()?;
+                let d = table_demands_into(&cache.table, utils, hi, &mut cache.d_probe);
+                cache.stats.demand_maps += 1;
+                if d > budget {
+                    lo = hi;
+                    hi *= 2.0;
+                    grow += 1;
+                    assert!(
+                        grow < 1100,
+                        "could not bracket the marginal price; utility derivatives do not decay"
+                    );
+                } else {
+                    break;
+                }
+            }
+
+            for _ in 0..MAX_ITERS {
+                let mid = 0.5 * (lo + hi);
+                if mid <= lo || mid >= hi {
+                    break;
+                }
+                check()?;
+                let d = table_demands_into(&cache.table, utils, mid, &mut cache.d_probe);
+                cache.stats.demand_maps += 1;
+                cache.stats.iterations += 1;
+                if d > budget {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let mid = 0.5 * (lo + hi);
+            (lo, hi, mid <= lo || mid >= hi)
         }
-        check()?;
-        let d = demands_into(utils, mid, &mut cache.d_probe);
-        cache.stats.demand_maps += 1;
-        cache.stats.iterations += 1;
-        if d > budget {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    let mid = 0.5 * (lo + hi);
-    let collapsed = mid <= lo || mid >= hi;
+    };
 
     check()?;
-    let spent = demands_into(utils, hi, &mut cache.d_hi);
+    let spent = table_demands_into(&cache.table, utils, hi, &mut cache.d_hi);
     cache.stats.demand_maps += 1;
     amounts.clear();
     amounts.extend_from_slice(&cache.d_hi);
     let leftover = budget - spent;
     if leftover > 0.0 {
-        let _ = demands_into(utils, lo, &mut cache.d_lo);
+        let _ = table_demands_into(&cache.table, utils, lo, &mut cache.d_lo);
         cache.stats.demand_maps += 1;
         spread_leftover(amounts, &cache.d_lo, &cache.caps, leftover);
     }
@@ -697,6 +926,11 @@ where
         return Ok(cache.stats);
     }
 
+    // Recompile the demand table for this instance. The pools retain
+    // their capacity across calls, so steady-state recompiles are
+    // allocation-free scans over the utility slice.
+    cache.table.compile(utils);
+
     if !(cache.valid && cache.collapsed && cache.lo >= WARM_MIN_PRICE) {
         cold_replay(utils, budget, cache, amounts, check)?;
         return Ok(cache.stats);
@@ -706,8 +940,8 @@ where
     // instance: two demand maps decide everything.
     let (prev_lo, prev_hi) = (cache.lo, cache.hi);
     check()?;
-    let mut s_hi = demands_into(utils, prev_hi, &mut cache.d_hi);
-    let mut s_lo = demands_into(utils, prev_lo, &mut cache.d_lo);
+    let mut s_hi = table_demands_into(&cache.table, utils, prev_hi, &mut cache.d_hi);
+    let mut s_lo = table_demands_into(&cache.table, utils, prev_lo, &mut cache.d_lo);
     cache.stats.demand_maps += 2;
     let mut lo = prev_lo;
     let mut hi = prev_hi;
@@ -735,7 +969,7 @@ where
                     cand = lo + step;
                 }
                 check()?;
-                let s = demands_into(utils, cand, &mut cache.d_probe);
+                let s = table_demands_into(&cache.table, utils, cand, &mut cache.d_probe);
                 cache.stats.demand_maps += 1;
                 if s > budget {
                     lo = cand;
@@ -775,7 +1009,7 @@ where
                     return Ok(cache.stats);
                 }
                 check()?;
-                let s = demands_into(utils, cand, &mut cache.d_probe);
+                let s = table_demands_into(&cache.table, utils, cand, &mut cache.d_probe);
                 cache.stats.demand_maps += 1;
                 if s > budget {
                     lo = cand;
@@ -821,7 +1055,7 @@ where
             if !(probe > lo && probe < hi) {
                 probe = mid;
             }
-            let s = demands_into(utils, probe, &mut cache.d_probe);
+            let s = table_demands_into(&cache.table, utils, probe, &mut cache.d_probe);
             cache.stats.demand_maps += 1;
             iters += 1;
             if s > budget {

@@ -37,7 +37,9 @@ pub mod segment;
 
 use aa_utility::Utility;
 
-pub use bisection::{Interrupted, WarmCache, WarmMode, WarmStats};
+pub use bisection::{
+    discrete_ladder_bracket, Interrupted, WarmCache, WarmMode, WarmStats,
+};
 
 /// Result of a single-pool allocation.
 #[derive(Debug, Clone, PartialEq)]

@@ -438,7 +438,12 @@ pub fn churn_document(
 /// Version 3 added the per-stage time breakdowns (`superopt_micros`,
 /// `linearize_micros`, `assign_micros`) measured through the `aa-obs`
 /// span pipeline.
-pub const BENCH_VERSION: u32 = 3;
+/// Version 4 added the batched-kernel instrumentation: per-entry
+/// `kernel_sweep_micros`/`dispatch_sweep_micros` (one struct-of-arrays
+/// demand sweep vs one per-element virtual-dispatch sweep) and the
+/// `discrete_path` entries timing the all-discrete integer ladder
+/// against the generic bisection on constructed staircase instances.
+pub const BENCH_VERSION: u32 = 4;
 
 /// Which benchmark suites `aa-solve bench` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -508,6 +513,33 @@ pub struct BenchEntry {
     pub linearize_micros: u64,
     /// Wall time inside the assignment stage, microseconds.
     pub assign_micros: u64,
+    /// Minimum wall time of one batched struct-of-arrays demand sweep
+    /// over this instance's capped views, microseconds (schema v4).
+    pub kernel_sweep_micros: f64,
+    /// Minimum wall time of the same sweep through per-element virtual
+    /// `inverse_derivative` dispatch, microseconds.
+    pub dispatch_sweep_micros: f64,
+}
+
+/// One all-discrete fast-path measurement (schema v4): a constructed
+/// staircase instance solved through the default entry point (integer
+/// ladder engaged) and through the generic-bisection reference arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscretePathEntry {
+    /// Entry label (`staircase-small`/`staircase-large`).
+    pub name: String,
+    /// Threads `n` in the constructed instance.
+    pub threads: usize,
+    /// Minimum wall time of the ladder-enabled allocation, microseconds.
+    pub ladder_micros: f64,
+    /// Minimum wall time of the generic reference arm, microseconds.
+    pub generic_micros: f64,
+    /// Whether the integer ladder actually engaged on this instance
+    /// (it must: the instance is constructed all-staircase).
+    pub ladder_engaged: bool,
+    /// Whether both arms produced bit-identical allocations (the
+    /// ladder's correctness contract; always `true`).
+    pub identical: bool,
 }
 
 /// One cold-vs-warm drift run: a seeded instance mutated by a small
@@ -567,6 +599,9 @@ pub struct BenchReport {
     pub entries: Vec<BenchEntry>,
     /// One entry per drift run; empty in [`BenchMode::Matrix`] runs.
     pub incremental: Vec<IncrementalEntry>,
+    /// All-discrete ladder measurements, one per matrix size; empty in
+    /// [`BenchMode::Incremental`] runs (schema v4).
+    pub discrete_path: Vec<DiscretePathEntry>,
 }
 
 /// The four paper workload distributions, in reporting order.
@@ -631,6 +666,96 @@ fn stage_breakdown(problem: &Problem) -> (u64, u64, u64) {
         }
     }
     sums
+}
+
+/// Time one whole-slice demand sweep two ways — through the batched
+/// struct-of-arrays kernel and through per-element virtual
+/// `inverse_derivative` dispatch — over a spread of probe prices.
+/// Returns the minimum per-sweep wall time of each path in microseconds.
+/// The two paths are bit-identical by contract (the allocator's
+/// differential tests enforce it); this only measures the gap the
+/// kernel closes.
+fn kernel_vs_dispatch(problem: &Problem, reps: usize) -> (f64, f64) {
+    use aa_utility::{DemandTable, Utility};
+    let utils = problem.capped_threads();
+    let mut table = DemandTable::new();
+    table.compile(&utils);
+    let lambdas: [f64; 6] = [1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0];
+    let mut out = vec![0.0; utils.len()];
+    let mut best_kernel = f64::INFINITY;
+    let mut best_dispatch = f64::INFINITY;
+    let mut sink = 0.0_f64;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        for &l in &lambdas {
+            table.batch_inverse_derivative(&utils, l, &mut out);
+            sink += out[0];
+        }
+        best_kernel = best_kernel.min(t0.elapsed().as_secs_f64() * 1e6 / lambdas.len() as f64);
+        let t1 = std::time::Instant::now();
+        for &l in &lambdas {
+            for (slot, u) in out.iter_mut().zip(&utils) {
+                *slot = u.inverse_derivative(l);
+            }
+            sink += out[0];
+        }
+        best_dispatch =
+            best_dispatch.min(t1.elapsed().as_secs_f64() * 1e6 / lambdas.len() as f64);
+    }
+    std::hint::black_box(sink);
+    (best_kernel, best_dispatch)
+}
+
+/// Measure the all-discrete integer ladder against the generic
+/// bisection on a constructed staircase instance of `n` capped-linear
+/// threads (random slopes and knees from `entry_seed`), at a budget
+/// chosen below the total knee mass so the marginal price sits on the
+/// ladder and the fast path provably engages.
+fn discrete_path_entry(name: &str, n: usize, reps: usize, entry_seed: u64) -> DiscretePathEntry {
+    use aa_allocator::bisection::{allocate, allocate_generic, discrete_ladder_bracket};
+    use rand::Rng;
+
+    let mut rng = StdRng::seed_from_u64(entry_seed);
+    let utils: Vec<aa_utility::CappedLinear> = (0..n)
+        .map(|_| {
+            let slope = rng.gen_range(0.1..10.0);
+            let knee = rng.gen_range(1.0..50.0);
+            aa_utility::CappedLinear::new(slope, knee, knee + rng.gen_range(0.0..10.0))
+        })
+        .collect();
+    let total_knee: f64 = utils.iter().map(|u| u.knee()).sum();
+    let budget = 0.4 * total_knee;
+
+    let ladder_engaged = discrete_ladder_bracket(&utils, budget).is_some();
+    let mut ladder_micros = f64::INFINITY;
+    let mut generic_micros = f64::INFINITY;
+    let mut fast = None;
+    let mut generic = None;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        fast = Some(allocate(&utils, budget));
+        ladder_micros = ladder_micros.min(t0.elapsed().as_secs_f64() * 1e6);
+        let t1 = std::time::Instant::now();
+        generic = Some(allocate_generic(&utils, budget));
+        generic_micros = generic_micros.min(t1.elapsed().as_secs_f64() * 1e6);
+    }
+    let (fast, generic) = (fast.expect("reps ≥ 1"), generic.expect("reps ≥ 1"));
+    let identical = fast.amounts.len() == generic.amounts.len()
+        && fast
+            .amounts
+            .iter()
+            .zip(&generic.amounts)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && fast.utility.to_bits() == generic.utility.to_bits();
+
+    DiscretePathEntry {
+        name: name.to_string(),
+        threads: n,
+        ladder_micros,
+        generic_micros,
+        ladder_engaged,
+        identical,
+    }
 }
 
 fn time_best<F: FnMut() -> aa_core::Assignment>(reps: usize, mut f: F) -> (f64, aa_core::Assignment) {
@@ -781,6 +906,8 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
             let par_utility = par.total_utility(&problem);
             let so_bound = superopt::super_optimal(&problem).utility;
             let (superopt_micros, linearize_micros, assign_micros) = stage_breakdown(&problem);
+            let (kernel_sweep_micros, dispatch_sweep_micros) =
+                kernel_vs_dispatch(&problem, opts.reps);
             entries.push(BenchEntry {
                 dist: dist_name.to_string(),
                 size: size.to_string(),
@@ -798,7 +925,25 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
                 superopt_micros,
                 linearize_micros,
                 assign_micros,
+                kernel_sweep_micros,
+                dispatch_sweep_micros,
             });
+        }
+    }
+    let mut discrete_path = Vec::new();
+    if run_matrix {
+        // Seeds decoupled from both other blocks (same convention as the
+        // drift suite) so adding cells never reshuffles instances.
+        let mut ladder_index = 2000_usize;
+        for (size, servers, beta) in bench_sizes(opts.small) {
+            let entry_seed = batch_seed(opts.seed, ladder_index);
+            ladder_index += 1;
+            discrete_path.push(discrete_path_entry(
+                &format!("staircase-{size}"),
+                servers * beta,
+                opts.reps,
+                entry_seed,
+            ));
         }
     }
     let mut incremental = Vec::new();
@@ -825,6 +970,7 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
         seed: opts.seed,
         entries,
         incremental,
+        discrete_path,
     })
 }
 

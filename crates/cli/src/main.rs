@@ -329,6 +329,14 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
             e.superopt_micros, e.linearize_micros, e.assign_micros
         );
     }
+    for e in &report.discrete_path {
+        aa_obs::obs_info!(
+            "bench",
+            "  {:<16} n={:<6} ladder={:>9.1}µs generic={:>9.1}µs engaged={} identical={}",
+            e.name, e.threads, e.ladder_micros, e.generic_micros,
+            e.ladder_engaged, e.identical
+        );
+    }
     for e in &report.incremental {
         aa_obs::obs_info!(
             "bench",
@@ -355,6 +363,11 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
     if report.incremental.iter().any(|e| !e.identical) {
         return Err(Failure::App(CliError::Churn(
             "determinism violation: a warm incremental solve diverged from cold".into(),
+        )));
+    }
+    if report.discrete_path.iter().any(|e| !e.identical || !e.ladder_engaged) {
+        return Err(Failure::App(CliError::Churn(
+            "discrete fast path violation: ladder disengaged or diverged from generic".into(),
         )));
     }
     Ok(())

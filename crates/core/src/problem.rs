@@ -188,6 +188,11 @@ impl Utility for CappedView {
     fn inverse_derivative(&self, lambda: f64) -> f64 {
         self.inner.inverse_derivative(lambda).min(self.cap)
     }
+    fn describe_demand(&self, sink: &mut aa_utility::DemandSink<'_>) {
+        // Same `min(·, C)` post-step the dispatch path applies above.
+        self.inner.describe_demand(sink);
+        sink.post_min(self.cap);
+    }
 }
 
 /// Error from [`Assignment::validate`].

@@ -8,19 +8,21 @@
 //! collector, at 1, 2, and 8 pool threads, and the results must be
 //! **exactly equal** (`assert_eq!`, not within-tolerance).
 //!
-//! This file deliberately contains a single `proptest!` block driven
-//! from one `#[test]`-like property set: the collector is
-//! process-global, so sibling tests toggling it concurrently would
-//! race. Everything runs through one enable/disable discipline — the
-//! oracle solves happen before the collector flips on, the observed
-//! solves after.
+//! The collector is process-global, so sibling tests toggling it
+//! concurrently would race; every test in this binary serializes on
+//! [`OBS_LOCK`] and runs one enable/disable discipline — the oracle
+//! solves happen before the collector flips on, the observed solves
+//! after.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use aa_core::incremental::WarmState;
 use aa_core::{algo2, Problem};
 use aa_utility::{CappedLinear, DynUtility, LogUtility, Power};
 use proptest::prelude::*;
+
+/// Serializes collector enable/disable across the tests in this binary.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// Thread counts matching the main differential suite: inline path,
 /// minimal fan-out, oversubscribed.
@@ -49,6 +51,7 @@ proptest! {
 
     #[test]
     fn recording_is_bit_invisible_to_every_solve_path(p in any_problem()) {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let collector = aa_obs::Collector::install();
 
         // Oracle pass: recording off.
@@ -84,4 +87,60 @@ proptest! {
             seq_on.total_utility(&p).to_bits()
         );
     }
+}
+
+/// Pin the `aa_bisection_demand_maps_total` granularity: one increment
+/// per whole-slice demand **sweep**, not per element. (Until bench
+/// schema v4 the cold path counted nothing and the warm wrappers counted
+/// per sweep; the batched-kernel rework made per-sweep the uniform
+/// semantics everywhere.) The counts below are exact consequences of the
+/// search structure, so any drift back to per-element — or a kernel path
+/// that forgets to count — moves them by an order of magnitude.
+#[test]
+fn demand_maps_counter_is_per_sweep() {
+    use aa_allocator::bisection::{allocate, allocate_generic};
+    use aa_utility::Utility;
+
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let collector = aa_obs::Collector::install();
+    collector.set_enabled(true);
+    let counter = aa_obs::global().counter("aa_bisection_demand_maps_total");
+
+    // All-discrete instance, single ladder knot: the flip needs exactly
+    // 4 sweeps — D(knot), the verification at nextafter(knot), and the
+    // two epilogue maps. Per-element accounting would report 8 (n = 2).
+    let stair = vec![
+        CappedLinear::new(1.0, 0.3, 10.0),
+        CappedLinear::new(1.0, 0.3, 10.0),
+    ];
+    let before = counter.get();
+    let _ = allocate(&stair, 0.25);
+    assert_eq!(counter.get() - before, 4, "ladder path sweep count");
+
+    // The generic reference arm on the same instance runs the full
+    // bracket-growth + halving search: 2 growth sweeps, 52 halvings to
+    // collapse the width-1 bracket onto the knot at 1.0, 2 epilogue
+    // maps — an order of magnitude above the ladder's 4.
+    let before = counter.get();
+    let _ = allocate_generic(&stair, 0.25);
+    assert_eq!(counter.get() - before, 56, "generic arm sweep count");
+
+    // Smooth instance through the batched kernel: per-sweep magnitude
+    // (≲ growth + 128 halvings + 2), far below per-element n × sweeps,
+    // and exactly deterministic across identical solves.
+    let smooth: Vec<Power> = (0..64).map(|_| Power::new(1.0, 0.5, 100.0)).collect();
+    let budget = 0.5 * smooth.iter().map(|u| u.cap()).sum::<f64>();
+    let before = counter.get();
+    let _ = allocate(&smooth, budget);
+    let first = counter.get() - before;
+    let before = counter.get();
+    let _ = allocate(&smooth, budget);
+    let second = counter.get() - before;
+    assert_eq!(first, second, "sweep count must be deterministic");
+    assert!(
+        (50..1000).contains(&first),
+        "per-sweep magnitude expected, got {first} (per-element would be ≈64×)"
+    );
+
+    collector.set_enabled(false);
 }

@@ -81,6 +81,11 @@ impl Utility for CappedLinear {
     fn max_value(&self) -> f64 {
         self.slope * self.knee
     }
+
+    // Demand is a two-step staircase: knee for 0 < λ ≤ slope, cap at λ ≤ 0.
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        sink.staircase(&[self.slope, 0.0], &[0.0, self.knee, self.cap]);
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,16 @@ impl<U: Utility> Utility for Scaled<U> {
         }
         self.inner.inverse_derivative(lambda / self.weight)
     }
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        if self.weight == 0.0 {
+            sink.staircase(&[0.0], &[0.0, self.inner.cap()]);
+        } else {
+            // Registering the divisor first means the table computes
+            // inner(λ / w) with exactly the division dispatch performs.
+            sink.pre_scale(self.weight);
+            self.inner.describe_demand(sink);
+        }
+    }
 }
 
 /// `f(x) + c` for `c ≥ 0`: a guaranteed baseline benefit.
@@ -88,6 +98,10 @@ impl<U: Utility> Utility for Offset<U> {
     }
     fn inverse_derivative(&self, lambda: f64) -> f64 {
         self.inner.inverse_derivative(lambda)
+    }
+    // A constant offset leaves the demand map untouched.
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        self.inner.describe_demand(sink)
     }
 }
 

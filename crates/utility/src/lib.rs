@@ -15,6 +15,10 @@
 //!   [`CappedLinear`], [`Linearized`] (the paper's Equation 1 two-segment
 //!   function), and the monotone-cubic [`Pchip`] interpolant the workload
 //!   generator uses in place of Matlab's `pchip`;
+//! * the batched struct-of-arrays demand kernel ([`DemandTable`] /
+//!   [`DemandSink`]) that compiles a utility slice into flat parameter
+//!   arrays so the allocator's λ-bisection sweeps demand-at-price in one
+//!   cache-friendly pass, bit-identical to per-element dispatch;
 //! * shape validators ([`check`]) and the upper concave envelope
 //!   ([`concave_envelope`]) used to concavify measured curves (e.g. cache
 //!   miss-ratio curves from `aa-sim`);
@@ -27,6 +31,7 @@
 pub mod capped;
 pub mod check;
 pub mod combinators;
+pub mod demand;
 pub mod envelope;
 pub mod linearized;
 pub mod log;
@@ -39,6 +44,7 @@ pub mod traits;
 
 pub use capped::CappedLinear;
 pub use combinators::{Ceiling, Offset, Scaled, Sum};
+pub use demand::{DemandSink, DemandTable};
 pub use envelope::concave_envelope;
 pub use linearized::Linearized;
 pub use log::LogUtility;

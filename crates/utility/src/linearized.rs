@@ -126,6 +126,16 @@ impl Utility for Linearized {
     fn max_value(&self) -> f64 {
         self.value(self.cap)
     }
+
+    // Same two-step staircase as CappedLinear, with the boundary price
+    // computed exactly the way `inverse_derivative` compares it (v̂/ĉ).
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        if self.c_hat > 0.0 {
+            sink.staircase(&[self.v_hat / self.c_hat, 0.0], &[0.0, self.c_hat, self.cap]);
+        } else {
+            sink.staircase(&[0.0], &[0.0, self.cap]);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -61,16 +61,14 @@ impl Utility for LogUtility {
         self.cap
     }
 
+    // ab/(1+bx) = λ  ⇒  x = (ab/λ − 1)/b; the scalar body lives in the
+    // demand kernel so the SoA sweep is identical by construction.
     fn inverse_derivative(&self, lambda: f64) -> f64 {
-        if lambda <= 0.0 {
-            return self.cap;
-        }
-        // ab/(1+bx) = λ  ⇒  x = (ab/λ − 1)/b.
-        if self.rate == 0.0 || self.scale == 0.0 {
-            return 0.0;
-        }
-        let x = (self.scale * self.rate / lambda - 1.0) / self.rate;
-        clamp_domain(x, self.cap)
+        crate::demand::log_demand(lambda, self.scale, self.rate, self.cap)
+    }
+
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        sink.log(self.scale, self.rate, self.cap);
     }
 }
 

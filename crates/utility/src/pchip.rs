@@ -192,6 +192,18 @@ impl Utility for Pchip {
         // at the right endpoint.
         *self.ys.last().expect("validated: at least 2 points")
     }
+
+    // The derivative of a cubic segment is a quadratic in the local
+    // coordinate, so the demand query inverts it in closed form instead of
+    // bisecting `derivative` ~40 times. The scalar body lives in the demand
+    // kernel so the SoA sweep is identical by construction.
+    fn inverse_derivative(&self, lambda: f64) -> f64 {
+        crate::demand::pchip_inverse_derivative(lambda, &self.xs, &self.ys, &self.ds)
+    }
+
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        sink.pchip(&self.xs, &self.ys, &self.ds);
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +308,38 @@ mod tests {
             Pchip::new(&[(0.0, 0.0), (f64::NAN, 1.0)]).unwrap_err(),
             PchipError::NonFinite
         );
+    }
+
+    #[test]
+    fn inverse_derivative_agrees_with_default_bisection() {
+        // The closed-form quadratic inversion must match what the trait's
+        // generic derivative-bisection would compute.
+        #[derive(Debug)]
+        struct Generic(Pchip);
+        impl Utility for Generic {
+            fn value(&self, x: f64) -> f64 {
+                self.0.value(x)
+            }
+            fn derivative(&self, x: f64) -> f64 {
+                self.0.derivative(x)
+            }
+            fn cap(&self) -> f64 {
+                self.0.cap()
+            }
+            // no override: use default bisection
+        }
+        for (v, w) in [(5.0, 0.5), (4.0, 2.0), (3.0, 3.0)] {
+            let p = Pchip::new(&paper_points(1000.0, v, w)).unwrap();
+            let g = Generic(p.clone());
+            for lambda in [1e-4, 1e-3, 2e-3, 5e-3, 8e-3, 1.2e-2] {
+                let a = p.inverse_derivative(lambda);
+                let b = g.inverse_derivative(lambda);
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "(v={v}, w={w}) λ = {lambda}: closed {a} vs bisected {b}"
+                );
+            }
+        }
     }
 
     #[test]

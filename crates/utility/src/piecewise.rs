@@ -165,6 +165,12 @@ impl Utility for PiecewiseLinear {
     fn max_value(&self) -> f64 {
         *self.ys.last().expect("validated: at least 2 points")
     }
+
+    // The demand staircase is exactly (slopes, xs): demand at price λ is
+    // the breakpoint after the last segment whose slope stays ≥ λ.
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        sink.staircase(&self.slopes, &self.xs);
+    }
 }
 
 #[cfg(test)]

@@ -70,22 +70,14 @@ impl Utility for Power {
         self.cap
     }
 
+    // aβ·x^(β−1) = λ  ⇒  x = (aβ/λ)^(1/(1−β)); the scalar body lives in
+    // the demand kernel so the SoA sweep is identical by construction.
     fn inverse_derivative(&self, lambda: f64) -> f64 {
-        if lambda <= 0.0 {
-            // Derivative is nonnegative everywhere, so all of [0, cap]
-            // satisfies f'(x) ≥ λ.
-            return self.cap;
-        }
-        if self.beta == 1.0 {
-            // Linear case: demand is all-or-nothing at price = slope.
-            return if lambda <= self.scale { self.cap } else { 0.0 };
-        }
-        if self.scale == 0.0 {
-            return 0.0;
-        }
-        // aβ·x^(β−1) = λ  ⇒  x = (aβ/λ)^(1/(1−β)).
-        let x = (self.scale * self.beta / lambda).powf(1.0 / (1.0 - self.beta));
-        clamp_domain(x, self.cap)
+        crate::demand::power_demand(lambda, self.scale, self.beta, self.cap)
+    }
+
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        sink.power(self.scale, self.beta, self.cap);
     }
 }
 

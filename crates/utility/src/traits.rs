@@ -77,6 +77,22 @@ pub trait Utility: std::fmt::Debug + Send + Sync {
     fn max_value(&self) -> f64 {
         self.value(self.cap())
     }
+
+    /// Describe this utility's demand map to a
+    /// [`DemandTable`](crate::demand::DemandTable) compiler.
+    ///
+    /// The default declines ([`DemandSink::opaque`]), which keeps the
+    /// always-correct virtual-dispatch path. Implementations that
+    /// register a closed form MUST be bit-identical to their own
+    /// [`inverse_derivative`](Utility::inverse_derivative) at every λ —
+    /// the shared scalar bodies in [`crate::demand`] make that hold by
+    /// construction, and `crates/allocator/tests/kernel_differential.rs`
+    /// enforces it over random mixes.
+    ///
+    /// [`DemandSink::opaque`]: crate::demand::DemandSink::opaque
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        sink.opaque();
+    }
 }
 
 impl<U: Utility + ?Sized> Utility for Arc<U> {
@@ -94,6 +110,9 @@ impl<U: Utility + ?Sized> Utility for Arc<U> {
     }
     fn max_value(&self) -> f64 {
         (**self).max_value()
+    }
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        (**self).describe_demand(sink)
     }
 }
 
@@ -113,6 +132,9 @@ impl<U: Utility + ?Sized> Utility for Box<U> {
     fn max_value(&self) -> f64 {
         (**self).max_value()
     }
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        (**self).describe_demand(sink)
+    }
 }
 
 impl<U: Utility + ?Sized> Utility for &U {
@@ -130,6 +152,9 @@ impl<U: Utility + ?Sized> Utility for &U {
     }
     fn max_value(&self) -> f64 {
         (**self).max_value()
+    }
+    fn describe_demand(&self, sink: &mut crate::demand::DemandSink<'_>) {
+        (**self).describe_demand(sink)
     }
 }
 

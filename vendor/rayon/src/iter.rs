@@ -97,6 +97,27 @@ pub trait ParallelIterator: Sized + Sync {
     fn collect_cancellable(self, token: &CancelToken) -> Result<Vec<Self::Item>, Cancelled> {
         collect_vec_cancellable(self, Some(token))
     }
+
+    /// [`ParallelIterator::for_each`] that can be abandoned mid-flight
+    /// through `token`. An uncancelled token changes nothing — every
+    /// element is visited exactly once, same as `for_each`. On
+    /// cancellation some elements simply never run and `Err(Cancelled)`
+    /// is returned; side effects already performed are kept.
+    fn for_each_cancellable<F: Fn(Self::Item) + Sync>(
+        self,
+        token: &CancelToken,
+        f: F,
+    ) -> Result<(), Cancelled> {
+        let len = self.par_len();
+        // SAFETY: the executor claims each index at most once.
+        let completion =
+            for_each_index_cancellable(len, Some(token), |i| f(unsafe { self.par_get(i) }));
+        if completion == Completion::Cancelled {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
 }
 
 /// Error returned by [`ParallelIterator::collect_cancellable`] when its
@@ -517,6 +538,38 @@ mod tests {
             });
         });
         assert_eq!(hits.load(Ordering::Relaxed), 333);
+    }
+
+    #[test]
+    fn uncancelled_for_each_cancellable_visits_every_element() {
+        let hits = AtomicUsize::new(0);
+        let xs: Vec<u8> = vec![1; 257];
+        for threads in [1, 2, 4] {
+            hits.store(0, Ordering::Relaxed);
+            let token = CancelToken::new();
+            let r = with_threads(threads, || {
+                xs.par_iter().for_each_cancellable(&token, |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(r, Ok(()), "{threads} threads");
+            assert_eq!(hits.load(Ordering::Relaxed), 257, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cancelled_for_each_returns_err_and_stops_early() {
+        let token = CancelToken::new();
+        let visited = AtomicUsize::new(0);
+        let r = with_threads(4, || {
+            (0..100_000_usize).into_par_iter().for_each_cancellable(&token, |_| {
+                if visited.fetch_add(1, Ordering::Relaxed) == 5 {
+                    token.cancel();
+                }
+            })
+        });
+        assert_eq!(r, Err(Cancelled));
+        assert!(visited.load(Ordering::Relaxed) < 100_000);
     }
 
     #[test]
