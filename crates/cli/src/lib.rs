@@ -20,7 +20,10 @@
 //! functions) so it is unit-testable; `main.rs` is a thin argv wrapper.
 //! The deadline-aware request loop lives in [`serve`].
 
+pub mod fleet;
+pub mod proto;
 pub mod serve;
+pub mod worker;
 
 use aa_core::churn::ClusterEvent;
 use aa_core::solver::{
@@ -97,6 +100,11 @@ pub enum CliError {
     /// so orchestrators can tell "the observability endpoint is taken"
     /// (retry on another port) from a failed data read.
     MetricsBind(std::io::Error),
+    /// A fleet worker process could not be spawned at startup
+    /// (`--fleet`). Distinct from [`CliError::Io`] so orchestrators can
+    /// tell "the binary cannot re-exec itself" (bad PATH, exec
+    /// permissions, fork limits) from a failed data read.
+    WorkerSpawn(std::io::Error),
 }
 
 impl std::fmt::Display for CliError {
@@ -114,6 +122,7 @@ impl std::fmt::Display for CliError {
             CliError::Churn(msg) => write!(f, "churn run failed: {msg}"),
             CliError::Solve(e) => write!(f, "solve failed: {e}"),
             CliError::MetricsBind(e) => write!(f, "could not bind metrics endpoint: {e}"),
+            CliError::WorkerSpawn(e) => write!(f, "could not spawn fleet worker: {e}"),
         }
     }
 }
@@ -133,6 +142,7 @@ impl CliError {
     /// | 6 | i/o failure |
     /// | 7 | churn run failed |
     /// | 8 | metrics endpoint bind failed (`--metrics-addr` taken/invalid) |
+    /// | 9 | fleet worker spawn failed at startup (`--fleet`) |
     ///
     /// (0 is success; 1 is reserved for usage errors in the binary.)
     pub fn exit_code(&self) -> u8 {
@@ -144,6 +154,7 @@ impl CliError {
             CliError::Io(_) => 6,
             CliError::Churn(_) => 7,
             CliError::MetricsBind(_) => 8,
+            CliError::WorkerSpawn(_) => 9,
         }
     }
 }
@@ -934,10 +945,10 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
     if run_matrix {
         // Seeds decoupled from both other blocks (same convention as the
         // drift suite) so adding cells never reshuffles instances.
-        let mut ladder_index = 2000_usize;
-        for (size, servers, beta) in bench_sizes(opts.small) {
-            let entry_seed = batch_seed(opts.seed, ladder_index);
-            ladder_index += 1;
+        for (ladder_index, (size, servers, beta)) in
+            bench_sizes(opts.small).into_iter().enumerate()
+        {
+            let entry_seed = batch_seed(opts.seed, 2000 + ladder_index);
             discrete_path.push(discrete_path_entry(
                 &format!("staircase-{size}"),
                 servers * beta,

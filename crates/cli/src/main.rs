@@ -2,12 +2,14 @@
 
 use std::process::ExitCode;
 
+use aa_cli::fleet::{parse_ladder, run_fleet_chaos, run_fleet_serve, FleetOpts};
 use aa_cli::serve::{run_serve, ServeOpts};
+use aa_cli::worker::{run_worker, WorkerOpts};
 use aa_cli::{bench_document, churn_document, generate_document, solve_document, BenchMode,
              BenchOpts, ChurnOpts, CliError, GenerateOpts, SOLVER_NAMES};
 use aa_sim::controller::RepairPolicy;
-use aa_sim::ChaosConfig;
 use aa_sim::faults::FaultScriptConfig;
+use aa_sim::{ChaosConfig, FleetChaosConfig, ProcessFault};
 use aa_workloads::Distribution;
 
 const USAGE: &str = "\
@@ -24,12 +26,19 @@ usage:
   aa-solve bench [--small] [--mode matrix|incremental|full]
                  [--out BENCH_solver.json] [--seed S] [--reps R]
                  [--threads N] [--trace out.json] [--pretty]
-  aa-solve serve [--shards N] [--queue N] [--deadline-ms D] [--grace-ms G]
-                 [--breaker K] [--cooldown N] [--max-line-bytes B]
-                 [--counters PATH] [--metrics-addr HOST:PORT]
-                 [--metrics-dump PATH]
+  aa-solve serve [--shards N | --fleet N] [--queue N] [--deadline-ms D]
+                 [--grace-ms G] [--breaker K] [--cooldown N]
+                 [--max-line-bytes B] [--counters PATH]
+                 [--metrics-addr HOST:PORT] [--metrics-dump PATH]
+                 fleet only: [--heartbeat-ms H] [--heartbeat-miss K]
+                 [--max-retries R] [--max-restarts N] [--drain-timeout-ms D]
+                 [--max-streams N] [--ladder exact-bb,algo2-refined,algo2,uu]
+                 [--seed S] [--worker-cmd PATH]
   aa-solve chaos [--shards N] [--rounds N] [--kills N]
                  [--streams-per-shard N] [--seed S] [--out PATH] [--pretty]
+  aa-solve chaos --fleet [--workers N] [--streams-per-worker N] [--rounds N]
+                 [--kills N] [--stalls N] [--garbage N] [--stall-millis MS]
+                 [--seed S] [--out PATH] [--pretty]
   aa-solve solvers
 
 global flags (any command):
@@ -48,11 +57,31 @@ answered with a \"parse\" error. Counters are dumped to stderr (and
 --counters PATH as JSON) at EOF. --metrics-addr serves GET /metrics
 (Prometheus text) and /metrics.json while the loop runs; --metrics-dump
 writes the JSON snapshot at EOF.
+--fleet N replaces the in-process shards with N worker *processes*
+(this binary re-execed in a hidden serve-worker mode) supervised over
+stdin/stdout pipes: heartbeats every --heartbeat-ms (dead after
+--heartbeat-miss silent rounds), crashed workers restart with backoff
+(retired after --max-restarts) while their in-flight requests replay on
+survivors (up to --max-retries dispatches each, then a retryable
+\"internal\" error; answers are exactly-once throughout). A control
+line {\"control\":\"resize\",\"fleet\":N} resizes the fleet live —
+removed workers drain in-flight work before exiting, and their ring
+ranges hand off to the survivors. On stdin EOF the fleet drains for
+--drain-timeout-ms, then answers the remainder with retryable
+\"shutdown\" errors. ok responses gain \"worker\", \"attempts\", and
+\"solve_micros\" fields; bad control lines are answered with class
+\"control\". Fleet metrics appear as aa_fleet_* series (per-worker
+series labeled {worker=…}).
 chaos runs the seeded kill/stall/panic storm from aa-sim against a real
 shard pool (every shard killed --kills times) and prints the chaos
 report as JSON; it exits nonzero unless every robustness invariant held
 (no request lost or duplicated, every shard restarted, warm latency
-recovered).
+recovered). chaos --fleet runs the process-level storm instead: real
+worker processes take --kills SIGKILLs, --stalls heartbeat stalls of
+--stall-millis, and --garbage corrupt-frame injections at seeded
+per-worker solve counts; the gate additionally requires byte-exact
+rebalance back to ring owners and solve outputs bit-identical to a
+single-process reference. Same seed, same report, byte for byte.
 --trace records the solve pipeline's spans and writes a Chrome
 trace_event file (open at chrome://tracing or ui.perfetto.dev).
 
@@ -61,7 +90,7 @@ exit codes:
   1  usage error                  6  i/o failure
   2  malformed input (JSON, spec, 7  churn or chaos run failed
      problem validation)          8  metrics endpoint bind failed
-  3  unknown solver
+  3  unknown solver               9  fleet worker failed to spawn
   4  solve failed (too large, non-finite, infeasible)
 ";
 
@@ -125,6 +154,9 @@ fn run() -> Result<(), Failure> {
         "churn" => cmd_churn(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        // Hidden: the fleet front-end re-execs this binary as its
+        // worker processes. Not part of the public surface.
+        "serve-worker" => cmd_serve_worker(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
         "solvers" => {
             for name in SOLVER_NAMES {
@@ -374,6 +406,9 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), Failure> {
+    if flag_value(args, "--fleet")?.is_some() {
+        return cmd_fleet_serve(args);
+    }
     let defaults = ServeOpts::default();
     let opts = ServeOpts {
         queue: parsed_flag(args, "--queue", defaults.queue)?,
@@ -442,11 +477,120 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
     Ok(())
 }
 
+/// `serve --fleet N`: the multi-process front-end.
+fn cmd_fleet_serve(args: &[String]) -> Result<(), Failure> {
+    let defaults = FleetOpts::default();
+    let workers: usize = parsed_flag(args, "--fleet", defaults.workers)?;
+    if workers == 0 {
+        return Err(Failure::Usage("--fleet needs at least 1 worker".into()));
+    }
+    let ladder = match flag_value(args, "--ladder")? {
+        None => None,
+        Some(raw) => Some(parse_ladder(raw).map_err(|e| Failure::Usage(format!("bad --ladder: {e}")))?),
+    };
+    let opts = FleetOpts {
+        workers,
+        queue: parsed_flag(args, "--queue", defaults.queue)?,
+        default_deadline_ms: match flag_value(args, "--deadline-ms")? {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|e| Failure::Usage(format!("bad --deadline-ms: {e}")))?,
+            ),
+        },
+        grace_ms: parsed_flag(args, "--grace-ms", defaults.grace_ms)?,
+        max_line_bytes: parsed_flag(args, "--max-line-bytes", defaults.max_line_bytes)?,
+        heartbeat_ms: parsed_flag(args, "--heartbeat-ms", defaults.heartbeat_ms)?,
+        heartbeat_miss_limit: parsed_flag(args, "--heartbeat-miss", defaults.heartbeat_miss_limit)?,
+        max_retries: parsed_flag(args, "--max-retries", defaults.max_retries)?,
+        max_restarts: parsed_flag(args, "--max-restarts", defaults.max_restarts)?,
+        drain_timeout_ms: parsed_flag(args, "--drain-timeout-ms", defaults.drain_timeout_ms)?,
+        max_streams: parsed_flag(args, "--max-streams", defaults.max_streams)?,
+        breaker_threshold: parsed_flag(args, "--breaker", defaults.breaker_threshold)?,
+        breaker_cooldown: parsed_flag(args, "--cooldown", defaults.breaker_cooldown)?,
+        ladder,
+        seed: parsed_flag(args, "--seed", defaults.seed)?,
+        worker_cmd: flag_value(args, "--worker-cmd")?.map(std::path::PathBuf::from),
+        chaos: None,
+    };
+    let counters_path = flag_value(args, "--counters")?;
+    let metrics_dump = flag_value(args, "--metrics-dump")?;
+    let registry = aa_obs::global();
+    if let Some(addr) = flag_value(args, "--metrics-addr")? {
+        let local = aa_obs::export::spawn_metrics_server(addr, registry).map_err(|e| {
+            Failure::App(CliError::MetricsBind(std::io::Error::new(
+                e.kind(),
+                format!("{addr}: {e}"),
+            )))
+        })?;
+        aa_obs::obs_info!("serve", "metrics: http://{local}/metrics");
+    }
+
+    let counters = run_fleet_serve(std::io::stdin().lock(), std::io::stdout(), &opts, registry)?;
+
+    aa_obs::obs_info!(
+        "serve",
+        "fleet: workers={} received={} solved={} shed={} expired_in_queue={} parse_errors={} \
+         solve_errors={} solve_panics={} internal_errors={} deadline_misses={}",
+        opts.workers,
+        counters.received,
+        counters.solved,
+        counters.shed,
+        counters.expired_in_queue,
+        counters.parse_errors,
+        counters.solve_errors,
+        counters.solve_panics,
+        counters.internal_errors,
+        counters.deadline_misses
+    );
+    if let Some(path) = counters_path {
+        write_file(path, &to_json(&counters, true)?)?;
+    }
+    if let Some(path) = metrics_dump {
+        write_file(path, &aa_obs::export::json_snapshot(registry))?;
+    }
+    Ok(())
+}
+
+/// Hidden `serve-worker` mode: one fleet worker process, speaking the
+/// frame protocol on stdin/stdout. Spawned by the front-end; never by
+/// hand.
+fn cmd_serve_worker(args: &[String]) -> Result<(), Failure> {
+    let defaults = WorkerOpts::default();
+    let ladder = match flag_value(args, "--ladder")? {
+        None => None,
+        Some(raw) => Some(parse_ladder(raw).map_err(|e| Failure::Usage(format!("bad --ladder: {e}")))?),
+    };
+    let chaos = match flag_value(args, "--chaos-faults")? {
+        None => None,
+        Some(raw) => {
+            let faults: Vec<(u64, ProcessFault)> = serde_json::from_str(raw)
+                .map_err(|e| Failure::Usage(format!("bad --chaos-faults: {e}")))?;
+            let offset: u64 = parsed_flag(args, "--chaos-offset", 0)?;
+            Some((faults, offset))
+        }
+    };
+    let opts = WorkerOpts {
+        index: parsed_flag(args, "--index", defaults.index)?,
+        max_streams: parsed_flag(args, "--max-streams", defaults.max_streams)?,
+        breaker_threshold: parsed_flag(args, "--breaker-threshold", defaults.breaker_threshold)?,
+        breaker_cooldown: parsed_flag(args, "--breaker-cooldown", defaults.breaker_cooldown)?,
+        ladder,
+        drain_timeout_ms: parsed_flag(args, "--drain-timeout-ms", defaults.drain_timeout_ms)?,
+        chaos,
+    };
+    run_worker(std::io::stdin(), std::io::stdout(), &opts)
+        .map_err(|e| Failure::App(CliError::Io(e)))
+}
+
 /// Run the deterministic chaos storm from `aa-sim` against a real shard
 /// pool and gate on its robustness invariants. The report prints to
 /// stdout (and `--out PATH`) whether or not the gate passes, so CI can
 /// always archive it.
 fn cmd_chaos(args: &[String]) -> Result<(), Failure> {
+    if args.iter().any(|a| a == "--fleet") {
+        return cmd_fleet_chaos(args);
+    }
     let defaults = ChaosConfig::default();
     let cfg = ChaosConfig {
         shards: parsed_flag(args, "--shards", defaults.shards)?,
@@ -493,6 +637,70 @@ fn cmd_chaos(args: &[String]) -> Result<(), Failure> {
             cfg.shards,
             report.restarts,
             report.recoveries.iter().filter(|r| !r.recovered).count()
+        ))));
+    }
+    Ok(())
+}
+
+/// `chaos --fleet`: the process-level storm against a real fleet
+/// (worker processes re-execed from this binary). Gates on the fleet
+/// invariants: exactly-once, scheduled restarts, rebalance back to ring
+/// owners, and solve outputs bit-identical to a single-process
+/// reference. The report is deterministic: same seed, same bytes.
+fn cmd_fleet_chaos(args: &[String]) -> Result<(), Failure> {
+    let defaults = FleetChaosConfig::default();
+    let cfg = FleetChaosConfig {
+        workers: parsed_flag(args, "--workers", defaults.workers)?,
+        streams_per_worker: parsed_flag(args, "--streams-per-worker", defaults.streams_per_worker)?,
+        rounds: parsed_flag(args, "--rounds", defaults.rounds)?,
+        kills: parsed_flag(args, "--kills", defaults.kills)?,
+        stalls: parsed_flag(args, "--stalls", defaults.stalls)?,
+        garbage: parsed_flag(args, "--garbage", defaults.garbage)?,
+        stall_millis: parsed_flag(args, "--stall-millis", defaults.stall_millis)?,
+        seed: parsed_flag(args, "--seed", defaults.seed)?,
+    };
+    if cfg.workers == 0 || cfg.rounds == 0 || cfg.streams_per_worker == 0 {
+        return Err(Failure::Usage(
+            "chaos --fleet needs --workers, --rounds, and --streams-per-worker >= 1".into(),
+        ));
+    }
+    let report = run_fleet_chaos(&cfg)?;
+    let json = to_json(&report, args.iter().any(|a| a == "--pretty"))?;
+    println!("{json}");
+    if let Some(path) = flag_value(args, "--out")? {
+        write_file(path, &json)?;
+    }
+    aa_obs::obs_info!(
+        "chaos",
+        "fleet chaos: admitted={} completed={} ok={} internal={} restarts={:?} \
+         exactly_once={} survived={} restarted_on_schedule={} rebalanced={} \
+         outputs_identical={} disrupted={} unrecovered={}",
+        report.admitted,
+        report.completed,
+        report.ok,
+        report.internal,
+        report.restarts,
+        report.exactly_once,
+        report.survived,
+        report.restarted_on_schedule,
+        report.rebalanced,
+        report.outputs_identical,
+        report.disrupted_streams,
+        report.unrecovered_streams
+    );
+    if !report.healthy() {
+        return Err(Failure::App(CliError::Churn(format!(
+            "fleet chaos invariants violated: exactly_once={} survived={} \
+             restarted_on_schedule={} rebalanced={} outputs_identical={} \
+             all_recovered={} duplicate_seqs={:?} missing_seqs={:?}",
+            report.exactly_once,
+            report.survived,
+            report.restarted_on_schedule,
+            report.rebalanced,
+            report.outputs_identical,
+            report.all_recovered,
+            report.duplicate_seqs,
+            report.missing_seqs
         ))));
     }
     Ok(())

@@ -1,0 +1,204 @@
+//! Wire protocol between the fleet front-end and its worker processes.
+//!
+//! Every message is one frame as defined by [`aa_core::fleet`]: a
+//! big-endian `u32` payload length, the JSON payload, and a `\n`
+//! trailer. The front-end writes [`ToWorker`] frames on the worker's
+//! stdin; the worker writes [`FromWorker`] frames on its stdout. stderr
+//! is left alone (inherited) so worker panics stay visible.
+//!
+//! The protocol is strictly request/response plus heartbeats:
+//!
+//! * `Hello` — first frame a worker emits, carrying its index and pid;
+//!   the front-end treats a worker as up only after its hello.
+//! * `Ping`/`Pong` — heartbeats; a worker answers pings from a reader
+//!   thread even mid-solve, so only a wedged or dead process misses.
+//! * `Req`/`Resp` — one solve; `seq` is the front-end's pending-map key
+//!   and must be echoed verbatim.
+//!
+//! Anything else a worker writes — truncated frames, bad trailers,
+//! unparseable JSON — is a protocol violation and the front-end treats
+//! the worker exactly as if it had crashed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProblemFile;
+
+/// Frames the front-end sends to a worker (on its stdin).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ToWorker {
+    /// Solve one problem.
+    Req {
+        /// Front-end pending-map key; echoed in the response.
+        seq: u64,
+        /// Stream key for warm-state affinity, if any.
+        stream: Option<u64>,
+        /// Per-request solve budget in milliseconds, measured from
+        /// worker arrival, if any.
+        budget_ms: Option<u64>,
+        /// The problem spec, in the same schema as the `solve` command.
+        problem: ProblemFile,
+    },
+    /// Heartbeat probe.
+    Ping {
+        /// Echoed in the pong so stale pongs are discarded.
+        nonce: u64,
+    },
+}
+
+/// Frames a worker sends to the front-end (on its stdout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum FromWorker {
+    /// First frame after startup; the worker is routable from here on.
+    Hello {
+        /// The worker's fleet index (echo of `--index`).
+        worker: usize,
+        /// The worker's OS process id, for supervision logs.
+        pid: u32,
+    },
+    /// Heartbeat answer.
+    Pong {
+        /// The probe's nonce.
+        nonce: u64,
+        /// Cumulative solves this incarnation, for metrics.
+        solves: u64,
+        /// Cumulative contained solve panics this incarnation.
+        solve_panics: u64,
+    },
+    /// Answer to a [`ToWorker::Req`].
+    Resp {
+        /// The request's `seq`, echoed.
+        seq: u64,
+        /// What happened.
+        result: WorkerResult,
+    },
+}
+
+/// The outcome of one worker-side solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkerResult {
+    /// Solved.
+    Ok {
+        /// Ladder tier that produced the answer.
+        tier: String,
+        /// Whether the answer came from a degraded (non-top) tier.
+        degraded: bool,
+        /// Total utility of the assignment.
+        utility: f64,
+        /// Thread → server assignment.
+        server: Vec<usize>,
+        /// Thread → resource allocation.
+        allocation: Vec<f64>,
+        /// Solve latency in microseconds.
+        solve_micros: u64,
+    },
+    /// Not solved; `class` matches the serve tier's error classes
+    /// (`deadline`, `solve`, `internal`, `shutdown`).
+    Err {
+        /// Error class, for the client's retry decision.
+        class: String,
+        /// Human-readable detail.
+        error: String,
+        /// Time spent before failing, in microseconds.
+        solve_micros: u64,
+        /// True when the budget expired while queued in the worker
+        /// (never started solving).
+        queue_expired: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility::UtilitySpec;
+
+    fn round_trip_to(msg: &ToWorker) -> ToWorker {
+        serde_json::from_str(&serde_json::to_string(msg).unwrap()).unwrap()
+    }
+
+    fn round_trip_from(msg: &FromWorker) -> FromWorker {
+        serde_json::from_str(&serde_json::to_string(msg).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip_with_and_without_options() {
+        let problem = ProblemFile {
+            servers: 2,
+            capacity: 8.0,
+            threads: vec![
+                UtilitySpec::Power { scale: 1.0, beta: 0.5, cap: 8.0 },
+                UtilitySpec::Log { scale: 2.0, rate: 0.9, cap: 8.0 },
+            ],
+        };
+        let full = ToWorker::Req {
+            seq: 42,
+            stream: Some(7),
+            budget_ms: Some(100),
+            problem: problem.clone(),
+        };
+        match round_trip_to(&full) {
+            ToWorker::Req { seq, stream, budget_ms, problem: p } => {
+                assert_eq!((seq, stream, budget_ms), (42, Some(7), Some(100)));
+                assert_eq!(p.servers, problem.servers);
+                assert_eq!(p.threads.len(), problem.threads.len());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let bare = ToWorker::Req { seq: 0, stream: None, budget_ms: None, problem };
+        match round_trip_to(&bare) {
+            ToWorker::Req { stream, budget_ms, .. } => {
+                assert_eq!((stream, budget_ms), (None, None));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match round_trip_to(&ToWorker::Ping { nonce: 9 }) {
+            ToWorker::Ping { nonce } => assert_eq!(nonce, 9),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let ok = FromWorker::Resp {
+            seq: 3,
+            result: WorkerResult::Ok {
+                tier: "algo2".into(),
+                degraded: false,
+                utility: 12.345678901234567,
+                server: vec![0, 1, 0],
+                allocation: vec![4.0, 8.0, 4.0],
+                solve_micros: 57,
+            },
+        };
+        match round_trip_from(&ok) {
+            FromWorker::Resp { seq: 3, result: WorkerResult::Ok { utility, .. } } => {
+                // f64 must survive the JSON hop bit-exactly: the fleet's
+                // bit-identity acceptance depends on it.
+                assert_eq!(utility.to_bits(), 12.345678901234567f64.to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let err = FromWorker::Resp {
+            seq: 4,
+            result: WorkerResult::Err {
+                class: "deadline".into(),
+                error: "budget expired in queue".into(),
+                solve_micros: 0,
+                queue_expired: true,
+            },
+        };
+        match round_trip_from(&err) {
+            FromWorker::Resp { result: WorkerResult::Err { class, queue_expired, .. }, .. } => {
+                assert_eq!(class, "deadline");
+                assert!(queue_expired);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match round_trip_from(&FromWorker::Hello { worker: 2, pid: 4242 }) {
+            FromWorker::Hello { worker, pid } => assert_eq!((worker, pid), (2, 4242)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -253,25 +253,25 @@ struct Pending {
 /// Registry handles for one serve session. Every count the loop keeps
 /// lives in the metrics registry; [`ServeCounters`] is derived from
 /// these handles at EOF.
-struct ServeMetrics {
-    received: aa_obs::Counter,
-    solved: aa_obs::Counter,
-    shed: aa_obs::Counter,
-    expired_in_queue: aa_obs::Counter,
-    parse_errors: aa_obs::Counter,
-    solve_errors: aa_obs::Counter,
-    solve_panics: aa_obs::Counter,
-    internal_errors: aa_obs::Counter,
-    deadline_misses: aa_obs::Counter,
+pub(crate) struct ServeMetrics {
+    pub(crate) received: aa_obs::Counter,
+    pub(crate) solved: aa_obs::Counter,
+    pub(crate) shed: aa_obs::Counter,
+    pub(crate) expired_in_queue: aa_obs::Counter,
+    pub(crate) parse_errors: aa_obs::Counter,
+    pub(crate) solve_errors: aa_obs::Counter,
+    pub(crate) solve_panics: aa_obs::Counter,
+    pub(crate) internal_errors: aa_obs::Counter,
+    pub(crate) deadline_misses: aa_obs::Counter,
     /// End-to-end latency of `status: ok` responses.
-    latency: aa_obs::Histogram,
+    pub(crate) latency: aa_obs::Histogram,
     /// Solve wall time per answering tier
     /// (`aa_serve_tier_solve_micros{tier=…}`).
-    per_tier: Vec<(&'static str, aa_obs::Histogram)>,
+    pub(crate) per_tier: Vec<(&'static str, aa_obs::Histogram)>,
 }
 
 impl ServeMetrics {
-    fn new(registry: &aa_obs::Registry) -> Self {
+    pub(crate) fn new(registry: &aa_obs::Registry) -> Self {
         ServeMetrics {
             received: registry.counter("aa_serve_received_total"),
             solved: registry.counter("aa_serve_solved_total"),
@@ -295,7 +295,7 @@ impl ServeMetrics {
         }
     }
 
-    fn tier(&self, name: &str) -> &aa_obs::Histogram {
+    pub(crate) fn tier(&self, name: &str) -> &aa_obs::Histogram {
         self.per_tier
             .iter()
             .find(|(n, _)| *n == name)
@@ -305,7 +305,7 @@ impl ServeMetrics {
 
     /// The EOF snapshot. Tiers that never answered are omitted, matching
     /// the pre-registry dump (a `BTreeMap` populated on first answer).
-    fn snapshot(&self) -> ServeCounters {
+    pub(crate) fn snapshot(&self) -> ServeCounters {
         let mut per_tier = BTreeMap::new();
         for (name, h) in &self.per_tier {
             if h.count() > 0 {
@@ -393,7 +393,7 @@ pub fn run_serve<R: BufRead, W: Write + Send>(
 }
 
 /// Outcome of one bounded line read.
-enum LineRead {
+pub(crate) enum LineRead {
     /// End of input.
     Eof,
     /// A complete line is in the buffer (trailing newline stripped).
@@ -406,7 +406,7 @@ enum LineRead {
 /// Read one `\n`-terminated line into `buf`, never buffering more than
 /// `max + 1` bytes of it. The overflow tail is consumed (discarded) so
 /// the reader stays line-synchronized for the next request.
-fn read_bounded_line<R: BufRead>(
+pub(crate) fn read_bounded_line<R: BufRead>(
     input: &mut R,
     buf: &mut Vec<u8>,
     max: usize,
@@ -568,7 +568,7 @@ pub fn drain_hint_ms(answered: u64, total_micros: u64, queue: usize) -> u64 {
 }
 
 /// [`drain_hint_ms`] fed from the per-tier histograms.
-fn estimated_drain_ms(metrics: &ServeMetrics, queue: usize) -> u64 {
+pub(crate) fn estimated_drain_ms(metrics: &ServeMetrics, queue: usize) -> u64 {
     let (answered, micros) = metrics
         .per_tier
         .iter()
@@ -703,7 +703,7 @@ fn write_completion<W: Write>(
     }
 }
 
-fn respond<W: Write>(out: &Mutex<W>, response: &ServeResponse) -> std::io::Result<()> {
+pub(crate) fn respond<W: Write>(out: &Mutex<W>, response: &ServeResponse) -> std::io::Result<()> {
     let line = serde_json::to_string(response).expect("responses always serialize");
     let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
     writeln!(w, "{line}")?;

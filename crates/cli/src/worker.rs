@@ -1,0 +1,574 @@
+//! The hidden `serve-worker` mode: one fleet worker process.
+//!
+//! A worker is the same binary as the front-end, re-executed with the
+//! internal `serve-worker` subcommand. It speaks the [`crate::proto`]
+//! frame protocol on stdin/stdout and solves with its own
+//! [`TieredSolver`] and warm-state map — the process-level analogue of
+//! one shard thread in [`aa_core::shard`], with the same structure:
+//!
+//! * a **reader thread** pulls frames off stdin, answering heartbeat
+//!   pings immediately (even mid-solve) and queueing solve requests;
+//! * the **solve loop** pops requests FIFO, charges per-request budgets
+//!   from worker arrival time, runs every solve behind the tiered
+//!   solver's `catch_unwind` boundary, and keeps per-stream
+//!   [`WarmState`](aa_core::WarmState) with FIFO eviction;
+//! * on stdin **EOF** the worker drains: it keeps solving what it
+//!   already holds for up to `drain_timeout_ms`, answers the remainder
+//!   with retryable `class:"shutdown"` errors, and exits 0.
+//!
+//! Chaos faults are keyed on the worker's *cumulative* solve sequence
+//! number: the front-end passes `--chaos-offset` on restart so the
+//! counter persists across incarnations and a scheduled storm fires
+//! each fault exactly once, deterministically.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use aa_core::fleet::{read_frame, write_frame, MAX_FRAME_BYTES};
+use aa_core::tiered::Tier;
+use aa_core::{Budget, SolveError, TieredSolver, WarmState};
+use aa_sim::ProcessFault;
+
+use crate::proto::{FromWorker, ToWorker, WorkerResult};
+use crate::{build_problem, ProblemFile};
+
+/// Exit code a worker uses for self-inflicted chaos deaths, distinct
+/// from clean drain (0) so the supervisor logs are unambiguous.
+pub const CHAOS_EXIT_CODE: i32 = 86;
+
+/// Configuration for [`run_worker`], parsed from the `serve-worker`
+/// argv by `main.rs`.
+#[derive(Debug, Clone)]
+pub struct WorkerOpts {
+    /// This worker's fleet index (echoed in the hello).
+    pub index: usize,
+    /// Warm-stream cap (FIFO eviction beyond it).
+    pub max_streams: usize,
+    /// Circuit breaker: consecutive tier failures before it opens.
+    pub breaker_threshold: u32,
+    /// Circuit breaker: requests a tripped tier sits out.
+    pub breaker_cooldown: u64,
+    /// Solver ladder override; `None` is the full default ladder.
+    pub ladder: Option<Vec<Tier>>,
+    /// Post-EOF drain budget in milliseconds.
+    pub drain_timeout_ms: u64,
+    /// Scheduled faults for this worker plus the cumulative solve-seq
+    /// offset already consumed by earlier incarnations.
+    pub chaos: Option<(Vec<(u64, ProcessFault)>, u64)>,
+}
+
+impl Default for WorkerOpts {
+    fn default() -> Self {
+        WorkerOpts {
+            index: 0,
+            max_streams: 1024,
+            breaker_threshold: aa_core::tiered::DEFAULT_BREAKER_THRESHOLD,
+            breaker_cooldown: aa_core::tiered::DEFAULT_BREAKER_COOLDOWN,
+            ladder: None,
+            drain_timeout_ms: aa_core::fleet::DEFAULT_DRAIN_TIMEOUT_MS,
+            chaos: None,
+        }
+    }
+}
+
+/// A queued solve request with its arrival time (budgets are charged
+/// from arrival, so time spent queued inside the worker counts).
+struct QueuedReq {
+    seq: u64,
+    stream: Option<u64>,
+    deadline: Option<Instant>,
+    problem: ProblemFile,
+}
+
+/// State shared between the reader thread and the solve loop.
+struct Shared {
+    queue: Mutex<VecDeque<QueuedReq>>,
+    wake: Condvar,
+    /// stdin reached EOF (or became unreadable): drain and exit.
+    closed: AtomicBool,
+    /// When EOF happened, as the drain-deadline anchor.
+    eof_at: Mutex<Option<Instant>>,
+    /// While stalled, the reader drops pings so the front-end sees
+    /// missed heartbeats (micros since `epoch`; 0 = not stalled).
+    stall_until_micros: AtomicU64,
+    solves: AtomicU64,
+    solve_panics: AtomicU64,
+}
+
+/// Run one worker over arbitrary streams (stdin/stdout in production,
+/// in-memory pipes in tests). Returns when input is exhausted and the
+/// drain is complete.
+pub fn run_worker<R, W>(input: R, output: W, opts: &WorkerOpts) -> std::io::Result<()>
+where
+    R: Read + Send,
+    W: Write + Send,
+{
+    let epoch = Instant::now();
+    let out = Mutex::new(output);
+    let shared = Shared {
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        closed: AtomicBool::new(false),
+        eof_at: Mutex::new(None),
+        stall_until_micros: AtomicU64::new(0),
+        solves: AtomicU64::new(0),
+        solve_panics: AtomicU64::new(0),
+    };
+
+    send(&out, &FromWorker::Hello { worker: opts.index, pid: std::process::id() })?;
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        scope.spawn(|| reader_loop(input, &out, &shared, epoch));
+        solve_loop(&out, &shared, opts, epoch)
+    })
+}
+
+fn send<W: Write>(out: &Mutex<W>, msg: &FromWorker) -> std::io::Result<()> {
+    let payload = serde_json::to_string(msg).map_err(std::io::Error::other)?;
+    let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+    write_frame(&mut *w, payload.as_bytes())?;
+    w.flush()
+}
+
+/// Pull frames off stdin until EOF or an unrecoverable error. A frame
+/// the worker cannot parse is a front-end bug; the worker treats it
+/// like EOF (drain and exit) rather than guessing.
+fn reader_loop<R: Read, W: Write>(
+    mut input: R,
+    out: &Mutex<W>,
+    shared: &Shared,
+    epoch: Instant,
+) {
+    while let Ok(Some(payload)) = read_frame(&mut input, MAX_FRAME_BYTES) {
+        let parsed = std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|s| serde_json::from_str::<ToWorker>(s).ok());
+        let Some(msg) = parsed else { break };
+        match msg {
+            ToWorker::Ping { nonce } => {
+                let stalled_until = shared.stall_until_micros.load(Ordering::Acquire);
+                let now_micros = epoch.elapsed().as_micros() as u64;
+                if now_micros >= stalled_until {
+                    // A failed pong write means the front-end is gone;
+                    // the solve loop notices via EOF shortly after.
+                    let _ = send(
+                        out,
+                        &FromWorker::Pong {
+                            nonce,
+                            solves: shared.solves.load(Ordering::Acquire),
+                            solve_panics: shared.solve_panics.load(Ordering::Acquire),
+                        },
+                    );
+                }
+            }
+            ToWorker::Req { seq, stream, budget_ms, problem } => {
+                let deadline =
+                    budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.push_back(QueuedReq { seq, stream, deadline, problem });
+                drop(q);
+                shared.wake.notify_all();
+            }
+        }
+    }
+    let mut at = shared.eof_at.lock().unwrap_or_else(|e| e.into_inner());
+    *at = Some(Instant::now());
+    drop(at);
+    shared.closed.store(true, Ordering::Release);
+    shared.wake.notify_all();
+}
+
+fn solve_loop<W: Write>(
+    out: &Mutex<W>,
+    shared: &Shared,
+    opts: &WorkerOpts,
+    epoch: Instant,
+) -> std::io::Result<()> {
+    let solver = match &opts.ladder {
+        Some(ladder) => TieredSolver::with_ladder(ladder.clone()),
+        None => TieredSolver::new(),
+    }
+    .breaker(opts.breaker_threshold, opts.breaker_cooldown);
+    let mut warm: HashMap<Option<u64>, WarmState> = HashMap::new();
+    let mut warm_order: VecDeque<Option<u64>> = VecDeque::new();
+    let mut solve_seq = 0u64;
+
+    loop {
+        let popped = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(req) = q.pop_front() {
+                    break Some(req);
+                }
+                if shared.closed.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(q, Duration::from_millis(5))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let Some(req) = popped else { return Ok(()) };
+
+        // Past the drain deadline, everything still queued answers
+        // `shutdown` without solving — the front-end (or the client)
+        // retries elsewhere.
+        let drain_expired = shared.closed.load(Ordering::Acquire) && {
+            let at = shared.eof_at.lock().unwrap_or_else(|e| e.into_inner());
+            at.is_some_and(|t| {
+                Instant::now() >= t + Duration::from_millis(opts.drain_timeout_ms)
+            })
+        };
+        if drain_expired {
+            send(
+                out,
+                &FromWorker::Resp {
+                    seq: req.seq,
+                    result: WorkerResult::Err {
+                        class: "shutdown".to_string(),
+                        error: "worker drain timeout; retry elsewhere".to_string(),
+                        solve_micros: 0,
+                        queue_expired: true,
+                    },
+                },
+            )?;
+            continue;
+        }
+
+        solve_seq += 1;
+        if let Some((faults, offset)) = &opts.chaos {
+            let cumulative = offset + solve_seq;
+            if let Some(&(_, fault)) = faults.iter().find(|&&(s, _)| s == cumulative) {
+                inject(fault, out, shared, epoch);
+            }
+        }
+
+        let started = Instant::now();
+        let result = if req.deadline.is_some_and(|d| started >= d) {
+            WorkerResult::Err {
+                class: "deadline".to_string(),
+                error: "budget expired while queued in worker".to_string(),
+                solve_micros: 0,
+                queue_expired: true,
+            }
+        } else {
+            solve_one(&solver, &mut warm, &mut warm_order, opts, shared, &req, started)
+        };
+        send(out, &FromWorker::Resp { seq: req.seq, result })?;
+    }
+}
+
+/// Fire one scheduled fault. `Kill` and `Garbage` do not return.
+fn inject<W: Write>(fault: ProcessFault, out: &Mutex<W>, shared: &Shared, epoch: Instant) {
+    match fault {
+        ProcessFault::Kill => {
+            // No flush, no drain: indistinguishable from SIGKILL as far
+            // as the front-end can observe.
+            std::process::exit(CHAOS_EXIT_CODE);
+        }
+        ProcessFault::Stall { millis } => {
+            let until = (epoch.elapsed() + Duration::from_millis(millis)).as_micros() as u64;
+            shared.stall_until_micros.store(until, Ordering::Release);
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        ProcessFault::Garbage => {
+            // A length header promising more bytes than follow: the
+            // front-end's framing layer must treat this as a crash.
+            let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = w.write_all(&64u32.to_be_bytes());
+            let _ = w.write_all(b"not json");
+            let _ = w.flush();
+            drop(w);
+            std::process::exit(CHAOS_EXIT_CODE);
+        }
+    }
+}
+
+fn solve_one(
+    solver: &TieredSolver,
+    warm: &mut HashMap<Option<u64>, WarmState>,
+    warm_order: &mut VecDeque<Option<u64>>,
+    opts: &WorkerOpts,
+    shared: &Shared,
+    req: &QueuedReq,
+    started: Instant,
+) -> WorkerResult {
+    let problem = match build_problem(&req.problem) {
+        Ok(p) => p,
+        Err(e) => {
+            return WorkerResult::Err {
+                class: "problem".to_string(),
+                error: e.to_string(),
+                solve_micros: started.elapsed().as_micros() as u64,
+                queue_expired: false,
+            }
+        }
+    };
+    let budget = match req.deadline {
+        Some(d) => Budget::with_deadline(d.saturating_duration_since(started)),
+        None => Budget::unlimited(),
+    };
+    if warm.len() >= opts.max_streams.max(1) && !warm.contains_key(&req.stream) {
+        if let Some(old) = warm_order.pop_front() {
+            warm.remove(&old);
+        }
+    }
+    let state = warm.entry(req.stream).or_insert_with(|| {
+        warm_order.push_back(req.stream);
+        WarmState::new()
+    });
+    match solver.try_solve_within_caught(&problem, &budget, Some(state)) {
+        Ok(solved) => {
+            shared.solves.fetch_add(1, Ordering::AcqRel);
+            WorkerResult::Ok {
+                tier: solved.degradation.tier.name().to_string(),
+                degraded: solved.degradation.degraded,
+                utility: solved.utility,
+                server: solved.assignment.server,
+                allocation: solved.assignment.amount,
+                solve_micros: started.elapsed().as_micros() as u64,
+            }
+        }
+        Err(err) => {
+            let class = match &err {
+                SolveError::Panicked(_) => {
+                    shared.solve_panics.fetch_add(1, Ordering::AcqRel);
+                    "solve_panic"
+                }
+                SolveError::DeadlineExceeded | SolveError::Cancelled => "deadline",
+                _ => "solve",
+            };
+            WorkerResult::Err {
+                class: class.to_string(),
+                error: err.to_string(),
+                solve_micros: started.elapsed().as_micros() as u64,
+                queue_expired: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_utility::UtilitySpec;
+
+    fn problem_file(threads: usize) -> ProblemFile {
+        ProblemFile {
+            servers: 2,
+            capacity: 8.0,
+            threads: (0..threads)
+                .map(|i| UtilitySpec::Power {
+                    scale: 1.0 + i as f64 * 0.25,
+                    beta: 0.5,
+                    cap: 8.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn frame(msg: &ToWorker) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, serde_json::to_string(msg).unwrap().as_bytes()).unwrap();
+        buf
+    }
+
+    fn run(input: Vec<u8>, opts: &WorkerOpts) -> Vec<FromWorker> {
+        let mut output = Vec::new();
+        run_worker(&input[..], &mut output, opts).unwrap();
+        let mut cursor = &output[..];
+        let mut msgs = Vec::new();
+        while let Some(payload) = read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap() {
+            msgs.push(
+                serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap(),
+            );
+        }
+        msgs
+    }
+
+    #[test]
+    fn worker_hellos_solves_and_answers_pings() {
+        let mut input = Vec::new();
+        input.extend(frame(&ToWorker::Req {
+            seq: 0,
+            stream: Some(7),
+            budget_ms: None,
+            problem: problem_file(6),
+        }));
+        input.extend(frame(&ToWorker::Ping { nonce: 99 }));
+        input.extend(frame(&ToWorker::Req {
+            seq: 1,
+            stream: Some(7),
+            budget_ms: None,
+            problem: problem_file(6),
+        }));
+        let msgs = run(input, &WorkerOpts::default());
+        assert!(
+            matches!(msgs[0], FromWorker::Hello { worker: 0, .. }),
+            "first frame must be the hello: {msgs:?}"
+        );
+        let mut utilities = Vec::new();
+        let mut ponged = false;
+        for m in &msgs[1..] {
+            match m {
+                FromWorker::Pong { nonce, .. } => {
+                    assert_eq!(*nonce, 99);
+                    ponged = true;
+                }
+                FromWorker::Resp { result: WorkerResult::Ok { utility, .. }, .. } => {
+                    utilities.push(utility.to_bits())
+                }
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        }
+        assert!(ponged, "ping was dropped: {msgs:?}");
+        assert_eq!(utilities.len(), 2);
+        // Warm (second) solve must be bit-identical to the cold one.
+        assert_eq!(utilities[0], utilities[1]);
+    }
+
+    #[test]
+    fn expired_budget_answers_deadline_without_solving() {
+        let mut input = Vec::new();
+        input.extend(frame(&ToWorker::Req {
+            seq: 5,
+            stream: None,
+            budget_ms: Some(0),
+            problem: problem_file(2000),
+        }));
+        let msgs = run(input, &WorkerOpts::default());
+        let resp = msgs
+            .iter()
+            .find_map(|m| match m {
+                FromWorker::Resp { seq: 5, result } => Some(result.clone()),
+                _ => None,
+            })
+            .expect("request answered");
+        match resp {
+            WorkerResult::Err { class, queue_expired, .. } => {
+                assert_eq!(class, "deadline");
+                assert!(queue_expired);
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_problem_is_typed_not_fatal() {
+        let mut input = Vec::new();
+        input.extend(frame(&ToWorker::Req {
+            seq: 0,
+            stream: None,
+            budget_ms: None,
+            problem: ProblemFile { servers: 0, capacity: 4.0, threads: vec![] },
+        }));
+        input.extend(frame(&ToWorker::Req {
+            seq: 1,
+            stream: None,
+            budget_ms: None,
+            problem: problem_file(4),
+        }));
+        let msgs = run(input, &WorkerOpts::default());
+        let classes: Vec<String> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                FromWorker::Resp { result: WorkerResult::Err { class, .. }, .. } => {
+                    Some(class.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(classes, vec!["problem".to_string()]);
+        assert!(msgs.iter().any(|m| matches!(
+            m,
+            FromWorker::Resp { seq: 1, result: WorkerResult::Ok { .. } }
+        )));
+    }
+
+    #[test]
+    fn drain_timeout_answers_queued_requests_with_shutdown() {
+        // Zero drain budget, and a scheduled stall on the first solve so
+        // the reader is guaranteed to reach EOF while the solve loop is
+        // paused: everything popped after the stall is past the drain
+        // deadline and answers `shutdown`.
+        let mut input = Vec::new();
+        for seq in 0..4 {
+            input.extend(frame(&ToWorker::Req {
+                seq,
+                stream: Some(1),
+                budget_ms: None,
+                problem: problem_file(6),
+            }));
+        }
+        let opts = WorkerOpts {
+            drain_timeout_ms: 0,
+            chaos: Some((vec![(1, ProcessFault::Stall { millis: 150 })], 0)),
+            ..WorkerOpts::default()
+        };
+        let msgs = run(input, &opts);
+        let mut answered = 0u64;
+        let mut shutdowns = 0u64;
+        for m in &msgs {
+            if let FromWorker::Resp { result, .. } = m {
+                answered += 1;
+                if let WorkerResult::Err { class, .. } = result {
+                    if class == "shutdown" {
+                        shutdowns += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(answered, 4, "every queued request must be answered: {msgs:?}");
+        assert!(shutdowns >= 1, "drain produced no shutdown answers: {msgs:?}");
+    }
+
+    #[test]
+    fn stall_fault_drops_pings_until_it_passes() {
+        let mut input = Vec::new();
+        input.extend(frame(&ToWorker::Req {
+            seq: 0,
+            stream: None,
+            budget_ms: None,
+            problem: problem_file(4),
+        }));
+        let opts = WorkerOpts {
+            chaos: Some((vec![(1, ProcessFault::Stall { millis: 30 })], 0)),
+            ..WorkerOpts::default()
+        };
+        let msgs = run(input, &opts);
+        // The solve still answers after the stall.
+        assert!(msgs.iter().any(|m| matches!(
+            m,
+            FromWorker::Resp { seq: 0, result: WorkerResult::Ok { .. } }
+        )));
+    }
+
+    #[test]
+    fn chaos_offset_shifts_the_fault_schedule() {
+        // Fault at cumulative seq 3 with offset 2 fires on this
+        // incarnation's *first* solve; a stall (not kill) keeps the
+        // test process alive while proving the trigger fired.
+        let mut input = Vec::new();
+        input.extend(frame(&ToWorker::Req {
+            seq: 0,
+            stream: None,
+            budget_ms: None,
+            problem: problem_file(4),
+        }));
+        let opts = WorkerOpts {
+            chaos: Some((vec![(3, ProcessFault::Stall { millis: 20 })], 2)),
+            ..WorkerOpts::default()
+        };
+        let started = Instant::now();
+        let msgs = run(input, &opts);
+        assert!(started.elapsed() >= Duration::from_millis(20), "stall never fired");
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, FromWorker::Resp { seq: 0, .. })));
+    }
+}

@@ -45,6 +45,7 @@ pub mod churn;
 pub mod discrete;
 pub mod exact;
 pub mod exact_bb;
+pub mod fleet;
 pub mod hetero;
 pub mod heuristics;
 pub mod incremental;
@@ -53,6 +54,7 @@ pub mod online;
 pub mod problem;
 pub mod reduction;
 pub mod refine;
+pub mod ring;
 pub mod shard;
 pub mod solver;
 pub mod stats;
@@ -63,7 +65,11 @@ pub mod tightness;
 pub use budget::Budget;
 pub use churn::{ClusterEvent, MigrationBudget, Repair, RepairArena, RepairError, RepairReport};
 pub use incremental::{IncrementalStats, SolveMode, SolverArena, WarmState};
+pub use fleet::{
+    Backoff, FleetRouter, FrameError, PendingEntry, PendingMap, RouteDecision,
+};
 pub use problem::{Assignment, AssignmentError, Problem, ProblemBuilder, ProblemError};
+pub use ring::Ring;
 pub use shard::{
     ChaosHook, FaultAction, ShardCompletion, ShardConfig, ShardError, ShardJob, ShardPool,
     SubmitError,

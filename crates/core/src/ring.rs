@@ -1,0 +1,145 @@
+//! Consistent-hash ring shared by the in-process shard tier and the
+//! multi-process fleet tier.
+//!
+//! Each member contributes [`VNODES`] points hashed from its index (never
+//! from the member count), so growing or shrinking the membership only
+//! moves the ranges adjacent to the added or removed points — the
+//! property both tiers rely on for cheap rebalance: a stream's owner is
+//! stable unless membership changes right next to its hash point.
+//!
+//! Liveness is the caller's concern: [`Ring::owner`] answers pure ring
+//! geometry (who *should* own this stream), while [`Ring::route`] walks
+//! forward past members the supplied predicate reports dead — the
+//! failover successor order is the ring order, so every caller agrees on
+//! where a dead member's ranges land.
+
+/// Virtual nodes per member on the ring.
+pub const VNODES: u64 = 32;
+
+/// Salt folded into ring-point hashes so stream hashes and ring points
+/// draw from unrelated sequences.
+pub const RING_SALT: u64 = 0x7269_6e67_5f76_3031;
+
+/// SplitMix64 finalizer — cheap, well-mixed 64-bit hash for ring points
+/// and stream keys.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The hash points one member contributes, in unsorted generation order.
+fn member_points(member: usize) -> impl Iterator<Item = (u64, usize)> {
+    (0..VNODES).map(move |v| (splitmix64(((member as u64) << 20) ^ v ^ RING_SALT), member))
+}
+
+/// A sorted consistent-hash ring over `members` indices `0..members`.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted `(point, member)` pairs.
+    points: Vec<(u64, usize)>,
+    members: usize,
+}
+
+impl Ring {
+    /// Build a ring over members `0..members`.
+    pub fn new(members: usize) -> Self {
+        let mut points: Vec<(u64, usize)> =
+            (0..members).flat_map(member_points).collect();
+        points.sort_unstable();
+        Ring { points, members }
+    }
+
+    /// Current member count.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Rebuild for a new member count. Because each member's points
+    /// depend only on its own index, surviving members keep their points
+    /// exactly — only ranges adjacent to added/removed points move.
+    pub fn resize(&mut self, members: usize) {
+        *self = Ring::new(members);
+    }
+
+    /// The member owning `stream` by pure ring geometry (liveness
+    /// ignored). `None` only on an empty ring.
+    pub fn owner(&self, stream: u64) -> Option<usize> {
+        self.route(stream, |_| true)
+    }
+
+    /// First member at or after the stream's hash point for which `live`
+    /// returns true, walking the ring in point order. `None` when no
+    /// member is live.
+    pub fn route(&self, stream: u64, live: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = splitmix64(stream);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        for k in 0..self.points.len() {
+            let (_, member) = self.points[(start + k) % self.points.len()];
+            if live(member) {
+                return Some(member);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_member_owns_some_streams() {
+        let ring = Ring::new(4);
+        let mut owned = vec![0usize; 4];
+        for key in 0..4000u64 {
+            owned[ring.owner(key).unwrap()] += 1;
+        }
+        for (m, &n) in owned.iter().enumerate() {
+            assert!(n > 0, "member {m} owns nothing");
+        }
+    }
+
+    #[test]
+    fn resize_moves_only_ranges_touching_the_new_member() {
+        let small = Ring::new(4);
+        let big = Ring::new(6);
+        let mut moved = 0usize;
+        for key in 0..4000u64 {
+            let before = small.owner(key).unwrap();
+            let after = big.owner(key).unwrap();
+            if before != after {
+                // A stream only changes hands toward a *new* member;
+                // surviving members never trade ranges among themselves.
+                assert!(after >= 4, "key {key} moved {before} → {after}");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "growth moved no ranges at all");
+        assert!(moved < 4000, "growth moved everything");
+    }
+
+    #[test]
+    fn route_skips_dead_members_deterministically() {
+        let ring = Ring::new(3);
+        for key in 0..500u64 {
+            let owner = ring.owner(key).unwrap();
+            let rerouted = ring.route(key, |m| m != owner).unwrap();
+            assert_ne!(rerouted, owner);
+            // With the owner back, the route returns home.
+            assert_eq!(ring.route(key, |_| true), Some(owner));
+        }
+        assert_eq!(ring.route(7, |_| false), None);
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = Ring::new(0);
+        assert_eq!(ring.owner(42), None);
+        assert_eq!(ring.members(), 0);
+    }
+}

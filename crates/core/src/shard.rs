@@ -48,19 +48,14 @@ use std::time::{Duration, Instant};
 
 use aa_obs::{Counter, Gauge, Registry};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::budget::Budget;
 use crate::incremental::WarmState;
 use crate::problem::Problem;
+use crate::ring::Ring;
 use crate::solver::SolveError;
 use crate::tiered::{panic_message, TieredSolve, TieredSolver};
-
-/// Virtual nodes per shard on the consistent-hash ring.
-const VNODES: u64 = 32;
-/// Salt folded into ring-point hashes so stream hashes and ring points
-/// draw from unrelated sequences.
-const RING_SALT: u64 = 0x7269_6e67_5f76_3031;
 
 /// A fault injected by a [`ChaosHook`] before a shard starts a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -396,8 +391,8 @@ struct PoolInner {
     cfg: ShardConfig,
     shards: Vec<Arc<ShardState>>,
     cold: JobQueue,
-    /// Sorted `(point, shard)` consistent-hash ring.
-    ring: Vec<(u64, usize)>,
+    /// Consistent-hash ring over shard indices.
+    ring: Ring,
     complete: CompletionFn,
     shutting_down: AtomicBool,
     handles: Mutex<Vec<Option<JoinHandle<()>>>>,
@@ -415,15 +410,8 @@ impl PoolInner {
 
     /// First live shard on the ring at or after the stream's hash point.
     fn route(&self, stream: u64) -> Option<usize> {
-        let h = splitmix64(stream);
-        let start = self.ring.partition_point(|&(p, _)| p < h);
-        for k in 0..self.ring.len() {
-            let (_, shard) = self.ring[(start + k) % self.ring.len()];
-            if self.shards[shard].live.load(Ordering::Acquire) {
-                return Some(shard);
-            }
-        }
-        None
+        self.ring
+            .route(stream, |shard| self.shards[shard].live.load(Ordering::Acquire))
     }
 
     fn submit(&self, job: ShardJob) -> Result<(), SubmitError> {
@@ -505,16 +493,10 @@ impl ShardPool {
                 })
             })
             .collect();
-        let mut ring: Vec<(u64, usize)> = (0..n)
-            .flat_map(|s| {
-                (0..VNODES).map(move |v| (splitmix64(((s as u64) << 20) ^ v ^ RING_SALT), s))
-            })
-            .collect();
-        ring.sort_unstable();
         let inner = Arc::new(PoolInner {
             cold: JobQueue::new(cfg.cold_queue),
             shards,
-            ring,
+            ring: Ring::new(n),
             complete,
             shutting_down: AtomicBool::new(false),
             handles: Mutex::new((0..n).map(|_| None).collect()),
@@ -870,27 +852,7 @@ fn retire(inner: &Arc<PoolInner>, shard: &ShardState) {
 }
 
 fn backoff_for(cfg: &ShardConfig, restarts: u32, rng: &mut StdRng) -> Duration {
-    let exp = restarts.saturating_sub(1).min(16);
-    let raw = cfg
-        .backoff_base
-        .saturating_mul(1u32 << exp)
-        .min(cfg.backoff_max);
-    let jitter_ns = (cfg.backoff_base.as_nanos() / 2).min(u64::MAX as u128) as u64;
-    let jitter = if jitter_ns == 0 {
-        Duration::ZERO
-    } else {
-        Duration::from_nanos(rng.gen_range(0..=jitter_ns))
-    };
-    raw + jitter
-}
-
-/// SplitMix64 finalizer — cheap, well-mixed 64-bit hash for ring points
-/// and stream keys.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    crate::fleet::Backoff { base: cfg.backoff_base, max: cfg.backoff_max }.delay(restarts, rng)
 }
 
 #[cfg(test)]

@@ -1,0 +1,281 @@
+//! Property-based verification of the fleet front-end's exactly-once
+//! contract under seeded kill schedules.
+//!
+//! The real front-end wires [`PendingMap`] + [`FleetRouter`] +
+//! [`ParkedQueues`] into an event loop over worker processes. This test
+//! drives the *same composition* through a deterministic in-memory model
+//! of that loop — admissions, worker answers, kills (with replay), and
+//! revives in a random order — and asserts the invariants the serving
+//! tier advertises:
+//!
+//! * every admitted request is answered exactly once, no matter how many
+//!   times its worker dies mid-flight (no loss, no double-answer);
+//! * per-stream answer order is preserved across replay and handoff
+//!   parking (the subsequence of worker answers per stream is strictly
+//!   increasing in seq);
+//! * a request whose retry budget is exhausted is answered (internally),
+//!   not leaked;
+//! * once every worker is back up and drained, every stream routes to
+//!   its ring owner again — the ring rebalances back after recovery;
+//! * a late completion for an already-answered seq is counted as a
+//!   duplicate and answers nothing.
+
+use std::collections::{HashMap, VecDeque};
+
+use aa_core::fleet::{ParkedQueues, PendingMap, RouteDecision};
+use aa_core::FleetRouter;
+use proptest::prelude::*;
+
+const MAX_RETRIES: u32 = 3;
+
+/// What happened to a seq, for the final accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Answer {
+    /// A worker solved it.
+    Worker,
+    /// The front-end answered it (`internal`): retries exhausted or no
+    /// worker up at dispatch time.
+    Internal,
+}
+
+/// Deterministic model of the fleet front-end event loop.
+struct Model {
+    router: FleetRouter,
+    pending: PendingMap<()>,
+    /// FIFO of seqs dispatched to each worker (its in-flight window).
+    queues: Vec<VecDeque<u64>>,
+    parked: ParkedQueues<u64>,
+    /// `seq -> answer`, appended exactly when a response is written.
+    answered: HashMap<u64, Answer>,
+    /// Worker-answer order per stream, for the ordering invariant.
+    stream_answers: HashMap<u64, Vec<u64>>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn new(workers: usize) -> Self {
+        let mut router = FleetRouter::new(workers);
+        for w in 0..workers {
+            router.worker_up(w);
+        }
+        Model {
+            router,
+            pending: PendingMap::new(),
+            queues: vec![VecDeque::new(); workers],
+            parked: ParkedQueues::new(),
+            answered: HashMap::new(),
+            stream_answers: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn answer(&mut self, seq: u64, how: Answer) {
+        let prev = self.answered.insert(seq, how);
+        assert!(prev.is_none(), "seq {seq} answered twice ({prev:?} then {how:?})");
+    }
+
+    /// Dispatch a pending seq: route it, or park it, or answer internal.
+    fn dispatch(&mut self, seq: u64) {
+        let entry = self.pending.get(seq).expect("dispatching a seq not pending");
+        match entry.stream {
+            Some(stream) => match self.router.route(stream) {
+                RouteDecision::To(w) => {
+                    self.pending.assign(seq, w);
+                    self.queues[w].push_back(seq);
+                }
+                RouteDecision::Park => self.parked.park(stream, seq),
+                RouteDecision::NoWorkers => {
+                    self.pending.complete(seq).expect("pending seq vanished");
+                    self.answer(seq, Answer::Internal);
+                }
+            },
+            None => {
+                let queues = &self.queues;
+                match self.router.route_cold(|w| queues[w].len()) {
+                    Some(w) => {
+                        self.pending.assign(seq, w);
+                        self.queues[w].push_back(seq);
+                    }
+                    None => {
+                        self.pending.complete(seq).expect("pending seq vanished");
+                        self.answer(seq, Answer::Internal);
+                    }
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: Option<u64>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq, stream, ()).expect("fresh seq already pending");
+        self.dispatch(seq);
+    }
+
+    /// A worker answers the oldest request in its window.
+    fn worker_answer(&mut self, w: usize) {
+        let Some(seq) = self.queues[w].pop_front() else { return };
+        let entry = self.pending.complete(seq).expect("worker answered a non-pending seq");
+        self.answer(seq, Answer::Worker);
+        if let Some(stream) = entry.stream {
+            self.stream_answers.entry(stream).or_default().push(seq);
+            for released in self.router.complete(stream, w) {
+                for parked_seq in self.parked.release(released) {
+                    self.dispatch(parked_seq);
+                }
+            }
+        }
+    }
+
+    /// A worker dies: clear its claims, replay its window onto the
+    /// survivors (exhausted retries answer internal), and re-dispatch
+    /// any streams released from parking.
+    fn kill(&mut self, w: usize) {
+        if !self.router.is_up(w) {
+            return;
+        }
+        let released = self.router.worker_down(w);
+        self.queues[w].clear();
+        for entry in self.pending.take_assigned(w) {
+            let seq = entry.seq;
+            let exhausted = entry.attempts > MAX_RETRIES;
+            self.pending.reinsert(entry).expect("replayed seq already pending");
+            if exhausted {
+                self.pending.complete(seq).expect("pending seq vanished");
+                self.answer(seq, Answer::Internal);
+                continue;
+            }
+            self.dispatch(seq);
+        }
+        for stream in released {
+            for parked_seq in self.parked.release(stream) {
+                self.dispatch(parked_seq);
+            }
+        }
+    }
+
+    fn revive(&mut self, w: usize) {
+        if !self.router.is_up(w) {
+            self.router.worker_up(w);
+        }
+    }
+
+    /// Everything a live worker holds, for progress accounting.
+    fn queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole invariant: random interleavings of admissions,
+    /// answers, kills and revives never lose or double-answer a request,
+    /// preserve per-stream order, and rebalance the ring back.
+    #[test]
+    fn exactly_once_under_seeded_kill_schedules(
+        workers in 2usize..5,
+        script in prop::collection::vec((0u64..6, 0u64..16), 1..120),
+    ) {
+        let mut m = Model::new(workers);
+        for &(op, arg) in &script {
+            match op {
+                0 | 1 => m.admit(Some(arg % 8)),
+                2 => m.admit(None),
+                3 => m.worker_answer((arg as usize) % workers),
+                4 => m.kill((arg as usize) % workers),
+                _ => m.revive((arg as usize) % workers),
+            }
+        }
+        // Recovery: bring every worker back and drain to quiescence.
+        for w in 0..workers {
+            m.revive(w);
+        }
+        let mut guard = 4 * m.next_seq as usize + 64;
+        while !m.pending.is_empty() {
+            prop_assert!(guard > 0, "drain loop made no progress");
+            guard -= 1;
+            let Some(w) = (0..workers).find(|&w| !m.queues[w].is_empty()) else {
+                panic!(
+                    "pending {} requests but no worker holds anything (parked {})",
+                    m.pending.len(),
+                    m.parked.len()
+                );
+            };
+            m.worker_answer(w);
+        }
+
+        // No loss, no double-answer: every admitted seq answered once.
+        prop_assert_eq!(m.queued(), 0);
+        prop_assert!(m.parked.is_empty(), "parked requests leaked");
+        prop_assert_eq!(m.answered.len() as u64, m.next_seq);
+        prop_assert_eq!(m.pending.answered(), m.next_seq);
+        prop_assert_eq!(m.pending.duplicates(), 0);
+
+        // Per-stream worker answers arrive in admission order even
+        // across replay and handoff parking.
+        for (stream, seqs) in &m.stream_answers {
+            for pair in seqs.windows(2) {
+                prop_assert!(
+                    pair[0] < pair[1],
+                    "stream {} answered out of order: {:?}",
+                    stream,
+                    seqs
+                );
+            }
+        }
+
+        // Ring rebalanced back: with everyone up and drained, each
+        // stream routes to its geometric owner again.
+        for stream in 0..8u64 {
+            let owner = m.router.owner(stream).unwrap();
+            prop_assert_eq!(m.router.route(stream), RouteDecision::To(owner));
+            m.router.complete(stream, owner);
+        }
+
+        // A straggler completion for an answered seq is a counted
+        // duplicate, never a second answer.
+        if m.next_seq > 0 {
+            prop_assert!(m.pending.complete(0).is_none());
+            prop_assert_eq!(m.pending.duplicates(), 1);
+        }
+    }
+
+    /// Killing the same worker repeatedly exhausts the retry budget of
+    /// its sticky stream instead of looping forever, and the answers
+    /// still come exactly once.
+    #[test]
+    fn retry_budget_bounds_replay(kills in 1u64..12, stream in 0u64..64) {
+        let workers = 2;
+        let mut m = Model::new(workers);
+        for _ in 0..6 {
+            m.admit(Some(stream));
+        }
+        for k in 0..kills {
+            // Kill whichever worker currently holds the stream's window.
+            if let Some(w) = (0..workers).find(|&w| !m.queues[w].is_empty()) {
+                m.kill(w);
+                m.revive(w);
+            }
+            // Let one answer through occasionally so both branches of
+            // the replay path (progress and pure churn) are exercised.
+            if k % 3 == 2 {
+                if let Some(w) = (0..workers).find(|&w| !m.queues[w].is_empty()) {
+                    m.worker_answer(w);
+                }
+            }
+        }
+        let mut guard = 256;
+        while !m.pending.is_empty() && guard > 0 {
+            guard -= 1;
+            if let Some(w) = (0..workers).find(|&w| !m.queues[w].is_empty()) {
+                m.worker_answer(w);
+            } else {
+                break;
+            }
+        }
+        prop_assert!(m.pending.is_empty());
+        prop_assert_eq!(m.answered.len(), 6);
+        prop_assert_eq!(m.pending.duplicates(), 0);
+    }
+}

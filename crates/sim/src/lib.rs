@@ -47,7 +47,11 @@ pub mod overload;
 pub mod perf;
 pub mod trace;
 
-pub use chaos::{run_chaos, run_load, ChaosConfig, ChaosReport, LoadConfig, LoadReport};
+pub use chaos::{
+    analyze_fleet, run_chaos, run_load, ChaosConfig, ChaosReport, FleetChaosConfig,
+    FleetChaosReport, FleetObservation, FleetObservations, LoadConfig, LoadReport,
+    ProcessChaosPlan, ProcessFault,
+};
 pub use controller::{Controller, EpochReport, RepairPolicy};
 pub use overload::{run_overload, OverloadConfig, OverloadReport};
 pub use multicore::{Multicore, PartitionOutcome};

@@ -118,6 +118,8 @@ pub fn pchip_inverse_derivative(lambda: f64, xs: &[f64], ys: &[f64], ds: &[f64])
         return 0.0;
     }
     let cap = xs[n - 1];
+    // `!(cap > 0.0)` on purpose: also rejects a NaN cap.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(cap > 0.0) {
         return 0.0;
     }
