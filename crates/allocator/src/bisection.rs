@@ -52,18 +52,11 @@ const MAX_ITERS: u32 = 128;
 /// path is faster (the fork-join overhead exceeds the work); results are
 /// identical either way.
 ///
-/// Re-audited with the batched demand kernel (bench schema v4): the
-/// struct-of-arrays sweep cuts per-element cost — most sharply for
-/// PCHIP, whose closed-form inverse replaced an inner per-element
-/// bisection — which *raises* the relative weight of fork-join overhead
-/// and pushes the true crossover up, not down. 4096 therefore remains a
-/// safe floor: below it the parallel wrappers fall through to the
-/// sequential path outright, and on a single-thread pool the vendored
-/// executor's inline fast path keeps the fanned-out sweep within noise
-/// of sequential (the bench matrix asserts par ≥ 0.95× seq on every
-/// entry). The per-sweep `kernel_sweep_micros` bench field exists to
-/// re-measure this crossover on real multi-core hosts.
-pub const PAR_THRESHOLD: usize = 4096;
+/// This is the shared workspace crossover from [`crate::tuning`]
+/// (env-overridable via `AA_PAR_THRESHOLD`, parsed once); the
+/// linearizer and the price-discovery sweeps gate on the same value, so
+/// the crossover can no longer diverge between crates.
+pub use crate::tuning::par_threshold;
 
 /// Marker error: an interruptible allocation was abandoned because its
 /// cancel token fired *between* two check-closure calls (the pool
@@ -571,7 +564,7 @@ where
 }
 
 /// [`allocate`] with the per-λ demand evaluation fanned out over the
-/// thread pool once `utils.len() ≥ `[`PAR_THRESHOLD`]. **Bit-identical**
+/// thread pool once `utils.len() ≥ `[`par_threshold`]. **Bit-identical**
 /// to [`allocate`] for every thread count (`AA_NUM_THREADS`, or a scoped
 /// `rayon::with_threads`): the two share one implementation, and the
 /// vendored pool materializes per-thread values in index order and sums
@@ -582,7 +575,7 @@ where
 /// sizes (`n` in the hundreds of thousands), where the super-optimal
 /// allocation is the entire running time of Algorithm 2.
 pub fn allocate_par<U: Utility + Sync>(utils: &[U], budget: f64) -> Allocation {
-    if utils.len() < PAR_THRESHOLD {
+    if utils.len() < par_threshold() {
         return allocate(utils, budget);
     }
     expect_complete(allocate_impl(utils, budget, &Par, true, &mut || Ok(())))
@@ -606,7 +599,7 @@ where
     U: Utility + Sync,
     E: From<Interrupted>,
 {
-    if utils.len() < PAR_THRESHOLD {
+    if utils.len() < par_threshold() {
         return allocate_interruptible(utils, budget, check);
     }
     allocate_impl(utils, budget, &ParCancel(token), true, check)
@@ -1415,7 +1408,7 @@ mod par_tests {
     fn parallel_is_bit_identical_above_threshold() {
         // Above the threshold the parallel strategy actually runs; the
         // determinism contract promises *exact* equality, not closeness.
-        let utils = mixed_pool(PAR_THRESHOLD + 100);
+        let utils = mixed_pool(par_threshold() + 100);
         let budget = 0.3 * 100.0 * utils.len() as f64;
         let seq = allocate(&utils, budget);
         let par = allocate_par(&utils, budget);
@@ -1428,7 +1421,7 @@ mod par_tests {
 
     #[test]
     fn parallel_is_bit_identical_across_thread_counts() {
-        let utils = mixed_pool(PAR_THRESHOLD + 37);
+        let utils = mixed_pool(par_threshold() + 37);
         let budget = 0.2 * 100.0 * utils.len() as f64;
         let reference = rayon::with_threads(1, || allocate_par(&utils, budget));
         for threads in [2, 4, 8] {
@@ -1439,7 +1432,7 @@ mod par_tests {
 
     #[test]
     fn parallel_exhausts_budget() {
-        let utils: Vec<Power> = (0..PAR_THRESHOLD + 1)
+        let utils: Vec<Power> = (0..par_threshold() + 1)
             .map(|i| Power::new(1.0 + (i % 5) as f64, 0.5, 50.0))
             .collect();
         let budget = 10_000.0;
@@ -1450,7 +1443,7 @@ mod par_tests {
     #[test]
     fn parallel_saturation_fast_path_matches() {
         // budget ≥ Σ caps takes the early-return branch in both paths.
-        let utils = mixed_pool(PAR_THRESHOLD + 3);
+        let utils = mixed_pool(par_threshold() + 3);
         let budget = 101.0 * utils.len() as f64;
         let seq = allocate(&utils, budget);
         let par = allocate_par(&utils, budget);
@@ -1459,7 +1452,7 @@ mod par_tests {
 
     #[test]
     fn par_interruptible_with_clear_token_is_bit_identical() {
-        let utils = mixed_pool(PAR_THRESHOLD + 51);
+        let utils = mixed_pool(par_threshold() + 51);
         let budget = 0.25 * 100.0 * utils.len() as f64;
         let plain = allocate_par(&utils, budget);
         let token = rayon::CancelToken::new();
@@ -1481,7 +1474,7 @@ mod par_tests {
     fn par_interruptible_pre_cancelled_token_reports_interrupted() {
         // A token fired externally (no check of our own erring) surfaces
         // as the Interrupted marker, not a panic or a bogus allocation.
-        let utils = mixed_pool(PAR_THRESHOLD + 8);
+        let utils = mixed_pool(par_threshold() + 8);
         let token = rayon::CancelToken::new();
         token.cancel();
         let result = rayon::with_threads(4, || {

@@ -34,12 +34,14 @@ pub mod exact_dp;
 pub mod laminar;
 pub mod greedy;
 pub mod segment;
+pub mod tuning;
 
 use aa_utility::Utility;
 
 pub use bisection::{
     discrete_ladder_bracket, Interrupted, WarmCache, WarmMode, WarmStats,
 };
+pub use tuning::{par_threshold, DEFAULT_PAR_THRESHOLD};
 
 /// Result of a single-pool allocation.
 #[derive(Debug, Clone, PartialEq)]

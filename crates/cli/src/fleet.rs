@@ -106,10 +106,11 @@ pub fn parse_ladder(s: &str) -> Result<Vec<Tier>, String> {
             "exact-bb" => Tier::BranchAndBound,
             "algo2-refined" => Tier::Algo2Refined,
             "algo2" => Tier::Algo2,
+            "price" => Tier::Price,
             "uu" => Tier::Uu,
             other => {
                 return Err(format!(
-                    "unknown ladder tier {other:?}; expected exact-bb, algo2-refined, algo2, or uu"
+                    "unknown ladder tier {other:?}; expected exact-bb, algo2-refined, algo2, price, or uu"
                 ))
             }
         });
@@ -1662,7 +1663,7 @@ mod tests {
         assert!(parse_ladder("algo3").is_err());
         assert!(parse_ladder("").is_err());
         // Round-trip: every tier's name parses back to itself.
-        for tier in [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Uu] {
+        for tier in [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Price, Tier::Uu] {
             assert_eq!(parse_ladder(tier.name()).unwrap(), vec![tier]);
         }
     }

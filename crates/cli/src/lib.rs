@@ -28,7 +28,7 @@ pub mod worker;
 use aa_core::churn::ClusterEvent;
 use aa_core::solver::{
     batch_seed, Algo1, Algo2, Algo2FairShare, Algo2Refined, Algo2SingleSort, BranchAndBound,
-    BruteForce, Rr, Ru, SolveError, Solver, Ur, Uu,
+    BruteForce, PriceSolver, Rr, Ru, SolveError, Solver, Ur, Uu,
 };
 use aa_core::{algo2, superopt, Problem, TieredSolver, ALPHA};
 use aa_sim::controller::RepairPolicy;
@@ -184,6 +184,7 @@ pub fn solver_by_name(name: &str) -> Result<Box<dyn Solver + Send + Sync>, CliEr
         "algo1" => Box::new(Algo1),
         "algo2" => Box::new(Algo2),
         "algo2-refined" => Box::new(Algo2Refined),
+        "price" => Box::new(PriceSolver),
         "algo2-single-sort" => Box::new(Algo2SingleSort),
         "algo2-fair-share" => Box::new(Algo2FairShare),
         "uu" => Box::new(Uu),
@@ -201,6 +202,7 @@ pub fn solver_by_name(name: &str) -> Result<Box<dyn Solver + Send + Sync>, CliEr
 pub const SOLVER_NAMES: &[&str] = &[
     "algo2",
     "algo2-refined",
+    "price",
     "algo1",
     "uu",
     "ur",
@@ -454,7 +456,12 @@ pub fn churn_document(
 /// demand sweep vs one per-element virtual-dispatch sweep) and the
 /// `discrete_path` entries timing the all-discrete integer ladder
 /// against the generic bisection on constructed staircase instances.
-pub const BENCH_VERSION: u32 = 4;
+/// Version 5 added the `scale` entries (`--mode scale`): the
+/// price-discovery backend vs Algorithm 2 on the paper matrix plus
+/// `n ∈ {10⁵, 10⁶}` instances — wall clock, iteration counts, utility
+/// gaps vs the superopt bound and vs Algo2, per-iteration sweep
+/// seq/par timing, and warm-vs-cold drifted re-solve timing.
+pub const BENCH_VERSION: u32 = 5;
 
 /// Which benchmark suites `aa-solve bench` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -463,7 +470,10 @@ pub enum BenchMode {
     Matrix,
     /// The cold-vs-warm incremental drift workload only.
     Incremental,
-    /// Both suites in one report.
+    /// The price-backend scale suite only (paper matrix + 10⁵/10⁶).
+    Scale,
+    /// The matrix and incremental suites in one report (`scale` stays
+    /// opt-in: its 10⁶ cell is too heavy for the default run).
     Full,
 }
 
@@ -478,11 +488,20 @@ pub struct BenchOpts {
     pub reps: usize,
     /// Which suites to run.
     pub mode: BenchMode,
+    /// Upper bound on the scale suite's instance sizes (threads). CI
+    /// smoke passes `--max-threads 100000` to skip the 10⁶ cell.
+    pub max_threads: usize,
 }
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { small: false, seed: 2016, reps: 3, mode: BenchMode::Full }
+        BenchOpts {
+            small: false,
+            seed: 2016,
+            reps: 3,
+            mode: BenchMode::Full,
+            max_threads: usize::MAX,
+        }
     }
 }
 
@@ -591,6 +610,72 @@ pub struct IncrementalEntry {
     pub identical: bool,
 }
 
+/// One scale-suite cell (schema v5): the price-discovery backend and
+/// Algorithm 2 solving the same seeded instance, with the price
+/// backend's convergence and warm-restart behaviour instrumented.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEntry {
+    /// Workload distribution name.
+    pub dist: String,
+    /// Size label: `paper-large`, `100k`, or `1m`.
+    pub size: String,
+    /// Servers `m`.
+    pub servers: usize,
+    /// Threads `n`.
+    pub threads: usize,
+    /// Instance seed (derived from the base seed and the entry index).
+    pub seed: u64,
+    /// Minimum wall time of `algo2::solve`, milliseconds.
+    pub algo2_millis: f64,
+    /// Minimum wall time of the cold price solve, milliseconds.
+    pub price_millis: f64,
+    /// `algo2_millis / price_millis` (> 1 where price wins).
+    pub speedup_vs_algo2: f64,
+    /// Total utility of the Algo2 assignment.
+    pub algo2_utility: f64,
+    /// Total utility of the price assignment.
+    pub price_utility: f64,
+    /// The super-optimal upper bound `F̂`.
+    pub superopt_bound: f64,
+    /// `(superopt_bound − price_utility) / superopt_bound`.
+    pub gap_vs_bound: f64,
+    /// `(algo2_utility − price_utility) / algo2_utility` (negative when
+    /// price beats Algo2).
+    pub gap_vs_algo2: f64,
+    /// Global price-discovery iterations of the cold solve.
+    pub iterations: u64,
+    /// Per-server refinement iterations (summed) of the cold solve.
+    pub refine_iterations: u64,
+    /// Total demand sweeps of the cold solve.
+    pub sweeps: u64,
+    /// Whether the global market cleared within tolerance under the
+    /// iteration cap.
+    pub converged: bool,
+    /// Minimum wall time of one sequential full-width demand sweep,
+    /// microseconds.
+    pub sweep_seq_micros: f64,
+    /// Minimum wall time of the same sweep through the pool, microseconds.
+    pub sweep_par_micros: f64,
+    /// `sweep_seq_micros / sweep_par_micros` — the per-iteration
+    /// speedup the backend's scaling rests on. Expect ≥ 2× only at
+    /// `pool_threads ≥ 4`.
+    pub sweep_speedup: f64,
+    /// Wall time of a cold price solve on the ~1%-drifted instance,
+    /// milliseconds.
+    pub cold_millis: f64,
+    /// Wall time of a warm price solve (carried [`aa_core::PriceWarmState`])
+    /// on the same drifted instance, milliseconds.
+    pub warm_millis: f64,
+    /// `cold_millis / warm_millis`.
+    pub warm_speedup: f64,
+    /// Global iterations of the warm drifted re-solve (expect far fewer
+    /// than `iterations`).
+    pub warm_iterations: u64,
+    /// Whether the price solve is bit-identical run at 1 pool thread and
+    /// at the ambient pool width (the determinism contract).
+    pub identical: bool,
+}
+
 /// The benchmark document written to `BENCH_solver.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -613,6 +698,10 @@ pub struct BenchReport {
     /// All-discrete ladder measurements, one per matrix size; empty in
     /// [`BenchMode::Incremental`] runs (schema v4).
     pub discrete_path: Vec<DiscretePathEntry>,
+    /// Price-backend scale suite; populated only in [`BenchMode::Scale`]
+    /// runs (schema v5).
+    #[serde(default)]
+    pub scale: Vec<ScaleEntry>,
 }
 
 /// The four paper workload distributions, in reporting order.
@@ -627,7 +716,7 @@ fn bench_distributions() -> Vec<(&'static str, Distribution)> {
 
 /// Matrix sizes: the small cell stays under the allocator's parallel
 /// threshold (it measures overhead, not speedup); the large cell's
-/// `n = 8192` clears [`aa_allocator::bisection::PAR_THRESHOLD`] so the
+/// `n = 8192` clears [`aa_allocator::par_threshold`] so the
 /// pool path genuinely runs.
 fn bench_sizes(small_only: bool) -> Vec<(&'static str, usize, usize)> {
     if small_only {
@@ -889,6 +978,161 @@ fn drift_entry(
     })
 }
 
+/// Scale-suite cells: the four paper distributions at the paper's large
+/// matrix size, plus uniform instances at `n = 10⁵` and `n = 10⁶` (16
+/// servers; see [`InstanceSpec::scale`]). Cells above `max_threads`
+/// are dropped — CI smoke passes `--max-threads 100000`.
+fn scale_specs(max_threads: usize) -> Vec<(&'static str, &'static str, InstanceSpec)> {
+    let mut specs = Vec::new();
+    for (dist_name, dist) in bench_distributions() {
+        specs.push((
+            dist_name,
+            "paper-large",
+            InstanceSpec { servers: 16, beta: 512, capacity: 1000.0, dist },
+        ));
+    }
+    specs.push(("uniform", "100k", InstanceSpec::scale(Distribution::Uniform, 100_000)));
+    specs.push(("uniform", "1m", InstanceSpec::scale(Distribution::Uniform, 1_000_000)));
+    specs.retain(|(_, _, s)| s.threads() <= max_threads);
+    specs
+}
+
+/// Run one scale-suite cell: Algo2 and the price backend on the same
+/// seeded instance, plus the price backend's sweep-level seq/par
+/// timing, a ~1% drift warm-vs-cold re-solve, and a 1-thread-vs-pool
+/// bit-identity check. Heavy cells (`n ≥ 5·10⁵`) run one rep.
+fn scale_entry(
+    dist_name: &str,
+    size: &str,
+    spec: &InstanceSpec,
+    reps: usize,
+    entry_seed: u64,
+) -> Result<ScaleEntry, CliError> {
+    use aa_core::price::{self, PriceOpts, PriceWarmState};
+    use aa_utility::DemandTable;
+
+    let mut rng = StdRng::seed_from_u64(entry_seed);
+    let problem = spec.generate(&mut rng).map_err(CliError::Problem)?;
+    let n = problem.len();
+    let reps = if n >= 500_000 { 1 } else { reps.max(1) };
+    let price_opts = PriceOpts::default();
+
+    let (algo2_millis, a2) = time_best(reps, || algo2::solve_par(&problem));
+    let mut price_millis = f64::INFINITY;
+    let mut price_a = None;
+    let mut stats = aa_core::PriceStats::default();
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let (a, s) = price::solve_with_opts(&problem, &price_opts, None, None)
+            .expect("unbudgeted price solve cannot fail");
+        price_millis = price_millis.min(t0.elapsed().as_secs_f64() * 1e3);
+        price_a = Some(a);
+        stats = s;
+    }
+    let price_a = price_a.expect("reps ≥ 1");
+    let algo2_utility = a2.total_utility(&problem);
+    let price_utility = price_a.total_utility(&problem);
+    let superopt_bound = superopt::super_optimal_par(&problem).utility;
+
+    // Per-iteration sweep timing: one full-width demand sweep,
+    // sequential vs through the pool, minimum over reps and probe
+    // prices. This is the quantity the backend's scaling rests on.
+    let utils = problem.capped_threads();
+    let mut table = DemandTable::new();
+    table.compile(&utils);
+    let mut out = vec![0.0; n];
+    let lambdas: [f64; 4] = [1e-2, 0.1, 1.0, 10.0];
+    let mut sweep_seq_micros = f64::INFINITY;
+    let mut sweep_par_micros = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        for &l in &lambdas {
+            table.batch_inverse_derivative(&utils, l, &mut out);
+        }
+        sweep_seq_micros =
+            sweep_seq_micros.min(t0.elapsed().as_secs_f64() * 1e6 / lambdas.len() as f64);
+        let t1 = std::time::Instant::now();
+        for &l in &lambdas {
+            price::par_sweep(&table, &utils, l, &mut out);
+        }
+        sweep_par_micros =
+            sweep_par_micros.min(t1.elapsed().as_secs_f64() * 1e6 / lambdas.len() as f64);
+    }
+    std::hint::black_box(out[0]);
+
+    // Warm-vs-cold drifted re-solve: converge a warm state on the
+    // original instance, mutate ~1% of the threads, then solve the
+    // drifted instance cold and through the carried prices.
+    let mut base_state = PriceWarmState::new();
+    let _ = price::solve_warm(&problem, &mut base_state)
+        .expect("unbudgeted price solve cannot fail");
+    let mut threads: Vec<aa_utility::DynUtility> = problem.threads().to_vec();
+    let churn = (n / 100).max(1);
+    for g in aa_workloads::genutil::generate_many(&spec.dist, spec.capacity, churn, &mut rng) {
+        let at = (rng.next_u64() % n as u64) as usize;
+        threads[at] = g.utility;
+    }
+    let drifted =
+        Problem::new(spec.servers, spec.capacity, threads).map_err(CliError::Problem)?;
+    let mut cold_millis = f64::INFINITY;
+    let mut warm_millis = f64::INFINITY;
+    let mut warm_iterations = 0_u64;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let _ = price::solve(&drifted);
+        cold_millis = cold_millis.min(t0.elapsed().as_secs_f64() * 1e3);
+        // Fresh clone per rep so every warm run starts from the same
+        // pre-drift prices.
+        let mut state = base_state.clone();
+        let t1 = std::time::Instant::now();
+        let _ = price::solve_warm(&drifted, &mut state)
+            .expect("unbudgeted price solve cannot fail");
+        warm_millis = warm_millis.min(t1.elapsed().as_secs_f64() * 1e3);
+        warm_iterations = state.last_stats().iterations;
+    }
+
+    // Determinism: the cold solve at one pool thread must be
+    // bit-identical to the ambient-pool solve above.
+    let one = rayon::with_threads(1, || price::solve(&problem));
+    let identical = one == price_a;
+
+    Ok(ScaleEntry {
+        dist: dist_name.to_string(),
+        size: size.to_string(),
+        servers: spec.servers,
+        threads: n,
+        seed: entry_seed,
+        algo2_millis,
+        price_millis,
+        speedup_vs_algo2: algo2_millis / price_millis.max(1e-9),
+        algo2_utility,
+        price_utility,
+        superopt_bound,
+        gap_vs_bound: if superopt_bound > 0.0 {
+            (superopt_bound - price_utility) / superopt_bound
+        } else {
+            0.0
+        },
+        gap_vs_algo2: if algo2_utility > 0.0 {
+            (algo2_utility - price_utility) / algo2_utility
+        } else {
+            0.0
+        },
+        iterations: stats.iterations,
+        refine_iterations: stats.refine_iterations,
+        sweeps: stats.sweeps,
+        converged: stats.converged,
+        sweep_seq_micros,
+        sweep_par_micros,
+        sweep_speedup: sweep_seq_micros / sweep_par_micros.max(1e-9),
+        cold_millis,
+        warm_millis,
+        warm_speedup: cold_millis / warm_millis.max(1e-9),
+        warm_iterations,
+        identical,
+    })
+}
+
 /// Run the fixed benchmark matrix: every paper distribution × every size
 /// × {sequential, parallel} Algorithm 2, on instances derived
 /// deterministically from `opts.seed`. Timing varies run to run; every
@@ -898,6 +1142,7 @@ fn drift_entry(
 pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
     let run_matrix = matches!(opts.mode, BenchMode::Matrix | BenchMode::Full);
     let run_incremental = matches!(opts.mode, BenchMode::Incremental | BenchMode::Full);
+    let run_scale = matches!(opts.mode, BenchMode::Scale);
 
     let mut entries = Vec::new();
     let mut index = 0_usize;
@@ -973,6 +1218,26 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
         }
     }
 
+    let mut scale = Vec::new();
+    if run_scale {
+        // Seeds decoupled from the matrix (0..), drift (1000..) and
+        // ladder (2000..) blocks so adding cells anywhere never
+        // reshuffles another suite's instances.
+        // `--small` caps the suite at 10^5; an explicit tighter
+        // `--max-threads` composes rather than being ignored.
+        let max = if opts.small {
+            opts.max_threads.min(100_000)
+        } else {
+            opts.max_threads
+        };
+        for (scale_index, (dist_name, size, spec)) in
+            scale_specs(max).into_iter().enumerate()
+        {
+            let entry_seed = batch_seed(opts.seed, 3000 + scale_index);
+            scale.push(scale_entry(dist_name, size, &spec, opts.reps, entry_seed)?);
+        }
+    }
+
     Ok(BenchReport {
         version: BENCH_VERSION,
         solver: "algo2".to_string(),
@@ -982,6 +1247,7 @@ pub fn bench_document(opts: &BenchOpts) -> Result<BenchReport, CliError> {
         entries,
         incremental,
         discrete_path,
+        scale,
     })
 }
 
@@ -1136,7 +1402,7 @@ mod tests {
 
     #[test]
     fn bench_small_matrix_is_identical_and_within_guarantee() {
-        let opts = BenchOpts { small: true, seed: 7, reps: 1, mode: BenchMode::Matrix };
+        let opts = BenchOpts { small: true, seed: 7, reps: 1, mode: BenchMode::Matrix, ..BenchOpts::default() };
         let report = bench_document(&opts).unwrap();
         assert_eq!(report.version, BENCH_VERSION);
         assert_eq!(report.entries.len(), 4); // four distributions × one size
@@ -1159,7 +1425,7 @@ mod tests {
 
     #[test]
     fn bench_report_round_trips_through_json() {
-        let opts = BenchOpts { small: true, seed: 1, reps: 1, mode: BenchMode::Full };
+        let opts = BenchOpts { small: true, seed: 1, reps: 1, mode: BenchMode::Full, ..BenchOpts::default() };
         let report = bench_document(&opts).unwrap();
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
@@ -1170,7 +1436,7 @@ mod tests {
 
     #[test]
     fn bench_incremental_mode_is_bit_identical_and_stays_warm() {
-        let opts = BenchOpts { small: true, seed: 3, reps: 1, mode: BenchMode::Incremental };
+        let opts = BenchOpts { small: true, seed: 3, reps: 1, mode: BenchMode::Incremental, ..BenchOpts::default() };
         let report = bench_document(&opts).unwrap();
         assert!(report.entries.is_empty(), "incremental mode ran the matrix");
         assert_eq!(report.incremental.len(), 4); // four distributions × one size

@@ -23,9 +23,9 @@ usage:
                  [--policy never|in-place|migrations|resolve] [--budget K]
                  [--solver NAME] [--seed S] [--crash-rate F] [--recovery-rate F]
                  [--flap-rate F] [--arrival-rate F] [--departure-rate F] [--pretty]
-  aa-solve bench [--small] [--mode matrix|incremental|full]
+  aa-solve bench [--small] [--mode matrix|incremental|scale|full]
                  [--out BENCH_solver.json] [--seed S] [--reps R]
-                 [--threads N] [--trace out.json] [--pretty]
+                 [--threads N] [--max-threads N] [--trace out.json] [--pretty]
   aa-solve serve [--shards N | --fleet N] [--queue N] [--deadline-ms D]
                  [--grace-ms G] [--breaker K] [--cooldown N]
                  [--max-line-bytes B] [--counters PATH]
@@ -323,6 +323,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
     let mode = match flag_value(args, "--mode")?.unwrap_or("full") {
         "matrix" => BenchMode::Matrix,
         "incremental" => BenchMode::Incremental,
+        "scale" => BenchMode::Scale,
         "full" => BenchMode::Full,
         other => return Err(Failure::Usage(format!("unknown bench mode {other:?}"))),
     };
@@ -331,6 +332,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         seed: parsed_flag(args, "--seed", defaults.seed)?,
         reps: parsed_flag(args, "--reps", defaults.reps)?,
         mode,
+        max_threads: parsed_flag(args, "--max-threads", defaults.max_threads)?,
     };
     let out_path = flag_value(args, "--out")?.unwrap_or("BENCH_solver.json");
     let threads: usize = parsed_flag(args, "--threads", 0)?;
@@ -351,6 +353,16 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         "bench: solver={} pool_threads={} hardware_threads={} seed={} → {out_path}",
         report.solver, report.pool_threads, report.hardware_threads, report.seed
     );
+    if report.pool_threads < 4 {
+        aa_obs::obs_warn!(
+            "bench",
+            "POOL TOO NARROW: pool_threads={} (hardware_threads={}). Every parallel \
+             speedup column in this report is ≈1.0 and the par gates are vacuous. \
+             Re-run with AA_NUM_THREADS>=4 (or --threads 4) on a multi-core host \
+             before reading speedups or committing this report as a baseline.",
+            report.pool_threads, report.hardware_threads
+        );
+    }
     for e in &report.entries {
         aa_obs::obs_info!(
             "bench",
@@ -387,6 +399,18 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
             e.identical
         );
     }
+    for e in &report.scale {
+        aa_obs::obs_info!(
+            "bench",
+            "  {:<9} {:<11} n={:<8} algo2={:>10.3}ms price={:>10.3}ms speedup={:>5.2}x \
+             gap_bound={:.4} gap_algo2={:.4} iters={}+{} converged={} \
+             sweep seq={:.1}µs par={:.1}µs ({:.2}x) warm={:.3}ms cold={:.3}ms ({:.2}x) identical={}",
+            e.dist, e.size, e.threads, e.algo2_millis, e.price_millis, e.speedup_vs_algo2,
+            e.gap_vs_bound, e.gap_vs_algo2, e.iterations, e.refine_iterations, e.converged,
+            e.sweep_seq_micros, e.sweep_par_micros, e.sweep_speedup,
+            e.warm_millis, e.cold_millis, e.warm_speedup, e.identical
+        );
+    }
     if report.entries.iter().any(|e| !e.identical) {
         return Err(Failure::App(CliError::Churn(
             "determinism violation: a parallel solve diverged from sequential".into(),
@@ -401,6 +425,18 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         return Err(Failure::App(CliError::Churn(
             "discrete fast path violation: ladder disengaged or diverged from generic".into(),
         )));
+    }
+    if report.scale.iter().any(|e| !e.identical) {
+        return Err(Failure::App(CliError::Churn(
+            "determinism violation: a price solve diverged across pool widths".into(),
+        )));
+    }
+    if let Some(e) = report.scale.iter().find(|e| !e.converged || e.gap_vs_bound > 0.05) {
+        return Err(Failure::App(CliError::Churn(format!(
+            "price convergence violation: {} {} converged={} gap_vs_bound={:.4} \
+             (tolerance: converged within the iteration cap, gap ≤ 0.05)",
+            e.dist, e.size, e.converged, e.gap_vs_bound
+        ))));
     }
     Ok(())
 }

@@ -283,7 +283,7 @@ impl ServeMetrics {
             internal_errors: registry.counter("aa_serve_internal_errors_total"),
             deadline_misses: registry.counter("aa_serve_deadline_misses_total"),
             latency: registry.histogram("aa_serve_latency_micros"),
-            per_tier: [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Uu]
+            per_tier: [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Price, Tier::Uu]
                 .iter()
                 .map(|t| {
                     (

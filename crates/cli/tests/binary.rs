@@ -223,7 +223,7 @@ fn bench_small_writes_valid_schema_with_matching_utilities() {
     };
 
     let report = run();
-    assert_eq!(report["version"].as_u64(), Some(4));
+    assert_eq!(report["version"].as_u64(), Some(5));
     assert_eq!(report["solver"], "algo2");
     assert!(report["pool_threads"].as_u64().unwrap() >= 1);
     assert!(report["hardware_threads"].as_u64().unwrap() >= 1);
@@ -310,7 +310,7 @@ fn bench_incremental_mode_reports_warm_vs_cold() {
 
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
-    assert_eq!(report["version"].as_u64(), Some(4));
+    assert_eq!(report["version"].as_u64(), Some(5));
     assert!(report["entries"].as_array().unwrap().is_empty());
     assert!(report["discrete_path"].as_array().unwrap().is_empty());
     let incremental = report["incremental"].as_array().unwrap();

@@ -84,7 +84,7 @@ fn solve_counter() -> &'static aa_obs::Counter {
 /// fan-out overhead for maps that finish in microseconds (the benchmark
 /// suite asserts no small-instance slowdown).
 pub fn solve_par(problem: &Problem) -> Assignment {
-    if problem.len() < aa_allocator::bisection::PAR_THRESHOLD {
+    if problem.len() < aa_allocator::par_threshold() {
         return solve(problem);
     }
     let _span = aa_obs::span!("algo2");
@@ -395,7 +395,7 @@ mod par_tests {
         // Above the allocator's parallel threshold, so the pool path
         // actually runs. The determinism contract is exact equality —
         // not closeness — at every thread count.
-        let n = aa_allocator::bisection::PAR_THRESHOLD + 904;
+        let n = aa_allocator::par_threshold() + 904;
         let p = Problem::builder(16, 100.0)
             .threads((0..n).map(|i| {
                 let s = 0.5 + i as f64 * 1e-3;
@@ -422,7 +422,7 @@ mod par_tests {
         // Above the allocator's parallel threshold the budgeted path runs
         // the cancellable pool fan-out; with a roomy budget it must still
         // match the plain solve bit for bit.
-        let n = aa_allocator::bisection::PAR_THRESHOLD + 117;
+        let n = aa_allocator::par_threshold() + 117;
         let p = Problem::builder(8, 50.0)
             .threads((0..n).map(|i| {
                 Arc::new(Power::new(0.5 + (i % 13) as f64 * 0.2, 0.6, 50.0))

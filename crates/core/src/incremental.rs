@@ -136,6 +136,7 @@ pub struct WarmState {
     prev_capacity: f64,
     has_prev: bool,
     stats: IncrementalStats,
+    price: crate::price::PriceWarmState,
 }
 
 impl WarmState {
@@ -149,13 +150,25 @@ impl WarmState {
         self.stats
     }
 
+    /// The price backend's converged-price state, riding in the same
+    /// warm container so serve-layer per-stream maps carry it for free.
+    pub fn price(&self) -> &crate::price::PriceWarmState {
+        &self.price
+    }
+
+    /// Mutable access for the price backend's warm solve path.
+    pub fn price_mut(&mut self) -> &mut crate::price::PriceWarmState {
+        &mut self.price
+    }
+
     /// Drop everything cached: the next solve is a cold build. Called
     /// automatically when a budgeted solve aborts mid-flight (the arena
-    /// may be half-updated).
+    /// may be half-updated). Cascades to the carried price state.
     pub fn invalidate(&mut self) {
         self.has_prev = false;
         self.prev_threads.clear();
         self.arena.cache.invalidate();
+        self.price.invalidate();
     }
 }
 

@@ -51,6 +51,7 @@ pub mod heuristics;
 pub mod incremental;
 pub mod linearize;
 pub mod online;
+pub mod price;
 pub mod problem;
 pub mod reduction;
 pub mod refine;
@@ -68,13 +69,14 @@ pub use incremental::{IncrementalStats, SolveMode, SolverArena, WarmState};
 pub use fleet::{
     Backoff, FleetRouter, FrameError, PendingEntry, PendingMap, RouteDecision,
 };
+pub use price::{PriceOpts, PriceStats, PriceWarmState};
 pub use problem::{Assignment, AssignmentError, Problem, ProblemBuilder, ProblemError};
 pub use ring::Ring;
 pub use shard::{
     ChaosHook, FaultAction, ShardCompletion, ShardConfig, ShardError, ShardJob, ShardPool,
     SubmitError,
 };
-pub use solver::{batch_seed, solve_batch, try_solve_batch, SolveError, Solver};
+pub use solver::{batch_seed, solve_batch, try_solve_batch, SolveError, Solver, SolverBackend};
 pub use tiered::{Degradation, Tier, TierOutcome, TierStatus, TieredSolve, TieredSolver};
 
 /// The approximation ratio `α = 2(√2 − 1) ≈ 0.8284` guaranteed by

@@ -20,8 +20,11 @@ use crate::superopt::SuperOptimal;
 /// Thread-count threshold past which [`linearize_par`] fans the
 /// per-thread `g_i` construction out over the pool. Each element costs a
 /// single `f.value(ĉ_i)` evaluation, so small instances are cheaper
-/// sequentially.
-pub const PAR_THRESHOLD: usize = 4096;
+/// sequentially. This is the shared workspace crossover
+/// ([`aa_allocator::tuning`], env-overridable via `AA_PAR_THRESHOLD`,
+/// parsed once) — the bisection's demand sweeps gate on the same value,
+/// so the two stages can no longer silently diverge.
+pub use aa_allocator::tuning::par_threshold;
 
 /// Linearize thread `i` through `c_hat`: the shared per-thread kernel of
 /// [`linearize`], [`linearize_par`] and the incremental delta path
@@ -48,7 +51,7 @@ pub fn linearize(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
 }
 
 /// [`linearize`] with the per-thread `g_i` construction fanned out over
-/// the thread pool once the instance has at least [`PAR_THRESHOLD`]
+/// the thread pool once the instance has at least [`par_threshold`]
 /// threads. **Bit-identical** to [`linearize`] for every thread count:
 /// each `g_i` depends only on `(f_i, ĉ_i, C)` and the pool's `collect`
 /// writes results into their input positions.
@@ -58,7 +61,7 @@ pub fn linearize_par(problem: &Problem, so: &SuperOptimal) -> Vec<Linearized> {
         problem.len(),
         "super-optimal allocation must cover every thread"
     );
-    if problem.len() < PAR_THRESHOLD {
+    if problem.len() < par_threshold() {
         return linearize(problem, so);
     }
     let _span = aa_obs::span!("linearize");
@@ -143,7 +146,7 @@ mod tests {
     #[test]
     fn par_path_is_bit_identical() {
         // Above the threshold so the parallel branch actually runs.
-        let n = super::PAR_THRESHOLD + 13;
+        let n = super::par_threshold() + 13;
         let p = Problem::builder(4, 8.0)
             .threads((0..n).map(|i| {
                 Arc::new(Power::new(1.0 + (i % 7) as f64, 0.5, 8.0)) as _

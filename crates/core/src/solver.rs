@@ -413,6 +413,77 @@ impl Solver for Algo2Refined {
     }
 }
 
+/// The price-discovery backend (see [`crate::price`]): damped
+/// tâtonnement on a clearing price with pool-parallel demand sweeps,
+/// per-server refinement, and prices as warm state. Same facade as
+/// [`Algo2`]; built for the `n = 10⁵..10⁶` regime the bisection
+/// pipeline cannot reach.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriceSolver;
+
+impl Solver for PriceSolver {
+    fn name(&self) -> &'static str {
+        "price"
+    }
+    fn solve_with(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Assignment {
+        crate::price::solve(problem)
+    }
+    fn try_solve_warm(
+        &self,
+        problem: &Problem,
+        state: &mut crate::incremental::WarmState,
+    ) -> Result<Assignment, SolveError> {
+        check_finite_utilities(problem)?;
+        let a = crate::price::solve_warm(problem, state.price_mut())?;
+        a.validate(problem).map_err(SolveError::Infeasible)?;
+        Ok(a)
+    }
+}
+
+/// Backend selector for facade-level construction: callers that don't
+/// care which concrete solver type they hold pick a backend and get a
+/// boxed [`Solver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// The paper's Algorithm 2: λ-bisection superopt → linearize →
+    /// greedy assignment. The default; strongest guarantee
+    /// (`α = 2(√2 − 1)`).
+    #[default]
+    Algo2,
+    /// Price discovery ([`crate::price`]): parallel demand sweeps per
+    /// iteration, tolerance-based convergence, warm prices. Preferred
+    /// at very large `n` and for drifting re-solve streams.
+    Price,
+}
+
+impl SolverBackend {
+    /// The backend's stable identifier (`"algo2"` / `"price"`), equal to
+    /// the produced solver's [`Solver::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverBackend::Algo2 => "algo2",
+            SolverBackend::Price => "price",
+        }
+    }
+
+    /// Parse a backend name (the inverse of [`SolverBackend::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "algo2" => Some(SolverBackend::Algo2),
+            "price" => Some(SolverBackend::Price),
+            _ => None,
+        }
+    }
+
+    /// Construct the backend's solver behind the common facade.
+    pub fn solver(self) -> Box<dyn Solver + Send + Sync> {
+        match self {
+            SolverBackend::Algo2 => Box::new(Algo2),
+            SolverBackend::Price => Box::new(PriceSolver),
+        }
+    }
+}
+
 /// All solvers the experiments compare (Algorithm 2 plus the four paper
 /// baselines), in the paper's reporting order.
 pub fn paper_lineup() -> Vec<Box<dyn Solver>> {
@@ -456,6 +527,7 @@ mod tests {
             Box::new(Algo2FairShare),
             Box::new(Algo2Refined),
             Box::new(BranchAndBound),
+            Box::new(PriceSolver),
         ];
         for s in &solvers {
             let a = s.solve(&p);
@@ -478,6 +550,7 @@ mod tests {
             Box::new(Algo2FairShare),
             Box::new(Algo2Refined),
             Box::new(BranchAndBound),
+            Box::new(PriceSolver),
         ];
         let mut names: Vec<&str> = solvers.iter().map(|s| s.name()).collect();
         names.sort_unstable();

@@ -51,6 +51,10 @@ pub enum Tier {
     Algo2Refined,
     /// Algorithm 2 alone.
     Algo2,
+    /// Price discovery ([`crate::price`]): tolerance-converged, cheaper
+    /// per solve at very large `n`. Not in the default ladder; opt in
+    /// via [`TieredSolver::with_ladder`] for scale-heavy streams.
+    Price,
     /// Round-robin placement, equal split: the unbudgeted `O(n)` floor.
     Uu,
 }
@@ -62,6 +66,7 @@ impl Tier {
             Tier::BranchAndBound => "exact-bb",
             Tier::Algo2Refined => "algo2-refined",
             Tier::Algo2 => "algo2",
+            Tier::Price => "price",
             Tier::Uu => "uu",
         }
     }
@@ -187,6 +192,7 @@ fn tier_span_name(tier: Tier) -> &'static str {
         Tier::BranchAndBound => "tier_exact_bb",
         Tier::Algo2Refined => "tier_algo2_refined",
         Tier::Algo2 => "tier_algo2",
+        Tier::Price => "tier_price",
         Tier::Uu => "tier_uu",
     }
 }
@@ -195,16 +201,17 @@ fn tier_span_name(tier: Tier) -> &'static str {
 /// `aa_tier_completed_total{tier}`, cached so the record path never
 /// takes the registry lock.
 fn tier_counters(tier: Tier) -> &'static (aa_obs::Counter, aa_obs::Counter) {
-    static HANDLES: std::sync::OnceLock<[(aa_obs::Counter, aa_obs::Counter); 4]> =
+    static HANDLES: std::sync::OnceLock<[(aa_obs::Counter, aa_obs::Counter); 5]> =
         std::sync::OnceLock::new();
     let idx = match tier {
         Tier::BranchAndBound => 0,
         Tier::Algo2Refined => 1,
         Tier::Algo2 => 2,
-        Tier::Uu => 3,
+        Tier::Price => 3,
+        Tier::Uu => 4,
     };
     &HANDLES.get_or_init(|| {
-        [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Uu].map(|t| {
+        [Tier::BranchAndBound, Tier::Algo2Refined, Tier::Algo2, Tier::Price, Tier::Uu].map(|t| {
             let r = aa_obs::global();
             (
                 r.counter_labeled("aa_tier_attempts_total", "tier", t.name()),
@@ -524,6 +531,25 @@ fn run_tier(
                     crate::incremental::solve_incremental_budgeted(problem, &mut state, budget)
                 }
                 (None, None) => algo2::solve_budgeted(problem, budget),
+            };
+            match run {
+                Ok(a) => Ok(TierRun::Answer { assignment: a, partial: false }),
+                Err(SolveError::DeadlineExceeded) => Ok(TierRun::Expired),
+                Err(e) => Err(e),
+            }
+        }
+        Tier::Price => {
+            // Same warm-state precedence as Algo2; the price backend
+            // reads its own compartment of the shared container.
+            let run = match (external, warm) {
+                (Some(state), _) => {
+                    crate::price::solve_warm_budgeted(problem, state.price_mut(), budget)
+                }
+                (None, Some(w)) => {
+                    let mut state = w.lock().unwrap_or_else(|e| e.into_inner());
+                    crate::price::solve_warm_budgeted(problem, state.price_mut(), budget)
+                }
+                (None, None) => crate::price::solve_budgeted(problem, budget),
             };
             match run {
                 Ok(a) => Ok(TierRun::Answer { assignment: a, partial: false }),

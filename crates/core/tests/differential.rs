@@ -112,7 +112,7 @@ proptest! {
 /// are small and mostly exercise the delegation branch).
 #[test]
 fn large_instance_is_bit_identical_across_thread_counts() {
-    let n = aa_allocator::bisection::PAR_THRESHOLD + 321;
+    let n = aa_allocator::par_threshold() + 321;
     let p = Problem::builder(16, 50.0)
         .threads((0..n).map(|i| {
             let s = 0.25 + (i % 101) as f64 * 0.07;

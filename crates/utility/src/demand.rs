@@ -251,18 +251,54 @@ impl DemandTable {
         self.pchip_xs.clear();
         self.pchip_ys.clear();
         self.pchip_ds.clear();
+        // Fresh tables otherwise grow each per-element lane through
+        // ~log₂(n) doubling reallocations; one upfront reserve keeps
+        // compile a single pass.
+        self.kinds.reserve(utils.len());
+        self.p0.reserve(utils.len());
+        self.p1.reserve(utils.len());
+        self.p2.reserve(utils.len());
+        self.pre_div.reserve(utils.len());
+        self.post_cap.reserve(utils.len());
+        self.has_post.reserve(utils.len());
+        self.off.reserve(utils.len());
+        self.len.reserve(utils.len());
+        self.off2.reserve(utils.len());
         for u in utils {
             let mut sink = DemandSink::new(self);
             u.describe_demand(&mut sink);
             sink.finish();
         }
+        self.refresh_global();
+    }
+
+    /// Recompile element `i` in place. Pool-backed rows (staircase,
+    /// PCHIP) append fresh pool data and repoint the row's offsets; the
+    /// old region is orphaned, which is harmless for evaluation but
+    /// means a table patched without bound grows — callers that churn a
+    /// large fraction should recompile from scratch instead. Call
+    /// [`refresh_global`](Self::refresh_global) once after a batch of
+    /// patches to rebuild the discrete-ladder summary.
+    pub fn patch<U: Utility>(&mut self, i: usize, u: &U) {
+        assert!(i < self.kinds.len(), "patch index {i} out of bounds");
+        let mut sink = DemandSink::new(self);
+        u.describe_demand(&mut sink);
+        sink.finish_at(i);
+    }
+
+    /// Rebuild the whole-table summary (the `discrete` flag and the
+    /// merged step [`ladder`](Self::ladder)) by walking live rows, so
+    /// pool regions orphaned by [`patch`](Self::patch) are ignored.
+    pub fn refresh_global(&mut self) {
         self.discrete = !self.kinds.is_empty()
             && self.kinds.iter().all(|&k| k == Kind::Staircase)
             && self.pre_div.iter().all(|&d| d == 1.0);
         self.ladder.clear();
         if self.discrete {
-            self.ladder
-                .extend(self.stair_thresholds.iter().copied().filter(|&t| t > 0.0));
+            for i in 0..self.kinds.len() {
+                let ts = &self.stair_thresholds[self.off[i]..self.off[i] + self.len[i]];
+                self.ladder.extend(ts.iter().copied().filter(|&t| t > 0.0));
+            }
             self.ladder.sort_unstable_by(f64::total_cmp);
             self.ladder.dedup();
         }
@@ -324,8 +360,32 @@ impl DemandTable {
     /// `out.len()` must equal [`len`](Self::len).
     pub fn batch_inverse_derivative<U: Utility>(&self, utils: &[U], lambda: f64, out: &mut [f64]) {
         assert_eq!(out.len(), self.kinds.len(), "output slice length mismatch");
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = self.eval(utils, i, lambda);
+        self.batch_range(utils, lambda, 0, out);
+    }
+
+    /// Demand sweep over the contiguous element range
+    /// `start..start + out.len()`: `out[k] = x_{start+k}(λ)`. This is the
+    /// chunk-level kernel callers use to fan one sweep out over a thread
+    /// pool — each worker takes a disjoint `out` chunk, so the combined
+    /// result is bit-identical to one sequential
+    /// [`batch_inverse_derivative`](Self::batch_inverse_derivative) pass
+    /// regardless of how the range was split.
+    pub fn batch_range<U: Utility>(
+        &self,
+        utils: &[U],
+        lambda: f64,
+        start: usize,
+        out: &mut [f64],
+    ) {
+        assert!(
+            start + out.len() <= self.kinds.len(),
+            "range {}..{} exceeds table length {}",
+            start,
+            start + out.len(),
+            self.kinds.len()
+        );
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.eval(utils, start + k, lambda);
         }
     }
 }
@@ -502,6 +562,27 @@ impl<'a> DemandSink<'a> {
         t.len.push(self.len);
         t.off2.push(self.off2);
     }
+
+    /// Overwrite element `i`'s lanes with the staged element
+    /// ([`DemandTable::patch`]'s write-back).
+    fn finish_at(self, i: usize) {
+        let kind = if self.poisoned || !self.described {
+            Kind::Opaque
+        } else {
+            self.kind
+        };
+        let t = self.table;
+        t.kinds[i] = kind;
+        t.p0[i] = self.p0;
+        t.p1[i] = self.p1;
+        t.p2[i] = self.p2;
+        t.pre_div[i] = self.pre_div;
+        t.post_cap[i] = self.post_cap;
+        t.has_post[i] = self.has_post;
+        t.off[i] = self.off;
+        t.len[i] = self.len;
+        t.off2[i] = self.off2;
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +657,57 @@ mod tests {
         assert_eq!(table.len(), 2);
         assert!(!table.all_discrete());
         sweep_identical(&utils, &[0.5, 2.0]);
+    }
+
+    #[test]
+    fn patched_rows_match_a_fresh_compile() {
+        // Mixed families, including pool-backed rows on both sides of
+        // the patch, so offset bookkeeping is exercised.
+        let mut utils: Vec<Box<dyn Utility>> = vec![
+            Box::new(Pchip::new(&[(0.0, 0.0), (5.0, 4.0), (10.0, 6.0)]).unwrap()),
+            Box::new(Power::new(1.0, 0.5, 10.0)),
+            Box::new(CappedLinear::new(2.0, 3.0, 10.0)),
+            Box::new(Pchip::new(&[(0.0, 0.0), (4.0, 3.0), (8.0, 4.0)]).unwrap()),
+        ];
+        let mut patched = DemandTable::new();
+        patched.compile(&utils);
+        // Replace a pool-backed row and a scalar row.
+        utils[0] = Box::new(Pchip::new(&[(0.0, 0.0), (3.0, 5.0), (9.0, 7.0)]).unwrap());
+        utils[1] = Box::new(LogUtility::new(2.0, 1.5, 10.0));
+        patched.patch(0, &utils[0]);
+        patched.patch(1, &utils[1]);
+        patched.refresh_global();
+        let mut fresh = DemandTable::new();
+        fresh.compile(&utils);
+        for &l in &[0.0, 0.2, 0.5, 1.0, 2.0, 5.0, f64::INFINITY] {
+            for i in 0..utils.len() {
+                assert_eq!(
+                    patched.eval(&utils, i, l).to_bits(),
+                    fresh.eval(&utils, i, l).to_bits(),
+                    "element {i} at λ={l}"
+                );
+            }
+        }
+        assert_eq!(patched.all_discrete(), fresh.all_discrete());
+        assert_eq!(patched.ladder(), fresh.ladder());
+    }
+
+    #[test]
+    fn patched_staircase_table_rebuilds_ladder_from_live_rows() {
+        let mut utils = vec![
+            CappedLinear::new(2.0, 3.0, 10.0),
+            CappedLinear::new(5.0, 1.0, 10.0),
+        ];
+        let mut table = DemandTable::new();
+        table.compile(&utils);
+        assert_eq!(table.ladder(), &[2.0, 5.0]);
+        // The orphaned pool region left by the patch must not leak the
+        // old step price 5.0 into the rebuilt ladder.
+        utils[1] = CappedLinear::new(7.0, 1.0, 10.0);
+        table.patch(1, &utils[1]);
+        table.refresh_global();
+        assert!(table.all_discrete());
+        assert_eq!(table.ladder(), &[2.0, 7.0]);
     }
 
     #[test]

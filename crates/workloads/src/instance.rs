@@ -52,6 +52,21 @@ impl InstanceSpec {
         }
     }
 
+    /// A scale-regime configuration: 16 servers, `C = 1000`, and `β`
+    /// chosen so the instance has (at least) `n` threads — the
+    /// `n ∈ {10⁵, 10⁶}` generator behind `aa bench --mode scale` and
+    /// the price-backend acceptance runs. `n` is rounded up to the next
+    /// multiple of the server count.
+    pub fn scale(dist: Distribution, n: usize) -> Self {
+        let servers = 16;
+        InstanceSpec {
+            servers,
+            beta: n.div_ceil(servers).max(1),
+            capacity: 1000.0,
+            dist,
+        }
+    }
+
     /// Number of threads `n = β·m`.
     pub fn threads(&self) -> usize {
         self.servers * self.beta
