@@ -72,8 +72,9 @@ use aa_core::fleet::{
     read_frame, write_frame, Backoff, FleetRouter, ParkedQueues, PendingMap, RouteDecision,
     DEFAULT_DRAIN_TIMEOUT_MS, DEFAULT_HEARTBEAT_INTERVAL_MS, DEFAULT_HEARTBEAT_MISS_LIMIT,
     DEFAULT_MAX_RETRIES, DEFAULT_RETRY_BACKOFF_BASE_MS, DEFAULT_RETRY_BACKOFF_MAX_MS,
-    MAX_FRAME_BYTES,
+    DEFAULT_SLO_P99_MS, MAX_FRAME_BYTES,
 };
+use aa_obs::export::{chrome_trace_merged, LaneEvent, TraceLane};
 use aa_core::ring::{splitmix64, Ring};
 use aa_core::tiered::Tier;
 use aa_core::{Budget, TieredSolver};
@@ -86,7 +87,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::proto::{FromWorker, ToWorker, WorkerResult};
+use crate::proto::{FromWorker, SpanBinding, ToWorker, TraceCtx, WireSpan, WorkerResult};
 use crate::serve::{
     estimated_drain_ms, read_bounded_line, respond, LineRead, ServeCounters, ServeMetrics,
     ServeRequest, ServeResponse,
@@ -158,6 +159,14 @@ pub struct FleetOpts {
     pub ladder: Option<Vec<Tier>>,
     /// Seed for retry/respawn backoff jitter.
     pub seed: u64,
+    /// Merged-trace output path (`--trace`). When set, workers run with
+    /// `--obs-spans`, every request carries a [`TraceCtx`], and the
+    /// front-end writes one Chrome trace with a lane per worker process
+    /// at shutdown.
+    pub trace: Option<PathBuf>,
+    /// End-to-end p99 latency objective, milliseconds (`--slo-p99-ms`);
+    /// `None` uses [`DEFAULT_SLO_P99_MS`].
+    pub slo_p99_ms: Option<u64>,
     /// Worker executable override; `None` re-execs the current binary.
     /// A testing hook (`--worker-cmd`): the malformed-frame binary test
     /// substitutes a stub worker through it.
@@ -185,6 +194,8 @@ impl Default for FleetOpts {
             breaker_cooldown: aa_core::tiered::DEFAULT_BREAKER_COOLDOWN,
             ladder: None,
             seed: 0,
+            trace: None,
+            slo_p99_ms: None,
             worker_cmd: None,
             chaos: None,
         }
@@ -383,6 +394,9 @@ fn worker_args(opts: &FleetOpts, w: usize, chaos_offset: u64) -> Vec<String> {
         "--drain-timeout-ms".to_string(),
         opts.drain_timeout_ms.to_string(),
     ];
+    if opts.trace.is_some() {
+        args.push("--obs-spans".to_string());
+    }
     if let Some(ladder) = &opts.ladder {
         args.push("--ladder".to_string());
         args.push(ladder.iter().map(|t| t.name()).collect::<Vec<_>>().join(","));
@@ -428,6 +442,254 @@ fn reader_thread(stdout: ChildStdout, worker: usize, incarnation: u64, tx: &Send
     let _ = tx.send(Event::WorkerGone { worker, incarnation });
 }
 
+/// One worker incarnation's shipped observability state: the spans and
+/// trace bindings it sent in `Obs` frames, its OS pid (the merged
+/// trace's lane id), and the clock-alignment offset measured at every
+/// worker-stamped frame.
+struct LaneState {
+    worker: usize,
+    incarnation: u64,
+    pid: u32,
+    /// Front-end span clock minus worker span clock at the most recent
+    /// handshake, µs. Added to worker timestamps when merging lanes.
+    offset_micros: i64,
+    spans: Vec<WireSpan>,
+    bindings: Vec<SpanBinding>,
+    /// Cumulative spans the worker dropped (full buffer), as last
+    /// reported.
+    dropped: u64,
+}
+
+/// Request-trace linkage created at admission: the reserved front-end
+/// request span id (the `parent_span` workers root their solve spans
+/// under) and the first-dispatch timestamp splitting queue wait from
+/// worker time.
+struct ReqTrace {
+    trace_id: u64,
+    span: u64,
+    dispatched: Option<Instant>,
+}
+
+/// Front-end half of distributed tracing: per-incarnation worker lanes,
+/// open request traces, and the merged Chrome-trace write at shutdown.
+struct FleetObs {
+    collector: &'static aa_obs::Collector,
+    path: PathBuf,
+    lanes: Vec<LaneState>,
+    requests: HashMap<u64, ReqTrace>,
+    /// Front-end span id → trace id, for annotating lane-0 events.
+    span_trace: HashMap<u64, u64>,
+}
+
+impl FleetObs {
+    fn new(path: PathBuf) -> FleetObs {
+        let collector = aa_obs::Collector::install();
+        collector.set_enabled(true);
+        FleetObs {
+            collector,
+            path,
+            lanes: Vec::new(),
+            requests: HashMap::new(),
+            span_trace: HashMap::new(),
+        }
+    }
+
+    /// Open a request trace at admission, reserving the front-end span
+    /// id workers will parent their solve spans under. Trace ids are
+    /// `seq + 1` so 0 never appears on the wire.
+    fn admit(&mut self, seq: u64) {
+        let trace_id = seq + 1;
+        let span = self.collector.alloc_span_id();
+        self.requests.insert(seq, ReqTrace { trace_id, span, dispatched: None });
+    }
+
+    /// The [`TraceCtx`] to stamp on a dispatch of `seq`. The first
+    /// dispatch starts the queue→worker clock; retries reuse the same
+    /// context so a replayed solve still lands under the same request
+    /// span.
+    fn dispatch_ctx(&mut self, seq: u64) -> Option<TraceCtx> {
+        let rt = self.requests.get_mut(&seq)?;
+        if rt.dispatched.is_none() {
+            rt.dispatched = Some(Instant::now());
+        }
+        Some(TraceCtx { trace_id: rt.trace_id, parent_span: rt.span })
+    }
+
+    fn lane_mut(&mut self, worker: usize, incarnation: u64) -> &mut LaneState {
+        let at = self
+            .lanes
+            .iter()
+            .position(|l| l.worker == worker && l.incarnation == incarnation)
+            .unwrap_or_else(|| {
+                self.lanes.push(LaneState {
+                    worker,
+                    incarnation,
+                    pid: 0,
+                    offset_micros: 0,
+                    spans: Vec::new(),
+                    bindings: Vec::new(),
+                    dropped: 0,
+                });
+                self.lanes.len() - 1
+            });
+        &mut self.lanes[at]
+    }
+
+    /// Refresh a lane's clock offset from a worker-stamped frame
+    /// (`Hello`, `Pong`, and `Obs` all carry the worker's span clock).
+    fn on_worker_clock(&mut self, worker: usize, incarnation: u64, pid: Option<u32>, worker_now: u64) {
+        let now = self.collector.now_micros();
+        let lane = self.lane_mut(worker, incarnation);
+        #[allow(clippy::cast_possible_wrap)]
+        {
+            lane.offset_micros = now as i64 - worker_now as i64;
+        }
+        if let Some(pid) = pid {
+            lane.pid = pid;
+        }
+    }
+
+    /// Fold one shipped `Obs` frame into the worker's lane.
+    fn on_obs(
+        &mut self,
+        worker: usize,
+        incarnation: u64,
+        spans: Vec<WireSpan>,
+        bindings: Vec<SpanBinding>,
+        dropped: u64,
+    ) {
+        let lane = self.lane_mut(worker, incarnation);
+        lane.spans.extend(spans);
+        lane.bindings.extend(bindings);
+        lane.dropped = lane.dropped.max(dropped);
+    }
+
+    /// Close a request's trace at completion: record the request span
+    /// under its reserved id plus queue-wait and worker-await children
+    /// (the latter only once the request was actually dispatched).
+    fn finish(&mut self, seq: u64, arrived: Instant) {
+        let Some(rt) = self.requests.remove(&seq) else { return };
+        let start = self.collector.micros_at(arrived);
+        let end = self.collector.now_micros();
+        self.collector
+            .record_prealloc(rt.span, "request", start, end.saturating_sub(start), 0);
+        self.span_trace.insert(rt.span, rt.trace_id);
+        if let Some(d) = rt.dispatched {
+            let dispatch = self.collector.micros_at(d);
+            let queued = self.collector.record_manual(
+                "queue_wait",
+                start,
+                dispatch.saturating_sub(start),
+                rt.span,
+            );
+            let awaited = self.collector.record_manual(
+                "await_worker",
+                dispatch,
+                end.saturating_sub(dispatch),
+                rt.span,
+            );
+            self.span_trace.insert(queued, rt.trace_id);
+            self.span_trace.insert(awaited, rt.trace_id);
+        }
+    }
+
+    /// Assemble and write the merged Chrome trace: lane 0 is the
+    /// front-end collector verbatim; each worker incarnation becomes a
+    /// lane keyed by its OS pid with timestamps shifted onto the
+    /// front-end clock and span ids remapped into a per-lane namespace.
+    /// Worker solve roots with a trace binding re-parent under the
+    /// front-end request span — that link is what makes each timeline
+    /// end-to-end.
+    fn write(&self) {
+        const LANE_ID_MASK: u64 = (1 << 40) - 1;
+        let mut lanes = Vec::with_capacity(self.lanes.len() + 1);
+        lanes.push(TraceLane {
+            pid: 1,
+            label: "front-end".to_string(),
+            events: self
+                .collector
+                .events()
+                .into_iter()
+                .map(|e| LaneEvent {
+                    name: e.name.to_string(),
+                    start_micros: e.start_micros,
+                    duration_micros: e.duration_micros,
+                    thread_id: e.thread_id,
+                    id: e.id,
+                    parent_id: e.parent_id,
+                    trace_id: self.span_trace.get(&e.id).copied().unwrap_or(0),
+                })
+                .collect(),
+        });
+        let mut dropped = self.collector.dropped_events();
+        for (i, lane) in self.lanes.iter().enumerate() {
+            dropped += lane.dropped;
+            let lane_no = i as u64 + 1;
+            let remap = |id: u64| (lane_no << 40) | (id & LANE_ID_MASK);
+            let bound: HashMap<u64, &SpanBinding> =
+                lane.bindings.iter().map(|b| (b.span, b)).collect();
+            let events = lane
+                .spans
+                .iter()
+                .map(|s| {
+                    let (parent_id, trace_id) = match (s.parent_id, bound.get(&s.id)) {
+                        // A bound root parents under the front-end
+                        // request span (lane-0 ids are not remapped).
+                        (0, Some(b)) => (b.parent_span, b.trace_id),
+                        (0, None) => (0, 0),
+                        (p, _) => (remap(p), 0),
+                    };
+                    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+                    let start_micros =
+                        (s.start_micros as i64 + lane.offset_micros).max(0) as u64;
+                    LaneEvent {
+                        name: s.name.clone(),
+                        start_micros,
+                        duration_micros: s.duration_micros,
+                        thread_id: s.thread_id,
+                        id: remap(s.id),
+                        parent_id,
+                        trace_id,
+                    }
+                })
+                .collect();
+            // A lane with no Hello (pid unknown) still renders, on a
+            // synthetic pid clear of real ones.
+            #[allow(clippy::cast_possible_truncation)]
+            let pid = if lane.pid == 0 { 1_000_000 + lane_no as u32 } else { lane.pid };
+            lanes.push(TraceLane {
+                pid,
+                label: format!("worker {} pid {pid}", lane.worker),
+                events,
+            });
+        }
+        let json = chrome_trace_merged(&lanes, dropped);
+        match std::fs::write(&self.path, &json) {
+            Ok(()) => aa_obs::obs_info!(
+                "fleet",
+                "merged trace: {} lanes → {}",
+                lanes.len(),
+                self.path.display()
+            ),
+            Err(e) => aa_obs::obs_warn!(
+                "fleet",
+                "failed to write merged trace {}: {e}",
+                self.path.display()
+            ),
+        }
+    }
+}
+
+/// A retired worker must stop exporting as live: drop its federated
+/// series (no more re-publishes — the slot never respawns) and pin its
+/// `aa_fleet_worker_up{worker=…}` gauge to 0.
+fn retire_worker_export(registry: &aa_obs::Registry, fm: &FleetMetrics, w: usize) {
+    registry.drop_worker(&w.to_string());
+    if let Some(m) = fm.per_worker.get(w) {
+        m.up.set(0.0);
+    }
+}
+
 /// The event loop's state. One instance, owned by one thread.
 struct FleetCore<'a, W: Write> {
     opts: &'a FleetOpts,
@@ -453,6 +715,8 @@ struct FleetCore<'a, W: Write> {
     last_tick: Instant,
     eof: bool,
     drain_deadline: Option<Instant>,
+    /// Distributed-tracing state; `Some` iff `--trace` was given.
+    obs: Option<FleetObs>,
 }
 
 impl<'a, W: Write> FleetCore<'a, W> {
@@ -491,6 +755,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
             last_tick: Instant::now(),
             eof: false,
             drain_deadline: None,
+            obs: opts.trace.clone().map(FleetObs::new),
         };
         for w in 0..workers {
             if let Err(e) = core.spawn_worker(w) {
@@ -566,6 +831,19 @@ impl<'a, W: Write> FleetCore<'a, W> {
             }
         }
         self.shutdown();
+        // A worker ships its final span batch right after the answer
+        // that emptied `pending`, so those frames may still be queued
+        // when the loop exits. Absorb the stragglers (Obs only —
+        // responses and deaths are moot post-shutdown) so the merged
+        // trace and federated metrics cover every solve.
+        while let Ok(ev) = rx.try_recv() {
+            if let Event::FromWorker { msg: FromWorker::Obs { .. }, .. } = &ev {
+                self.handle(ev);
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.write();
+        }
     }
 
     /// How long the loop may sleep before a timer (heartbeat, retry,
@@ -658,16 +936,38 @@ impl<'a, W: Write> FleetCore<'a, W> {
                     return;
                 }
                 match msg {
-                    FromWorker::Hello { .. } => self.on_hello(worker),
-                    FromWorker::Pong { solves, solve_panics, .. } => {
+                    FromWorker::Hello { pid, now_micros, .. } => {
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_worker_clock(worker, incarnation, Some(pid), now_micros);
+                        }
+                        self.on_hello(worker);
+                    }
+                    FromWorker::Pong { solves, solve_panics, now_micros, metrics, .. } => {
                         self.slots[worker].unanswered_pings = 0;
                         #[allow(clippy::cast_precision_loss)]
                         {
                             self.fm.per_worker[worker].solves.set(solves as f64);
                             self.fm.per_worker[worker].solve_panics.set(solve_panics as f64);
                         }
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_worker_clock(worker, incarnation, None, now_micros);
+                        }
+                        if let Some(snap) = metrics {
+                            self.registry
+                                .merge_worker_snapshot(&worker.to_string(), snap.into_federated());
+                        }
                     }
                     FromWorker::Resp { seq, result } => self.on_resp(worker, seq, result),
+                    FromWorker::Obs { now_micros, spans, bindings, dropped, metrics } => {
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_worker_clock(worker, incarnation, None, now_micros);
+                            obs.on_obs(worker, incarnation, spans, bindings, dropped);
+                        }
+                        if let Some(snap) = metrics {
+                            self.registry
+                                .merge_worker_snapshot(&worker.to_string(), snap.into_federated());
+                        }
+                    }
                 }
             }
             Event::WorkerGone { worker, incarnation } => self.on_gone(worker, incarnation),
@@ -686,6 +986,9 @@ impl<'a, W: Write> FleetCore<'a, W> {
         let cap = self.opts.queue.max(1) * self.router.workers().max(1);
         if self.pending.len() >= cap {
             self.metrics.shed.inc();
+            #[allow(clippy::cast_possible_truncation)]
+            self.metrics
+                .observe_e2e("overloaded", (admit.arrived.elapsed().as_micros() as u64).max(1));
             respond(
                 self.out,
                 &ServeResponse::Overloaded {
@@ -711,7 +1014,22 @@ impl<'a, W: Write> FleetCore<'a, W> {
         self.pending
             .insert(seq, admit.stream, job)
             .expect("front-end seqs are unique by construction");
+        if let Some(obs) = &mut self.obs {
+            obs.admit(seq);
+        }
         self.dispatch(seq);
+    }
+
+    /// Request-completion accounting shared by every answer path: the
+    /// per-class SLO histogram and burn-rate tracker, plus (when
+    /// tracing) the request span closing out the end-to-end timeline.
+    fn observe_completion(&mut self, seq: u64, arrived: Instant, class: &str) {
+        #[allow(clippy::cast_possible_truncation)]
+        let latency = (arrived.elapsed().as_micros() as u64).max(1);
+        self.metrics.observe_e2e(class, latency);
+        if let Some(obs) = &mut self.obs {
+            obs.finish(seq, arrived);
+        }
     }
 
     /// Route and send one pending, unassigned request.
@@ -726,6 +1044,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
         if entry.job.deadline.is_some_and(|d| Instant::now() >= d) {
             let e = self.pending.complete(seq).expect("just observed pending");
             self.metrics.expired_in_queue.inc();
+            self.observe_completion(seq, e.job.arrived, "deadline");
             let d = e.job.deadline_ms.unwrap_or(0);
             respond(
                 self.out,
@@ -769,12 +1088,10 @@ impl<'a, W: Write> FleetCore<'a, W> {
             .job
             .deadline
             .map(|d| d.saturating_duration_since(now).as_millis() as u64);
-        let msg = ToWorker::Req {
-            seq,
-            stream: entry.stream,
-            budget_ms,
-            problem: entry.job.problem.clone(),
-        };
+        let problem = entry.job.problem.clone();
+        let stream = entry.stream;
+        let trace = self.obs.as_mut().and_then(|o| o.dispatch_ctx(seq));
+        let msg = ToWorker::Req { seq, stream, budget_ms, trace, problem };
         self.slots[w].in_flight += 1;
         self.fm.dispatched.inc();
         self.fm.per_worker[w].dispatched.inc();
@@ -787,6 +1104,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
         if self.all_retired() {
             if let Some(e) = self.pending.complete(seq) {
                 self.metrics.internal_errors.inc();
+                self.observe_completion(seq, e.job.arrived, "internal");
                 respond(
                     self.out,
                     &ServeResponse::Error {
@@ -832,6 +1150,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
         match result {
             WorkerResult::Ok { tier, degraded, utility, server, allocation, solve_micros } => {
                 self.metrics.solved.inc();
+                self.observe_completion(seq, job.arrived, "ok");
                 let latency_ms = job.arrived.elapsed().as_secs_f64() * 1e3;
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 self.metrics.latency.record_micros(((latency_ms * 1e3) as u64).max(1));
@@ -875,6 +1194,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
                     "shutdown" => self.fm.shutdown_answers.inc(),
                     _ => self.metrics.internal_errors.inc(),
                 }
+                self.observe_completion(seq, job.arrived, &class);
                 respond(self.out, &ServeResponse::Error { id: job.id, class, error }).ok();
             }
         }
@@ -934,6 +1254,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
                 let e = self.pending.complete(seq).expect("just reinserted");
                 self.metrics.internal_errors.inc();
                 self.fm.exhausted.inc();
+                self.observe_completion(seq, e.job.arrived, "internal");
                 respond(
                     self.out,
                     &ServeResponse::Error {
@@ -961,10 +1282,12 @@ impl<'a, W: Write> FleetCore<'a, W> {
             self.slots[w].draining = false;
             self.slots[w].retired = true;
             self.fm.handoffs.inc();
+            retire_worker_export(self.registry, &self.fm, w);
             return;
         }
         if self.slots[w].deaths > self.opts.max_restarts {
             self.slots[w].retired = true;
+            retire_worker_export(self.registry, &self.fm, w);
             if self.all_retired() {
                 self.fail_all_pending();
             }
@@ -1000,6 +1323,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
             self.slots[w].deaths += 1;
             if self.slots[w].deaths > self.opts.max_restarts {
                 self.slots[w].retired = true;
+                retire_worker_export(self.registry, &self.fm, w);
                 if self.all_retired() {
                     self.fail_all_pending();
                 }
@@ -1067,6 +1391,7 @@ impl<'a, W: Write> FleetCore<'a, W> {
                     // Already dead — nothing to drain.
                     self.slots[w].draining = false;
                     self.slots[w].retired = true;
+                    retire_worker_export(self.registry, &self.fm, w);
                 } else {
                     self.maybe_close_draining(w);
                 }
@@ -1082,6 +1407,12 @@ impl<'a, W: Write> FleetCore<'a, W> {
         self.parked = ParkedQueues::new();
         for e in self.pending.drain_all() {
             self.metrics.internal_errors.inc();
+            #[allow(clippy::cast_possible_truncation)]
+            self.metrics
+                .observe_e2e("internal", (e.job.arrived.elapsed().as_micros() as u64).max(1));
+            if let Some(obs) = &mut self.obs {
+                obs.finish(e.seq, e.job.arrived);
+            }
             respond(
                 self.out,
                 &ServeResponse::Error {
@@ -1101,6 +1432,12 @@ impl<'a, W: Write> FleetCore<'a, W> {
         self.parked = ParkedQueues::new();
         for e in self.pending.drain_all() {
             self.fm.shutdown_answers.inc();
+            #[allow(clippy::cast_possible_truncation)]
+            self.metrics
+                .observe_e2e("shutdown", (e.job.arrived.elapsed().as_micros() as u64).max(1));
+            if let Some(obs) = &mut self.obs {
+                obs.finish(e.seq, e.job.arrived);
+            }
             respond(
                 self.out,
                 &ServeResponse::Error {
@@ -1296,7 +1633,10 @@ pub fn run_fleet_serve<R: BufRead, W: Write + Send>(
     registry: &aa_obs::Registry,
 ) -> Result<ServeCounters, CliError> {
     let out = Mutex::new(output);
-    let metrics = ServeMetrics::new(registry);
+    let metrics = ServeMetrics::with_slo_target(
+        registry,
+        opts.slo_p99_ms.unwrap_or(DEFAULT_SLO_P99_MS).saturating_mul(1000),
+    );
     let (tx, rx) = mpsc::channel::<Event>();
     std::thread::scope(|s| -> Result<(), CliError> {
         let core = FleetCore::new(opts, registry, &out, &metrics, tx.clone())?;
@@ -1526,6 +1866,7 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> Result<FleetChaosReport, CliEr
         max_restarts: u64::MAX - 1,
         ladder: Some(chaos_ladder()),
         seed: cfg.seed,
+        slo_p99_ms: Some((cfg.slo_p99_micros / 1000).max(1)),
         chaos: Some(plan.clone()),
         ..FleetOpts::default()
     };
@@ -1637,12 +1978,17 @@ pub fn run_fleet_chaos(cfg: &FleetChaosConfig) -> Result<FleetChaosReport, CliEr
                 .get()
         })
         .collect();
+    // SLO accounting is complete iff the burn-rate tracker observed
+    // every completion the loop answered.
+    let slo_tracked =
+        registry.counter("aa_slo_good_total").get() + registry.counter("aa_slo_breach_total").get();
     let observations = FleetObservations {
         admitted,
         completions,
         restarts,
         survived,
         rebalanced,
+        slo_tracked,
         reference_bits,
     };
     Ok(analyze_fleet(cfg, &plan, &observations))
@@ -1692,9 +2038,45 @@ mod tests {
         // Worker 1 has no scheduled faults: no chaos flags at all.
         let args1 = worker_args(&opts, 1, 0);
         assert!(!args1.iter().any(|a| a == "--chaos-faults"));
-        // No chaos configured: plain argv.
+        // No chaos configured: plain argv, and no span shipping unless
+        // the front-end is tracing.
         let plain = worker_args(&FleetOpts::default(), 0, 0);
-        assert!(!plain.iter().any(|a| a == "--chaos-faults" || a == "--ladder"));
+        assert!(!plain
+            .iter()
+            .any(|a| a == "--chaos-faults" || a == "--ladder" || a == "--obs-spans"));
+        let traced = worker_args(
+            &FleetOpts { trace: Some(PathBuf::from("t.json")), ..FleetOpts::default() },
+            0,
+            0,
+        );
+        assert!(traced.iter().any(|a| a == "--obs-spans"));
+    }
+
+    #[test]
+    fn retired_worker_stops_exporting_as_live() {
+        let registry = aa_obs::Registry::new();
+        let fm = FleetMetrics::new(&registry, 2);
+        fm.per_worker[1].up.set(1.0);
+        // Worker 1 federated a solve histogram before retiring.
+        let snap = {
+            let worker_side = aa_obs::Registry::new();
+            worker_side.histogram("aa_worker_solve_micros").record_micros(25);
+            worker_side.to_federated()
+        };
+        registry.merge_worker_snapshot("1", snap);
+        let before = aa_obs::export::prometheus_text(&registry);
+        assert!(before.contains("aa_fleet_worker_up{worker=\"1\"} 1"), "{before}");
+        assert!(before.contains("aa_worker_solve_micros_count{worker=\"1\"} 1"), "{before}");
+
+        retire_worker_export(&registry, &fm, 1);
+        let after = aa_obs::export::prometheus_text(&registry);
+        // The up gauge pins to 0 and the worker's federated series are
+        // gone — a retired worker never re-exports as live.
+        assert!(after.contains("aa_fleet_worker_up{worker=\"1\"} 0"), "{after}");
+        assert!(!after.contains("aa_worker_solve_micros_count{worker=\"1\"}"), "{after}");
+        assert!(!after.contains("worker=\"fleet\""), "{after}");
+        // Out-of-range slots are a no-op, not a panic.
+        retire_worker_export(&registry, &fm, 9);
     }
 
     #[test]

@@ -30,6 +30,7 @@ usage:
                  [--grace-ms G] [--breaker K] [--cooldown N]
                  [--max-line-bytes B] [--counters PATH]
                  [--metrics-addr HOST:PORT] [--metrics-dump PATH]
+                 [--slo-p99-ms P] [--trace out.json]
                  fleet only: [--heartbeat-ms H] [--heartbeat-miss K]
                  [--max-retries R] [--max-restarts N] [--drain-timeout-ms D]
                  [--max-streams N] [--ladder exact-bb,algo2-refined,algo2,uu]
@@ -71,7 +72,18 @@ ranges hand off to the survivors. On stdin EOF the fleet drains for
 \"shutdown\" errors. ok responses gain \"worker\", \"attempts\", and
 \"solve_micros\" fields; bad control lines are answered with class
 \"control\". Fleet metrics appear as aa_fleet_* series (per-worker
-series labeled {worker=…}).
+series labeled {worker=…}); each worker also federates its own
+registry to the front-end over heartbeats, so /metrics re-exports
+worker series with a worker= label plus a worker=\"fleet\" merged
+aggregate. --slo-p99-ms P (default 100) sets the end-to-end p99
+latency objective tracked by the aa_slo_* series: per-class
+aa_slo_e2e_micros histograms plus an error-budget burn rate
+(aa_slo_burn_rate, 1.0 = burning exactly the 1% budget). serve
+--fleet --trace writes a *merged* Chrome trace at EOF: workers batch
+their pipeline spans over the control pipe and the front-end stitches
+them — clock-aligned, one lane per worker pid — under its own
+per-request admission/queue/dispatch spans, so each request shows one
+end-to-end timeline across processes.
 chaos runs the seeded kill/stall/panic storm from aa-sim against a real
 shard pool (every shard killed --kills times) and prints the chaos
 report as JSON; it exits nonzero unless every robustness invariant held
@@ -460,10 +472,18 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
         breaker_cooldown: parsed_flag(args, "--cooldown", defaults.breaker_cooldown)?,
         shards: parsed_flag(args, "--shards", defaults.shards)?,
         max_line_bytes: parsed_flag(args, "--max-line-bytes", defaults.max_line_bytes)?,
+        slo_p99_ms: match flag_value(args, "--slo-p99-ms")? {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|e| Failure::Usage(format!("bad --slo-p99-ms: {e}")))?,
+            ),
+        },
         chaos: None,
     };
     let counters_path = flag_value(args, "--counters")?;
     let metrics_dump = flag_value(args, "--metrics-dump")?;
+    let trace_path = trace_flag(args)?;
     let registry = aa_obs::global();
     if let Some(addr) = flag_value(args, "--metrics-addr")? {
         let local = aa_obs::export::spawn_metrics_server(addr, registry).map_err(|e| {
@@ -510,6 +530,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Failure> {
     if let Some(path) = metrics_dump {
         write_file(path, &aa_obs::export::json_snapshot(registry))?;
     }
+    write_trace(trace_path)?;
     Ok(())
 }
 
@@ -547,6 +568,17 @@ fn cmd_fleet_serve(args: &[String]) -> Result<(), Failure> {
         ladder,
         seed: parsed_flag(args, "--seed", defaults.seed)?,
         worker_cmd: flag_value(args, "--worker-cmd")?.map(std::path::PathBuf::from),
+        // The fleet front-end merges worker span batches and writes the
+        // trace itself at shutdown; the single-process write_trace path
+        // must stay out of the way here.
+        trace: flag_value(args, "--trace")?.map(std::path::PathBuf::from),
+        slo_p99_ms: match flag_value(args, "--slo-p99-ms")? {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|e| Failure::Usage(format!("bad --slo-p99-ms: {e}")))?,
+            ),
+        },
         chaos: None,
     };
     let counters_path = flag_value(args, "--counters")?;
@@ -613,6 +645,7 @@ fn cmd_serve_worker(args: &[String]) -> Result<(), Failure> {
         breaker_cooldown: parsed_flag(args, "--breaker-cooldown", defaults.breaker_cooldown)?,
         ladder,
         drain_timeout_ms: parsed_flag(args, "--drain-timeout-ms", defaults.drain_timeout_ms)?,
+        trace_spans: args.iter().any(|a| a == "--obs-spans"),
         chaos,
     };
     run_worker(std::io::stdin(), std::io::stdout(), &opts)
@@ -694,6 +727,9 @@ fn cmd_fleet_chaos(args: &[String]) -> Result<(), Failure> {
         garbage: parsed_flag(args, "--garbage", defaults.garbage)?,
         stall_millis: parsed_flag(args, "--stall-millis", defaults.stall_millis)?,
         seed: parsed_flag(args, "--seed", defaults.seed)?,
+        slo_p99_micros: parsed_flag(args, "--slo-p99-ms", defaults.slo_p99_micros / 1000)?
+            .saturating_mul(1000)
+            .max(1),
     };
     if cfg.workers == 0 || cfg.rounds == 0 || cfg.streams_per_worker == 0 {
         return Err(Failure::Usage(

@@ -23,6 +23,19 @@ use serde::{Deserialize, Serialize};
 
 use crate::ProblemFile;
 
+/// Distributed trace context carried on a [`ToWorker::Req`]: the
+/// front-end's request trace id and the span id the worker should root
+/// its pipeline spans under. Span ids stay below 2⁵³ (the wire is JSON
+/// `f64`), which the front-end's lane remap guarantees.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// Front-end trace id for this request (never 0).
+    pub trace_id: u64,
+    /// Front-end span id of the request span; the worker's solve root
+    /// span binds to it as a parent.
+    pub parent_span: u64,
+}
+
 /// Frames the front-end sends to a worker (on its stdin).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -36,6 +49,8 @@ pub enum ToWorker {
         /// Per-request solve budget in milliseconds, measured from
         /// worker arrival, if any.
         budget_ms: Option<u64>,
+        /// Trace context, when the front-end is tracing.
+        trace: Option<TraceCtx>,
         /// The problem spec, in the same schema as the `solve` command.
         problem: ProblemFile,
     },
@@ -56,6 +71,11 @@ pub enum FromWorker {
         worker: usize,
         /// The worker's OS process id, for supervision logs.
         pid: u32,
+        /// The worker's span clock at send time (µs since its collector
+        /// epoch; 0 when no collector is installed). The front-end
+        /// subtracts this from its own clock at receipt to get the
+        /// per-incarnation alignment offset for merged traces.
+        now_micros: u64,
     },
     /// Heartbeat answer.
     Pong {
@@ -65,6 +85,12 @@ pub enum FromWorker {
         solves: u64,
         /// Cumulative contained solve panics this incarnation.
         solve_panics: u64,
+        /// Span clock at send time, refreshing the alignment offset.
+        now_micros: u64,
+        /// Full registry snapshot for federation (every pong — full
+        /// snapshots, not deltas, so a dropped pong costs staleness of
+        /// one heartbeat, never correctness).
+        metrics: Option<MetricsSnapshot>,
     },
     /// Answer to a [`ToWorker::Req`].
     Resp {
@@ -73,6 +99,125 @@ pub enum FromWorker {
         /// What happened.
         result: WorkerResult,
     },
+    /// Low-rate observability shipment: completed spans since the last
+    /// `Obs` frame (cursor-tracked, so never re-sent and never lost)
+    /// plus trace bindings linking worker solve roots to front-end
+    /// request spans. Only emitted when the worker was started with
+    /// `--obs-spans`.
+    Obs {
+        /// Span clock at send time (clock alignment, as in `Pong`).
+        now_micros: u64,
+        /// Completed spans, worker-local ids, worker clock domain.
+        spans: Vec<WireSpan>,
+        /// Solve-root → front-end parent links for the spans above.
+        bindings: Vec<SpanBinding>,
+        /// Cumulative spans dropped by the worker's full buffer.
+        dropped: u64,
+        /// Registry snapshot, same semantics as in `Pong`.
+        metrics: Option<MetricsSnapshot>,
+    },
+}
+
+/// One completed span on the wire (an owned [`aa_obs::SpanEvent`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// Span name.
+    pub name: String,
+    /// Start, µs since the worker's collector epoch.
+    pub start_micros: u64,
+    /// Duration, µs.
+    pub duration_micros: u64,
+    /// Worker-local thread id.
+    pub thread_id: u64,
+    /// Worker-local span id (never 0, always < 2⁵³).
+    pub id: u64,
+    /// Worker-local parent id; 0 for roots.
+    pub parent_id: u64,
+}
+
+/// Links one worker-local solve-root span to the front-end request
+/// span it belongs under.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpanBinding {
+    /// Worker-local id of the solve root span.
+    pub span: u64,
+    /// The request's trace id (echo of [`TraceCtx::trace_id`]).
+    pub trace_id: u64,
+    /// Front-end span id to parent under (echo of
+    /// [`TraceCtx::parent_span`]).
+    pub parent_span: u64,
+}
+
+/// A full worker registry snapshot for metrics federation: flat export
+/// keys and values, histograms as raw log-linear bucket parts
+/// (boundaries are a protocol constant shared by both sides).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter `(export key, cumulative value)` pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge `(export key, last value)` pairs.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram parts.
+    pub histograms: Vec<WireHistogram>,
+}
+
+/// One histogram inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireHistogram {
+    /// The export key (`name` or `name{k="v"}`).
+    pub key: String,
+    /// Per-bucket counts — `aa_obs::metrics::NUM_BOUNDARIES + 1`
+    /// entries; receivers discard snapshots with any other length.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations, µs.
+    pub sum_micros: u64,
+    /// Largest observation, µs.
+    pub max_micros: u64,
+}
+
+impl MetricsSnapshot {
+    /// Capture `registry`'s local entries as a wire snapshot.
+    #[must_use]
+    pub fn from_registry(registry: &aa_obs::Registry) -> MetricsSnapshot {
+        let fed = registry.to_federated();
+        MetricsSnapshot {
+            counters: fed.counters,
+            gauges: fed.gauges,
+            histograms: fed
+                .histograms
+                .into_iter()
+                .map(|h| WireHistogram {
+                    key: h.key,
+                    buckets: h.buckets,
+                    count: h.count,
+                    sum_micros: h.sum_micros,
+                    max_micros: h.max_micros,
+                })
+                .collect(),
+        }
+    }
+
+    /// Convert into the `aa-obs` federation type for merging.
+    #[must_use]
+    pub fn into_federated(self) -> aa_obs::FederatedSnapshot {
+        aa_obs::FederatedSnapshot {
+            counters: self.counters,
+            gauges: self.gauges,
+            histograms: self
+                .histograms
+                .into_iter()
+                .map(|h| aa_obs::FederatedHistogram {
+                    key: h.key,
+                    buckets: h.buckets,
+                    count: h.count,
+                    sum_micros: h.sum_micros,
+                    max_micros: h.max_micros,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The outcome of one worker-side solve.
@@ -136,20 +281,25 @@ mod tests {
             seq: 42,
             stream: Some(7),
             budget_ms: Some(100),
+            trace: Some(TraceCtx { trace_id: 9, parent_span: 31 }),
             problem: problem.clone(),
         };
         match round_trip_to(&full) {
-            ToWorker::Req { seq, stream, budget_ms, problem: p } => {
+            ToWorker::Req { seq, stream, budget_ms, trace, problem: p } => {
                 assert_eq!((seq, stream, budget_ms), (42, Some(7), Some(100)));
+                let trace = trace.expect("trace ctx survives");
+                assert_eq!((trace.trace_id, trace.parent_span), (9, 31));
                 assert_eq!(p.servers, problem.servers);
                 assert_eq!(p.threads.len(), problem.threads.len());
             }
             other => panic!("wrong variant: {other:?}"),
         }
-        let bare = ToWorker::Req { seq: 0, stream: None, budget_ms: None, problem };
+        let bare =
+            ToWorker::Req { seq: 0, stream: None, budget_ms: None, trace: None, problem };
         match round_trip_to(&bare) {
-            ToWorker::Req { stream, budget_ms, .. } => {
+            ToWorker::Req { stream, budget_ms, trace, .. } => {
                 assert_eq!((stream, budget_ms), (None, None));
+                assert!(trace.is_none());
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -196,9 +346,80 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
-        match round_trip_from(&FromWorker::Hello { worker: 2, pid: 4242 }) {
-            FromWorker::Hello { worker, pid } => assert_eq!((worker, pid), (2, 4242)),
+        match round_trip_from(&FromWorker::Hello { worker: 2, pid: 4242, now_micros: 777 }) {
+            FromWorker::Hello { worker, pid, now_micros } => {
+                assert_eq!((worker, pid, now_micros), (2, 4242, 777));
+            }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn obs_frames_round_trip_spans_bindings_and_metrics() {
+        let snap = MetricsSnapshot {
+            counters: vec![("aa_worker_solves_total".into(), 12)],
+            gauges: vec![("aa_queue_depth".into(), 1.5)],
+            histograms: vec![WireHistogram {
+                key: "aa_worker_solve_micros".into(),
+                buckets: vec![0; aa_obs::metrics::NUM_BOUNDARIES + 1],
+                count: 0,
+                sum_micros: 0,
+                max_micros: 0,
+            }],
+        };
+        let obs = FromWorker::Obs {
+            now_micros: 1_000_000,
+            spans: vec![WireSpan {
+                name: "fleet_solve".into(),
+                start_micros: 500,
+                duration_micros: 120,
+                thread_id: 3,
+                id: 41,
+                parent_id: 0,
+            }],
+            bindings: vec![SpanBinding { span: 41, trace_id: 9, parent_span: 31 }],
+            dropped: 2,
+            metrics: Some(snap),
+        };
+        match round_trip_from(&obs) {
+            FromWorker::Obs { now_micros, spans, bindings, dropped, metrics } => {
+                assert_eq!(now_micros, 1_000_000);
+                assert_eq!(spans.len(), 1);
+                assert_eq!(spans[0].name, "fleet_solve");
+                assert_eq!((spans[0].id, spans[0].parent_id), (41, 0));
+                assert_eq!(bindings[0].parent_span, 31);
+                assert_eq!(dropped, 2);
+                let m = metrics.expect("metrics survive");
+                assert_eq!(m.counters, vec![("aa_worker_solves_total".to_string(), 12)]);
+                assert_eq!(m.gauges[0].1, 1.5);
+                assert_eq!(m.histograms[0].buckets.len(), aa_obs::metrics::NUM_BOUNDARIES + 1);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A pong carrying a federation snapshot round-trips too; one
+        // without stays None (the single-process tier never federates).
+        let pong = FromWorker::Pong {
+            nonce: 5,
+            solves: 3,
+            solve_panics: 0,
+            now_micros: 42,
+            metrics: None,
+        };
+        match round_trip_from(&pong) {
+            FromWorker::Pong { nonce, now_micros, metrics, .. } => {
+                assert_eq!((nonce, now_micros), (5, 42));
+                assert!(metrics.is_none());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let fed = MetricsSnapshot::from_registry(&{
+            let r = aa_obs::Registry::new();
+            r.counter("aa_t_total").add(4);
+            r.histogram("aa_h_micros").record_micros(10);
+            r
+        });
+        assert_eq!(fed.counters, vec![("aa_t_total".to_string(), 4)]);
+        let back = fed.into_federated();
+        assert_eq!(back.histograms[0].count, 1);
     }
 }

@@ -40,6 +40,7 @@ use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use aa_core::fleet::DEFAULT_SLO_P99_MS;
 use aa_core::shard::{ChaosHook, ShardCompletion, ShardConfig, ShardError, ShardJob, ShardPool};
 use aa_core::tiered::Tier;
 use aa_core::{SolveError, SubmitError};
@@ -205,6 +206,9 @@ pub struct ServeOpts {
     /// Longest accepted input line, bytes; longer lines are answered
     /// with a `class:"parse"` error and skipped.
     pub max_line_bytes: usize,
+    /// End-to-end p99 latency objective, milliseconds (`--slo-p99-ms`);
+    /// `None` uses [`DEFAULT_SLO_P99_MS`].
+    pub slo_p99_ms: Option<u64>,
     /// Deterministic fault injection for tests and chaos drills; `None`
     /// in production.
     pub chaos: Option<ChaosHook>,
@@ -220,6 +224,7 @@ impl Default for ServeOpts {
             breaker_cooldown: aa_core::tiered::DEFAULT_BREAKER_COOLDOWN,
             shards: 1,
             max_line_bytes: 1 << 20,
+            slo_p99_ms: None,
             chaos: None,
         }
     }
@@ -235,6 +240,7 @@ impl std::fmt::Debug for ServeOpts {
             .field("breaker_cooldown", &self.breaker_cooldown)
             .field("shards", &self.shards)
             .field("max_line_bytes", &self.max_line_bytes)
+            .field("slo_p99_ms", &self.slo_p99_ms)
             .field("chaos", &self.chaos.is_some())
             .finish()
     }
@@ -268,10 +274,20 @@ pub(crate) struct ServeMetrics {
     /// Solve wall time per answering tier
     /// (`aa_serve_tier_solve_micros{tier=…}`).
     pub(crate) per_tier: Vec<(&'static str, aa_obs::Histogram)>,
+    /// End-to-end latency per response class
+    /// (`aa_slo_e2e_micros{class=…}`).
+    pub(crate) per_class_e2e: Vec<(&'static str, aa_obs::Histogram)>,
+    /// Burn-rate tracker against the p99 latency objective (`aa_slo_*`).
+    pub(crate) slo: aa_obs::SloTracker,
 }
 
+/// Response classes with end-to-end latency semantics; each gets a
+/// pre-registered `aa_slo_e2e_micros{class=…}` histogram.
+const SLO_CLASSES: [&str; 8] =
+    ["ok", "overloaded", "deadline", "solve", "solve_panic", "problem", "internal", "shutdown"];
+
 impl ServeMetrics {
-    pub(crate) fn new(registry: &aa_obs::Registry) -> Self {
+    pub(crate) fn with_slo_target(registry: &aa_obs::Registry, target_micros: u64) -> Self {
         ServeMetrics {
             received: registry.counter("aa_serve_received_total"),
             solved: registry.counter("aa_serve_solved_total"),
@@ -292,7 +308,23 @@ impl ServeMetrics {
                     )
                 })
                 .collect(),
+            per_class_e2e: SLO_CLASSES
+                .iter()
+                .map(|c| (*c, registry.histogram_labeled("aa_slo_e2e_micros", "class", c)))
+                .collect(),
+            slo: aa_obs::SloTracker::register(registry, target_micros),
         }
+    }
+
+    /// Record one finished request against the SLO layer: the per-class
+    /// end-to-end histogram plus the burn-rate tracker (only `ok`
+    /// responses under the target count as good).
+    pub(crate) fn observe_e2e(&self, class: &str, latency_micros: u64) {
+        let latency = latency_micros.max(1);
+        if let Some((_, h)) = self.per_class_e2e.iter().find(|(n, _)| *n == class) {
+            h.record_micros(latency);
+        }
+        self.slo.observe(latency, class == "ok");
     }
 
     pub(crate) fn tier(&self, name: &str) -> &aa_obs::Histogram {
@@ -355,7 +387,10 @@ pub fn run_serve<R: BufRead, W: Write + Send>(
     registry: &aa_obs::Registry,
 ) -> Result<ServeCounters, CliError> {
     let out = Mutex::new(output);
-    let metrics = ServeMetrics::new(registry);
+    let metrics = ServeMetrics::with_slo_target(
+        registry,
+        opts.slo_p99_ms.unwrap_or(DEFAULT_SLO_P99_MS).saturating_mul(1000),
+    );
     let pending: Mutex<HashMap<u64, Pending>> = Mutex::new(HashMap::new());
     let (ctx, crx) = mpsc::channel::<ShardCompletion>();
     let pool = ShardPool::new(
@@ -533,14 +568,18 @@ fn reader_loop<R: BufRead, W: Write>(
             Ok(()) => {}
             Err(e) => {
                 pending.lock().unwrap_or_else(|e| e.into_inner()).remove(&seq);
+                #[allow(clippy::cast_possible_truncation)]
+                let waited_micros = (arrived.elapsed().as_micros() as u64).max(1);
                 match e {
                     SubmitError::QueueFull { .. } => {
                         metrics.shed.inc();
+                        metrics.observe_e2e("overloaded", waited_micros);
                         let retry_after_ms = estimated_drain_ms(metrics, opts.queue);
                         respond(out, &ServeResponse::Overloaded { id, retry_after_ms })?;
                     }
                     SubmitError::NoLiveShards | SubmitError::ShuttingDown => {
                         metrics.internal_errors.inc();
+                        metrics.observe_e2e("internal", waited_micros);
                         respond(
                             out,
                             &ServeResponse::Error {
@@ -615,13 +654,15 @@ fn write_completion<W: Write>(
 ) -> std::io::Result<()> {
     let id = p.id;
     let latency_ms = p.arrived.elapsed().as_secs_f64() * 1e3;
+    // Floor at 1 µs so percentile snapshots of sub-microsecond
+    // responses stay nonzero.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let latency_micros = ((latency_ms * 1e3) as u64).max(1);
     match completion.outcome {
         Ok(solved) => {
             metrics.solved.inc();
-            // Floor at 1 µs so percentile snapshots of sub-microsecond
-            // responses stay nonzero.
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            metrics.latency.record_micros(((latency_ms * 1e3) as u64).max(1));
+            metrics.latency.record_micros(latency_micros);
+            metrics.observe_e2e("ok", latency_micros);
             metrics
                 .tier(solved.degradation.tier.name())
                 .record_micros(completion.solve_micros.max(1));
@@ -645,6 +686,7 @@ fn write_completion<W: Write>(
         }
         Err(ShardError::Expired) => {
             metrics.expired_in_queue.inc();
+            metrics.observe_e2e("deadline", latency_micros);
             let d = p.deadline_ms.unwrap_or(0);
             respond(
                 out,
@@ -668,6 +710,7 @@ fn write_completion<W: Write>(
                 SolveError::DeadlineExceeded | SolveError::Cancelled => "deadline",
                 _ => "solve",
             };
+            metrics.observe_e2e(class, latency_micros);
             respond(
                 out,
                 &ServeResponse::Error {
@@ -680,6 +723,7 @@ fn write_completion<W: Write>(
         Err(e @ ShardError::Crashed) => {
             metrics.solve_errors.inc();
             metrics.solve_panics.inc();
+            metrics.observe_e2e("solve_panic", latency_micros);
             respond(
                 out,
                 &ServeResponse::Error {
@@ -691,6 +735,7 @@ fn write_completion<W: Write>(
         }
         Err(e @ ShardError::Drained) => {
             metrics.internal_errors.inc();
+            metrics.observe_e2e("internal", latency_micros);
             respond(
                 out,
                 &ServeResponse::Error {
@@ -811,6 +856,11 @@ mod tests {
         // The shard tier exports through the same registry.
         assert!(prom.contains("aa_shard_solves_total"), "{prom}");
         assert!(prom.contains("aa_supervisor_restarts_total 0"), "{prom}");
+        // The SLO layer tracked both ok responses end-to-end.
+        assert!(prom.contains("aa_slo_target_p99_micros 100000"), "{prom}");
+        assert!(prom.contains(r#"aa_slo_e2e_micros_count{class="ok"} 2"#), "{prom}");
+        assert!(prom.contains("aa_slo_good_total"), "{prom}");
+        assert!(prom.contains("aa_slo_burn_rate"), "{prom}");
         assert_eq!(counters.received, 2);
         assert_eq!(counters.solved, 2);
     }

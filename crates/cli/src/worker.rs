@@ -30,9 +30,13 @@ use std::time::{Duration, Instant};
 use aa_core::fleet::{read_frame, write_frame, MAX_FRAME_BYTES};
 use aa_core::tiered::Tier;
 use aa_core::{Budget, SolveError, TieredSolver, WarmState};
+use aa_obs::trace::SpanGuard;
+use aa_obs::Collector;
 use aa_sim::ProcessFault;
 
-use crate::proto::{FromWorker, ToWorker, WorkerResult};
+use crate::proto::{
+    FromWorker, MetricsSnapshot, SpanBinding, ToWorker, TraceCtx, WireSpan, WorkerResult,
+};
 use crate::{build_problem, ProblemFile};
 
 /// Exit code a worker uses for self-inflicted chaos deaths, distinct
@@ -58,6 +62,11 @@ pub struct WorkerOpts {
     /// Scheduled faults for this worker plus the cumulative solve-seq
     /// offset already consumed by earlier incarnations.
     pub chaos: Option<(Vec<(u64, ProcessFault)>, u64)>,
+    /// Install a span collector and ship completed spans back in
+    /// [`FromWorker::Obs`] frames (`--obs-spans`, set by a tracing
+    /// front-end). Metrics federation via `Pong` is always on; only
+    /// span shipping is gated here.
+    pub trace_spans: bool,
 }
 
 impl Default for WorkerOpts {
@@ -70,6 +79,7 @@ impl Default for WorkerOpts {
             ladder: None,
             drain_timeout_ms: aa_core::fleet::DEFAULT_DRAIN_TIMEOUT_MS,
             chaos: None,
+            trace_spans: false,
         }
     }
 }
@@ -80,6 +90,7 @@ struct QueuedReq {
     seq: u64,
     stream: Option<u64>,
     deadline: Option<Instant>,
+    trace: Option<TraceCtx>,
     problem: ProblemFile,
 }
 
@@ -118,12 +129,33 @@ where
         solve_panics: AtomicU64::new(0),
     };
 
-    send(&out, &FromWorker::Hello { worker: opts.index, pid: std::process::id() })?;
+    if opts.trace_spans {
+        Collector::install().set_enabled(true);
+    }
+    send(
+        &out,
+        &FromWorker::Hello {
+            worker: opts.index,
+            pid: std::process::id(),
+            now_micros: span_clock_micros(epoch),
+        },
+    )?;
 
     std::thread::scope(|scope| -> std::io::Result<()> {
         scope.spawn(|| reader_loop(input, &out, &shared, epoch));
         solve_loop(&out, &shared, opts, epoch)
     })
+}
+
+/// The worker's span clock at call time: the collector's epoch-relative
+/// clock when one is installed (the domain every shipped span timestamp
+/// lives in), else microseconds since worker start. The front-end uses
+/// this for cross-process clock alignment.
+fn span_clock_micros(epoch: Instant) -> u64 {
+    match Collector::get() {
+        Some(c) => c.now_micros(),
+        None => epoch.elapsed().as_micros() as u64,
+    }
 }
 
 fn send<W: Write>(out: &Mutex<W>, msg: &FromWorker) -> std::io::Result<()> {
@@ -154,21 +186,25 @@ fn reader_loop<R: Read, W: Write>(
                 if now_micros >= stalled_until {
                     // A failed pong write means the front-end is gone;
                     // the solve loop notices via EOF shortly after.
+                    // Every pong carries a full registry snapshot: the
+                    // heartbeat cadence *is* the federation cadence.
                     let _ = send(
                         out,
                         &FromWorker::Pong {
                             nonce,
                             solves: shared.solves.load(Ordering::Acquire),
                             solve_panics: shared.solve_panics.load(Ordering::Acquire),
+                            now_micros: span_clock_micros(epoch),
+                            metrics: Some(MetricsSnapshot::from_registry(aa_obs::global())),
                         },
                     );
                 }
             }
-            ToWorker::Req { seq, stream, budget_ms, problem } => {
+            ToWorker::Req { seq, stream, budget_ms, trace, problem } => {
                 let deadline =
                     budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
                 let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-                q.push_back(QueuedReq { seq, stream, deadline, problem });
+                q.push_back(QueuedReq { seq, stream, deadline, trace, problem });
                 drop(q);
                 shared.wake.notify_all();
             }
@@ -195,6 +231,7 @@ fn solve_loop<W: Write>(
     let mut warm: HashMap<Option<u64>, WarmState> = HashMap::new();
     let mut warm_order: VecDeque<Option<u64>> = VecDeque::new();
     let mut solve_seq = 0u64;
+    let mut obs = WorkerObsState::new(opts.trace_spans);
 
     loop {
         let popped = {
@@ -213,7 +250,10 @@ fn solve_loop<W: Write>(
                 q = guard;
             }
         };
-        let Some(req) = popped else { return Ok(()) };
+        let Some(req) = popped else {
+            obs.ship(out)?;
+            return Ok(());
+        };
 
         // Past the drain deadline, everything still queued answers
         // `shutdown` without solving — the front-end (or the client)
@@ -257,9 +297,111 @@ fn solve_loop<W: Write>(
                 queue_expired: true,
             }
         } else {
+            // The guard must drop before `ship` so the solve root (and
+            // the pipeline spans nested under it) are in the buffer.
+            let _root = obs.enter_solve(req.trace);
             solve_one(&solver, &mut warm, &mut warm_order, opts, shared, &req, started)
         };
+        obs.observe(&result);
         send(out, &FromWorker::Resp { seq: req.seq, result })?;
+        obs.ship(out)?;
+    }
+}
+
+/// Worker-side observability: the per-solve histogram every worker
+/// federates via `Pong`, and — when `--obs-spans` is set — the span
+/// shipper (cursor-tracked so [`Collector::events_since`] batches are
+/// never re-sent or lost) plus trace bindings for the front-end merge.
+struct WorkerObsState {
+    solve_hist: aa_obs::Histogram,
+    errors: aa_obs::Counter,
+    dropped: aa_obs::Counter,
+    collector: Option<&'static Collector>,
+    cursor: u64,
+    last_dropped: u64,
+    bindings: Vec<SpanBinding>,
+}
+
+impl WorkerObsState {
+    fn new(trace_spans: bool) -> WorkerObsState {
+        let registry = aa_obs::global();
+        let collector = if trace_spans {
+            let c = Collector::install();
+            c.set_enabled(true);
+            Some(c)
+        } else {
+            None
+        };
+        WorkerObsState {
+            solve_hist: registry.histogram("aa_worker_solve_micros"),
+            errors: registry.counter("aa_worker_solve_errors_total"),
+            dropped: registry.counter("aa_obs_spans_dropped_total"),
+            // Start the cursor at the current end of the buffer: spans
+            // from before this incarnation's loop are not ours to ship.
+            cursor: collector.map_or(0, |c| c.events_since(u64::MAX).1),
+            last_dropped: collector.map_or(0, Collector::dropped_events),
+            collector,
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Open the solve root span and bind it to the propagated
+    /// front-end parent. Inert when untraced.
+    fn enter_solve(&mut self, trace: Option<TraceCtx>) -> Option<SpanGuard> {
+        let _ = self.collector?;
+        let guard = SpanGuard::enter("fleet_solve");
+        if let (Some(id), Some(ctx)) = (guard.id(), trace) {
+            self.bindings.push(SpanBinding {
+                span: id,
+                trace_id: ctx.trace_id,
+                parent_span: ctx.parent_span,
+            });
+        }
+        Some(guard)
+    }
+
+    fn observe(&self, result: &WorkerResult) {
+        match result {
+            WorkerResult::Ok { solve_micros, .. } => self.solve_hist.record_micros(*solve_micros),
+            WorkerResult::Err { .. } => self.errors.inc(),
+        }
+    }
+
+    /// Ship everything new since the last call as one `Obs` frame (and
+    /// drain the shipped events so the preallocated buffer never fills
+    /// from long-lived workers). No-op when untraced or nothing is new.
+    fn ship<W: Write>(&mut self, out: &Mutex<W>) -> std::io::Result<()> {
+        let Some(c) = self.collector else { return Ok(()) };
+        let (events, next) = c.events_since(self.cursor);
+        let dropped_now = c.dropped_events();
+        if events.is_empty() && self.bindings.is_empty() && dropped_now == self.last_dropped {
+            return Ok(());
+        }
+        c.drain_through(next);
+        self.cursor = next;
+        self.dropped.add(dropped_now - self.last_dropped);
+        self.last_dropped = dropped_now;
+        let spans = events
+            .into_iter()
+            .map(|e| WireSpan {
+                name: e.name.to_string(),
+                start_micros: e.start_micros,
+                duration_micros: e.duration_micros,
+                thread_id: e.thread_id,
+                id: e.id,
+                parent_id: e.parent_id,
+            })
+            .collect();
+        send(
+            out,
+            &FromWorker::Obs {
+                now_micros: c.now_micros(),
+                spans,
+                bindings: std::mem::take(&mut self.bindings),
+                dropped: dropped_now,
+                metrics: Some(MetricsSnapshot::from_registry(aa_obs::global())),
+            },
+        )
     }
 }
 
@@ -398,6 +540,7 @@ mod tests {
             seq: 0,
             stream: Some(7),
             budget_ms: None,
+            trace: None,
             problem: problem_file(6),
         }));
         input.extend(frame(&ToWorker::Ping { nonce: 99 }));
@@ -405,6 +548,7 @@ mod tests {
             seq: 1,
             stream: Some(7),
             budget_ms: None,
+            trace: None,
             problem: problem_file(6),
         }));
         let msgs = run(input, &WorkerOpts::default());
@@ -439,6 +583,7 @@ mod tests {
             seq: 5,
             stream: None,
             budget_ms: Some(0),
+            trace: None,
             problem: problem_file(2000),
         }));
         let msgs = run(input, &WorkerOpts::default());
@@ -465,12 +610,14 @@ mod tests {
             seq: 0,
             stream: None,
             budget_ms: None,
+            trace: None,
             problem: ProblemFile { servers: 0, capacity: 4.0, threads: vec![] },
         }));
         input.extend(frame(&ToWorker::Req {
             seq: 1,
             stream: None,
             budget_ms: None,
+            trace: None,
             problem: problem_file(4),
         }));
         let msgs = run(input, &WorkerOpts::default());
@@ -502,6 +649,7 @@ mod tests {
                 seq,
                 stream: Some(1),
                 budget_ms: None,
+                trace: None,
                 problem: problem_file(6),
             }));
         }
@@ -534,6 +682,7 @@ mod tests {
             seq: 0,
             stream: None,
             budget_ms: None,
+            trace: None,
             problem: problem_file(4),
         }));
         let opts = WorkerOpts {
@@ -542,6 +691,49 @@ mod tests {
         };
         let msgs = run(input, &opts);
         // The solve still answers after the stall.
+        assert!(msgs.iter().any(|m| matches!(
+            m,
+            FromWorker::Resp { seq: 0, result: WorkerResult::Ok { .. } }
+        )));
+    }
+
+    #[test]
+    fn obs_spans_ship_with_bindings_and_federated_metrics() {
+        let mut input = Vec::new();
+        input.extend(frame(&ToWorker::Req {
+            seq: 0,
+            stream: Some(1),
+            budget_ms: None,
+            trace: Some(TraceCtx { trace_id: 11, parent_span: 400 }),
+            problem: problem_file(6),
+        }));
+        let opts = WorkerOpts { trace_spans: true, ..WorkerOpts::default() };
+        let msgs = run(input, &opts);
+        match &msgs[0] {
+            FromWorker::Hello { worker: 0, .. } => {}
+            other => panic!("first frame must be the hello: {other:?}"),
+        }
+        let mut solve_roots = Vec::new();
+        let mut bound = false;
+        for m in &msgs {
+            if let FromWorker::Obs { spans, bindings, metrics, .. } = m {
+                solve_roots.extend(
+                    spans.iter().filter(|s| s.name == "fleet_solve").map(|s| s.id),
+                );
+                for b in bindings {
+                    if b.trace_id == 11 && b.parent_span == 400 {
+                        bound = true;
+                    }
+                }
+                let snap = metrics.as_ref().expect("obs frames carry a snapshot");
+                assert!(
+                    snap.histograms.iter().any(|h| h.key == "aa_worker_solve_micros"),
+                    "solve histogram federates: {snap:?}"
+                );
+            }
+        }
+        assert!(!solve_roots.is_empty(), "solve root span was shipped: {msgs:?}");
+        assert!(bound, "binding links the solve root to the front-end parent: {msgs:?}");
         assert!(msgs.iter().any(|m| matches!(
             m,
             FromWorker::Resp { seq: 0, result: WorkerResult::Ok { .. } }
@@ -558,6 +750,7 @@ mod tests {
             seq: 0,
             stream: None,
             budget_ms: None,
+            trace: None,
             problem: problem_file(4),
         }));
         let opts = WorkerOpts {

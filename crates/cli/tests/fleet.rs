@@ -290,6 +290,91 @@ fn fleet_chaos_reports_are_deterministic_and_healthy() {
 }
 
 #[test]
+fn traced_fleet_answers_are_bit_identical_to_untraced() {
+    let dir = tempdir("traced");
+    let trace = dir.join("trace.json");
+    let dump = dir.join("metrics.json");
+    // Distinct streams so the storm of spans comes from several workers.
+    let lines: Vec<String> = (0..16).map(|i| request(i, Some(i), i)).collect();
+    let plain = run_serve(&["serve", "--fleet", "3", "--seed", "7"], &lines);
+    let traced = run_serve(
+        &[
+            "serve", "--fleet", "3", "--seed", "7",
+            "--trace", trace.to_str().unwrap(),
+            "--metrics-dump", dump.to_str().unwrap(),
+            "--slo-p99-ms", "500",
+        ],
+        &lines,
+    );
+    assert_eq!(plain.len(), 16);
+    assert_eq!(traced.len(), 16);
+    let by_id = |resps: &[serde_json::Value], id: u64| -> serde_json::Value {
+        resps
+            .iter()
+            .find(|r| r.get("id").and_then(|v| v.as_u64()) == Some(id))
+            .unwrap_or_else(|| panic!("no response for id {id}"))
+            .clone()
+    };
+    for id in 0..16 {
+        let p = by_id(&plain, id);
+        let t = by_id(&traced, id);
+        assert_eq!(p["status"].as_str(), Some("ok"), "plain {p:?}");
+        assert_eq!(t["status"].as_str(), Some("ok"), "traced {t:?}");
+        // Observability must never perturb the answer: utility and
+        // allocation bits, assignment, and tier are all byte-equal.
+        assert_eq!(
+            p["utility"].as_f64().unwrap().to_bits(),
+            t["utility"].as_f64().unwrap().to_bits(),
+            "utility bits diverge under --trace for id {id}"
+        );
+        let bits = |r: &serde_json::Value| -> Vec<u64> {
+            r["allocation"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap().to_bits())
+                .collect()
+        };
+        assert_eq!(bits(&p), bits(&t), "allocation bits diverge for id {id}");
+        assert_eq!(p["server"], t["server"], "assignment diverges for id {id}");
+        assert_eq!(p["tier"], t["tier"], "tier diverges for id {id}");
+        // NOT compared: "worker" — stream ranges hash over the workers
+        // that are up at dispatch time, so routing is timing-dependent
+        // (the answer bits above must not be).
+    }
+
+    // The merged trace holds every front-end request span, and worker
+    // solve spans from a real (non-front-end) pid link under them.
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    let request_ids: Vec<u64> = events
+        .iter()
+        .filter(|e| e["ph"] == "X" && e["name"] == "request")
+        .map(|e| e["args"]["id"].as_u64().unwrap())
+        .collect();
+    assert_eq!(request_ids.len(), 16, "one request span per admitted request");
+    let linked_roots = events
+        .iter()
+        .filter(|e| {
+            e["ph"] == "X"
+                && e["name"] == "fleet_solve"
+                && e["pid"].as_u64() != Some(1)
+                && request_ids.contains(&e["args"]["parent"].as_u64().unwrap())
+        })
+        .count();
+    assert_eq!(linked_roots, 16, "every worker solve links under its request span");
+
+    // The metrics dump federates worker series (worker= label) and the
+    // SLO layer tracked every completion against the configured target.
+    let metrics = std::fs::read_to_string(&dump).unwrap();
+    assert!(metrics.contains("worker=\\\"fleet\\\"") || metrics.contains("worker=\"fleet\""),
+        "metrics dump is missing the worker=\"fleet\" aggregate");
+    assert!(metrics.contains("aa_slo_target_p99_micros"), "missing SLO target gauge");
+    assert!(metrics.contains("aa_slo_e2e_micros"), "missing per-class e2e histograms");
+}
+
+#[test]
 fn help_documents_fleet_flags_and_exit_code_9() {
     let out = bin().arg("help").output().unwrap();
     assert!(out.status.success());

@@ -77,6 +77,10 @@ pub const DEFAULT_MAX_RETRIES: u32 = 3;
 /// Bounded in-flight drain on stdin EOF (`--drain-timeout-ms`).
 pub const DEFAULT_DRAIN_TIMEOUT_MS: u64 = 2000;
 
+/// Default end-to-end p99 latency objective (`--slo-p99-ms`): the
+/// target the `aa_slo_*` burn-rate series measures against.
+pub const DEFAULT_SLO_P99_MS: u64 = 100;
+
 /// Why a frame could not be read. Everything except [`FrameError::Io`]
 /// on a live pipe means the peer is emitting garbage and must be treated
 /// as crashed.

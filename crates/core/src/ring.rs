@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn every_member_owns_some_streams() {
         let ring = Ring::new(4);
-        let mut owned = vec![0usize; 4];
+        let mut owned = [0usize; 4];
         for key in 0..4000u64 {
             owned[ring.owner(key).unwrap()] += 1;
         }

@@ -1,0 +1,138 @@
+//! Property-based verification of the federated histogram merge.
+//!
+//! The fleet front-end re-exports worker histograms by bucket-wise
+//! addition ([`aa_obs::Histogram::merge`]), so the `worker="fleet"`
+//! aggregate is only trustworthy if merging is a proper monoid over
+//! the recorded samples:
+//!
+//! * **commutative** — merge order across workers must not matter;
+//! * **associative** — merging worker-by-worker must equal merging
+//!   pre-merged groups;
+//! * **lossless** — count, sum, max, and every bucket of the merge
+//!   must equal a single histogram that observed all samples directly;
+//! * **quantile-exact** — because quantiles are bucket-resolved (and
+//!   capped at the exact max), p50/p99 of the merge must be
+//!   *identical* to the combined histogram, not merely close.
+//!
+//! The wire round-trip (`bucket_counts` → `from_parts`, which is what
+//! `MetricsSnapshot` does across the worker pipe) must also preserve
+//! all of the above.
+
+use aa_obs::metrics::NUM_BOUNDARIES;
+use aa_obs::Histogram;
+use proptest::prelude::*;
+
+/// Strategy: one worker's worth of latency samples, spanning the
+/// bucket ladder from sub-µs to overflow.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..10,             // first buckets, incl. the 0 edge
+            10u64..10_000,        // mid ladder
+            10_000u64..10_000_000, // upper decades
+            Just(u64::MAX),       // overflow bucket
+        ],
+        0..40,
+    )
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::default();
+    for &s in samples {
+        h.record_micros(s);
+    }
+    h
+}
+
+/// Merge a histogram the way the fleet wire does: snapshot to parts,
+/// reconstruct, then bucket-add.
+fn merge_via_wire(into: &Histogram, from: &Histogram) {
+    let parts = Histogram::from_parts(
+        &from.bucket_counts(),
+        from.count(),
+        from.sum_micros(),
+        from.max_micros(),
+    )
+    .expect("bucket_counts always round-trips");
+    into.merge(&parts);
+}
+
+fn assert_same(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.count(), b.count(), "counts diverge");
+    assert_eq!(a.sum_micros(), b.sum_micros(), "sums diverge");
+    assert_eq!(a.max_micros(), b.max_micros(), "maxes diverge");
+    assert_eq!(a.bucket_counts(), b.bucket_counts(), "buckets diverge");
+}
+
+proptest! {
+    #[test]
+    fn merge_is_lossless_and_commutative(a in samples(), b in samples()) {
+        // Combined reference: one histogram that saw every sample.
+        let combined: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let reference = hist_of(&combined);
+
+        let ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+
+        assert_same(&ab, &reference);
+        assert_same(&ba, &reference);
+
+        // Bucket-resolved quantiles of the merge are *identical* to the
+        // combined histogram — not an approximation.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(ab.quantile_micros(q), reference.quantile_micros(q));
+            prop_assert_eq!(ba.quantile_micros(q), reference.quantile_micros(q));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        // (a ⊕ b) ⊕ c
+        let left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let right = hist_of(&a);
+        right.merge(&bc);
+
+        assert_same(&left, &right);
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(left.quantile_micros(q), right.quantile_micros(q));
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_the_merge(workers in prop::collection::vec(samples(), 1..5)) {
+        // Direct in-process merge vs. the snapshot → from_parts → merge
+        // path every worker histogram takes over the pipe.
+        let direct = Histogram::default();
+        let federated = Histogram::default();
+        let mut all = Vec::new();
+        for w in &workers {
+            let h = hist_of(w);
+            direct.merge(&h);
+            merge_via_wire(&federated, &h);
+            all.extend_from_slice(w);
+        }
+        let reference = hist_of(&all);
+        assert_same(&federated, &direct);
+        assert_same(&federated, &reference);
+
+        let total: u64 = workers.iter().map(|w| w.len() as u64).sum();
+        prop_assert_eq!(federated.count(), total, "merge must preserve total count");
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_bucket_vectors(len in 0usize..200) {
+        // Only exactly NUM_BOUNDARIES+1 buckets round-trip; anything
+        // else (a worker speaking a different ladder) is rejected
+        // rather than silently misaligned.
+        let buckets = vec![0u64; len];
+        let ok = Histogram::from_parts(&buckets, 0, 0, 0).is_some();
+        prop_assert_eq!(ok, len == NUM_BOUNDARIES + 1);
+    }
+}

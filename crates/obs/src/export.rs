@@ -18,11 +18,16 @@ use crate::trace::Collector;
 /// `_bucket{le="…"}` samples (only up to the last non-empty bucket, to
 /// keep the page readable), `_sum` and `_count`. Histogram names carry
 /// their unit (`…_micros`) so the µs-domain buckets are unambiguous.
+///
+/// Uses the *federated* snapshot: on a fleet front-end the page also
+/// carries every worker's shipped series (`worker=`-labeled) and the
+/// `worker="fleet"` histogram aggregates; on a plain process the two
+/// snapshots are identical.
 #[must_use]
 pub fn prometheus_text(registry: &Registry) -> String {
     let mut out = String::new();
     let mut last_type: Option<(String, &'static str)> = None;
-    for (key, metric) in registry.snapshot() {
+    for (key, metric) in registry.snapshot_federated() {
         let (name, labels) = split_key(&key);
         let kind = match metric {
             Metric::Counter(_) => "counter",
@@ -88,13 +93,14 @@ fn label_prefix(labels: &str) -> String {
 
 /// Render `registry` as a JSON snapshot:
 /// `{"counters":{…},"gauges":{…},"histograms":{name:{count,sum_micros,
-/// max_micros,p50_micros,p90_micros,p99_micros}}}`.
+/// max_micros,p50_micros,p90_micros,p99_micros}}}`. Federated worker
+/// series are included, same as [`prometheus_text`].
 #[must_use]
 pub fn json_snapshot(registry: &Registry) -> String {
     let mut counters = String::new();
     let mut gauges = String::new();
     let mut histograms = String::new();
-    for (key, metric) in registry.snapshot() {
+    for (key, metric) in registry.snapshot_federated() {
         match metric {
             Metric::Counter(c) => {
                 if !counters.is_empty() {
@@ -157,6 +163,83 @@ pub fn chrome_trace_json(collector: &Collector) -> String {
         "{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\",\
          \"otherData\":{{\"dropped_events\":{}}}}}",
         collector.dropped_events()
+    )
+}
+
+/// One process lane of a merged (multi-process) Chrome trace: the
+/// front-end is lane/pid 1; each worker incarnation gets its own pid
+/// and a human-readable label (`worker 2 pid 4242`).
+#[derive(Clone, Debug)]
+pub struct TraceLane {
+    /// The `pid` every event in this lane renders under.
+    pub pid: u32,
+    /// Lane label, emitted as `process_name` metadata.
+    pub label: String,
+    /// The lane's span events, ids already remapped into the shared id
+    /// space and timestamps already clock-aligned by the caller.
+    pub events: Vec<LaneEvent>,
+}
+
+/// One span event inside a [`TraceLane`]. Unlike [`SpanEvent`] the name
+/// is owned (it crossed a process boundary) and the event carries the
+/// trace id it belongs to (0 when untraced).
+#[derive(Clone, Debug)]
+pub struct LaneEvent {
+    /// Span name.
+    pub name: String,
+    /// Start, µs in the *front-end* collector's clock domain.
+    pub start_micros: u64,
+    /// Duration, µs.
+    pub duration_micros: u64,
+    /// Originating thread id (lane-local).
+    pub thread_id: u64,
+    /// Span id, unique across the whole merged trace.
+    pub id: u64,
+    /// Parent span id in the merged id space; 0 for roots.
+    pub parent_id: u64,
+    /// The request trace this span belongs to; 0 for untraced spans.
+    pub trace_id: u64,
+}
+
+/// Render a multi-process fleet trace in the Chrome `trace_event`
+/// format: one `pid` lane per entry in `lanes` (named via
+/// `process_name` metadata events), complete `"ph":"X"` events
+/// otherwise identical in shape to [`chrome_trace_json`], and the
+/// fleet-wide dropped-span count in `otherData`. The single-process
+/// exporter is untouched — its `pid:1` contract is pinned by CI.
+#[must_use]
+pub fn chrome_trace_merged(lanes: &[TraceLane], dropped_total: u64) -> String {
+    let mut events = String::new();
+    for lane in lanes {
+        if !events.is_empty() {
+            events.push(',');
+        }
+        let _ = write!(
+            events,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            lane.pid,
+            json_string(&lane.label),
+        );
+        for e in &lane.events {
+            let _ = write!(
+                events,
+                ",{{\"name\":{},\"cat\":\"aa\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{},\"trace\":{}}}}}",
+                json_string(&e.name),
+                e.start_micros,
+                e.duration_micros,
+                lane.pid,
+                e.thread_id,
+                e.id,
+                e.parent_id,
+                e.trace_id,
+            );
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\",\
+         \"otherData\":{{\"dropped_events\":{dropped_total}}}}}"
     )
 }
 
@@ -280,6 +363,78 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("aa_tier_micros_sum{tier=\"algo2\"} 10"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_text_includes_federated_worker_series() {
+        let r = Registry::new();
+        r.counter("aa_fleet_dispatched_total").add(2);
+        let h = crate::Histogram::default();
+        h.record_micros(50);
+        let mut snap = crate::FederatedSnapshot::default();
+        snap.counters.push(("aa_serve_solved_total".into(), 9));
+        snap.histograms.push(crate::FederatedHistogram {
+            key: "aa_serve_tier_solve_micros{tier=\"algo2\"}".into(),
+            buckets: h.bucket_counts(),
+            count: h.count(),
+            sum_micros: h.sum_micros(),
+            max_micros: h.max_micros(),
+        });
+        r.merge_worker_snapshot("3", snap);
+        let text = prometheus_text(&r);
+        assert!(text.contains("aa_serve_solved_total{worker=\"3\"} 9"), "{text}");
+        assert!(
+            text.contains(
+                "aa_serve_tier_solve_micros_bucket{tier=\"algo2\",worker=\"3\",le=\"50\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("aa_serve_tier_solve_micros_count{tier=\"algo2\",worker=\"fleet\"} 1"),
+            "{text}"
+        );
+        let json = json_snapshot(&r);
+        assert!(json.contains("\"aa_serve_solved_total{worker=\\\"3\\\"}\":9"), "{json}");
+    }
+
+    #[test]
+    fn merged_chrome_trace_renders_one_lane_per_pid() {
+        let lanes = vec![
+            TraceLane {
+                pid: 1,
+                label: "front-end".into(),
+                events: vec![LaneEvent {
+                    name: "request".into(),
+                    start_micros: 100,
+                    duration_micros: 900,
+                    thread_id: 1,
+                    id: 7,
+                    parent_id: 0,
+                    trace_id: 42,
+                }],
+            },
+            TraceLane {
+                pid: 4242,
+                label: "worker 0 pid 4242".into(),
+                events: vec![LaneEvent {
+                    name: "fleet_solve".into(),
+                    start_micros: 300,
+                    duration_micros: 500,
+                    thread_id: 2,
+                    id: (1u64 << 40) | 3,
+                    parent_id: 7,
+                    trace_id: 42,
+                }],
+            },
+        ];
+        let json = chrome_trace_merged(&lanes, 5);
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(json.contains("\"name\":\"worker 0 pid 4242\""), "{json}");
+        assert!(json.contains("\"pid\":4242"), "{json}");
+        assert!(json.contains("\"parent\":7"), "{json}");
+        assert!(json.contains("\"trace\":42"), "{json}");
+        assert!(json.contains("\"dropped_events\":5"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod metrics;
 pub mod trace;
 
 pub use log::{init_logger, log_enabled, LogFormat, LogLevel};
-pub use metrics::{Counter, Gauge, Histogram, Metric, Registry};
+pub use metrics::{
+    Counter, FederatedHistogram, FederatedSnapshot, Gauge, Histogram, Metric, Registry, SloTracker,
+};
 pub use trace::{Collector, SpanEvent, SpanGuard};
 
 use std::sync::OnceLock;

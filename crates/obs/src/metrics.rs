@@ -154,6 +154,41 @@ impl Histogram {
             .collect()
     }
 
+    /// Merge `other` into `self`: bucket-wise add (the boundaries are
+    /// fixed and identical for every histogram), plus count/sum adds
+    /// and a max fetch-max. This is exactly what recording `other`'s
+    /// samples into `self` would have produced at bucket resolution, so
+    /// merged quantiles equal single-histogram quantiles — the property
+    /// the federation proptest pins.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.0.sum_micros.fetch_add(other.sum_micros(), Ordering::Relaxed);
+        self.0.max_micros.fetch_max(other.max_micros(), Ordering::Relaxed);
+    }
+
+    /// Rebuild a histogram from shipped parts (a worker's wire
+    /// snapshot). Returns `None` when `buckets` does not have exactly
+    /// [`NUM_BOUNDARIES`]` + 1` entries — the boundaries are a protocol
+    /// constant, so a length mismatch means version skew and the
+    /// snapshot must be discarded rather than misfiled.
+    #[must_use]
+    pub fn from_parts(buckets: &[u64], count: u64, sum_micros: u64, max_micros: u64) -> Option<Histogram> {
+        if buckets.len() != NUM_BOUNDARIES + 1 {
+            return None;
+        }
+        let h = Histogram::default();
+        for (slot, &v) in h.0.buckets.iter().zip(buckets.iter()) {
+            slot.store(v, Ordering::Relaxed);
+        }
+        h.0.count.store(count, Ordering::Relaxed);
+        h.0.sum_micros.store(sum_micros, Ordering::Relaxed);
+        h.0.max_micros.store(max_micros, Ordering::Relaxed);
+        Some(h)
+    }
+
     /// Bucket-resolved `q`-quantile in microseconds: the boundary of the
     /// bucket holding the nearest-rank observation, capped at the exact
     /// observed maximum. Returns 0 for an empty histogram.
@@ -209,14 +244,51 @@ impl Entry {
     }
 }
 
+/// A worker registry snapshot as shipped over the fleet wire: flat
+/// `(export key, value)` lists plus raw histogram parts. Full snapshots
+/// — not deltas — so a merge is idempotent and a worker restart (which
+/// resets its counters) simply replaces the previous incarnation's
+/// contribution.
+#[derive(Clone, Debug, Default)]
+pub struct FederatedSnapshot {
+    /// Counter export keys and cumulative values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge export keys and last values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram export keys and raw parts.
+    pub histograms: Vec<FederatedHistogram>,
+}
+
+/// One histogram inside a [`FederatedSnapshot`].
+#[derive(Clone, Debug)]
+pub struct FederatedHistogram {
+    /// The export key (`name` or `name{k="v"}`).
+    pub key: String,
+    /// Per-bucket counts, [`NUM_BOUNDARIES`]` + 1` entries.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations, µs.
+    pub sum_micros: u64,
+    /// Largest observation, µs.
+    pub max_micros: u64,
+}
+
 /// A registry of named metrics.
 ///
 /// Instantiable (tests and the serve loop pass their own so process
 /// state never leaks between runs); [`crate::global`] is the shared
 /// process-wide instance the solver pipeline records into.
+///
+/// A fleet front-end additionally *federates*: worker processes ship
+/// [`FederatedSnapshot`]s of their own registries, merged in via
+/// [`Registry::merge_worker_snapshot`] and re-exported (with a
+/// `worker=` label, plus a `worker="fleet"` bucket-wise aggregate for
+/// histograms) by [`Registry::snapshot_federated`].
 #[derive(Debug, Default)]
 pub struct Registry {
     pub(crate) entries: Mutex<Vec<Entry>>,
+    federated: Mutex<Vec<(String, FederatedSnapshot)>>,
 }
 
 impl Registry {
@@ -312,7 +384,8 @@ impl Registry {
     }
 
     /// Snapshot of every registered entry, sorted by export key —
-    /// deterministic regardless of registration order.
+    /// deterministic regardless of registration order. Local entries
+    /// only; see [`Registry::snapshot_federated`] for the fleet view.
     #[must_use]
     pub fn snapshot(&self) -> Vec<(String, Metric)> {
         let entries = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -320,6 +393,166 @@ impl Registry {
             entries.iter().map(|e| (e.key(), e.metric.clone())).collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// Capture the local entries as a [`FederatedSnapshot`] — what a
+    /// fleet worker ships to its front-end.
+    #[must_use]
+    pub fn to_federated(&self) -> FederatedSnapshot {
+        let mut snap = FederatedSnapshot::default();
+        for (key, metric) in self.snapshot() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((key, c.get())),
+                Metric::Gauge(g) => snap.gauges.push((key, g.get())),
+                Metric::Histogram(h) => snap.histograms.push(FederatedHistogram {
+                    key,
+                    buckets: h.bucket_counts(),
+                    count: h.count(),
+                    sum_micros: h.sum_micros(),
+                    max_micros: h.max_micros(),
+                }),
+            }
+        }
+        snap
+    }
+
+    /// Merge (replace-or-insert) worker `worker`'s latest snapshot.
+    /// Snapshots are full, so the newest one entirely supersedes the
+    /// previous — stale series from a dead incarnation cannot linger.
+    pub fn merge_worker_snapshot(&self, worker: &str, snap: FederatedSnapshot) {
+        let mut fed = self.federated.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match fed.binary_search_by(|(w, _)| w.as_str().cmp(worker)) {
+            Ok(i) => fed[i].1 = snap,
+            Err(i) => fed.insert(i, (worker.to_string(), snap)),
+        }
+    }
+
+    /// Forget worker `worker`'s federated series entirely — called when
+    /// a worker is retired so `/metrics` stops re-exporting it as live.
+    pub fn drop_worker(&self, worker: &str) {
+        let mut fed = self.federated.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        fed.retain(|(w, _)| w != worker);
+    }
+
+    /// The fleet-complete snapshot: local entries, plus every federated
+    /// worker series re-keyed with a `worker="…"` label, plus one
+    /// `worker="fleet"` bucket-wise aggregate per federated histogram
+    /// name (merged counts equal the sum of per-worker counts). Sorted
+    /// by export key. Identical to [`Registry::snapshot`] when nothing
+    /// has federated.
+    #[must_use]
+    pub fn snapshot_federated(&self) -> Vec<(String, Metric)> {
+        let mut out = self.snapshot();
+        let fed = self.federated.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Aggregate histograms across workers by their original key.
+        let mut merged: Vec<(String, Histogram)> = Vec::new();
+        for (worker, snap) in fed.iter() {
+            for (key, v) in &snap.counters {
+                let c = Counter::default();
+                c.add(*v);
+                out.push((key_with_worker(key, worker), Metric::Counter(c)));
+            }
+            for (key, v) in &snap.gauges {
+                let g = Gauge::default();
+                g.set(*v);
+                out.push((key_with_worker(key, worker), Metric::Gauge(g)));
+            }
+            for fh in &snap.histograms {
+                let Some(h) =
+                    Histogram::from_parts(&fh.buckets, fh.count, fh.sum_micros, fh.max_micros)
+                else {
+                    continue;
+                };
+                match merged.iter().find(|(k, _)| k == &fh.key) {
+                    Some((_, agg)) => agg.merge(&h),
+                    None => {
+                        let agg = Histogram::default();
+                        agg.merge(&h);
+                        merged.push((fh.key.clone(), agg));
+                    }
+                }
+                out.push((key_with_worker(&fh.key, worker), Metric::Histogram(h)));
+            }
+        }
+        for (key, agg) in merged {
+            out.push((key_with_worker(&key, "fleet"), Metric::Histogram(agg)));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Splice a `worker="…"` label into an export key: `name` →
+/// `name{worker="w"}`, `name{k="v"}` → `name{k="v",worker="w"}`.
+fn key_with_worker(key: &str, worker: &str) -> String {
+    match key.strip_suffix('}') {
+        Some(open) => format!("{open},worker=\"{worker}\"}}"),
+        None => format!("{key}{{worker=\"{worker}\"}}"),
+    }
+}
+
+/// A tiny SLO tracker: classifies each end-to-end completion as good
+/// or breaching (latency over target, or a non-ok outcome), exports
+/// `aa_slo_good_total` / `aa_slo_breach_total` / `aa_slo_burn_rate` /
+/// `aa_slo_target_p99_micros`, and derives the burn rate as
+/// breach-fraction over the 1 % error budget implied by a p99 target
+/// (burn 1.0 = exactly consuming budget; > 1.0 = burning it down).
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    target_micros: u64,
+    good: Counter,
+    breach: Counter,
+    burn: Gauge,
+}
+
+/// Error budget implied by a p99 target: 1 % of requests may breach.
+const SLO_ERROR_BUDGET: f64 = 0.01;
+
+impl SloTracker {
+    /// Register the `aa_slo_*` series in `registry` with a latency
+    /// target of `target_micros`.
+    #[must_use]
+    pub fn register(registry: &Registry, target_micros: u64) -> SloTracker {
+        #[allow(clippy::cast_precision_loss)]
+        registry.gauge("aa_slo_target_p99_micros").set(target_micros as f64);
+        SloTracker {
+            target_micros,
+            good: registry.counter("aa_slo_good_total"),
+            breach: registry.counter("aa_slo_breach_total"),
+            burn: registry.gauge("aa_slo_burn_rate"),
+        }
+    }
+
+    /// The latency target, µs.
+    #[must_use]
+    pub fn target_micros(&self) -> u64 {
+        self.target_micros
+    }
+
+    /// Record one completed request: `ok` outcomes under target are
+    /// good, everything else breaches. Refreshes the burn-rate gauge.
+    pub fn observe(&self, latency_micros: u64, ok: bool) {
+        if ok && latency_micros <= self.target_micros {
+            self.good.inc();
+        } else {
+            self.breach.inc();
+        }
+        self.burn.set(self.burn_rate());
+    }
+
+    /// Current burn rate: breach fraction ÷ error budget (0.0 when
+    /// nothing has been observed).
+    #[must_use]
+    pub fn burn_rate(&self) -> f64 {
+        let good = self.good.get();
+        let breach = self.breach.get();
+        let total = good + breach;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let fraction = breach as f64 / total as f64;
+        fraction / SLO_ERROR_BUDGET
     }
 }
 
@@ -363,5 +596,125 @@ mod tests {
         let r = Registry::new();
         r.counter("aa_kind");
         r.gauge("aa_kind");
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_once() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let combined = Histogram::default();
+        for v in [1u64, 5, 90, 1_500] {
+            a.record_micros(v);
+            combined.record_micros(v);
+        }
+        for v in [2u64, 900, 2_000_000] {
+            b.record_micros(v);
+            combined.record_micros(v);
+        }
+        let merged = Histogram::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.sum_micros(), combined.sum_micros());
+        assert_eq!(merged.max_micros(), combined.max_micros());
+        assert_eq!(merged.bucket_counts(), combined.bucket_counts());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile_micros(q), combined.quantile_micros(q));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_bucket_count() {
+        assert!(Histogram::from_parts(&[0; NUM_BOUNDARIES + 1], 0, 0, 0).is_some());
+        assert!(Histogram::from_parts(&[0; NUM_BOUNDARIES], 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn federation_re_exports_worker_series_and_aggregates() {
+        let r = Registry::new();
+        r.counter("aa_local_total").inc();
+        let mut snap0 = FederatedSnapshot::default();
+        snap0.counters.push(("aa_worker_solves_total".into(), 3));
+        snap0.gauges.push(("aa_worker_depth".into(), 2.0));
+        let h0 = Histogram::default();
+        h0.record_micros(10);
+        h0.record_micros(20);
+        snap0.histograms.push(FederatedHistogram {
+            key: "aa_worker_solve_micros".into(),
+            buckets: h0.bucket_counts(),
+            count: h0.count(),
+            sum_micros: h0.sum_micros(),
+            max_micros: h0.max_micros(),
+        });
+        let mut snap1 = FederatedSnapshot::default();
+        snap1.counters.push(("aa_worker_solves_total".into(), 5));
+        let h1 = Histogram::default();
+        h1.record_micros(700);
+        snap1.histograms.push(FederatedHistogram {
+            key: "aa_worker_solve_micros".into(),
+            buckets: h1.bucket_counts(),
+            count: h1.count(),
+            sum_micros: h1.sum_micros(),
+            max_micros: h1.max_micros(),
+        });
+        r.merge_worker_snapshot("0", snap0.clone());
+        r.merge_worker_snapshot("1", snap1);
+        let keys: Vec<String> = r.snapshot_federated().iter().map(|(k, _)| k.clone()).collect();
+        assert!(keys.contains(&"aa_local_total".to_string()), "{keys:?}");
+        assert!(keys.contains(&"aa_worker_solves_total{worker=\"0\"}".to_string()), "{keys:?}");
+        assert!(keys.contains(&"aa_worker_solves_total{worker=\"1\"}".to_string()), "{keys:?}");
+        assert!(keys.contains(&"aa_worker_depth{worker=\"0\"}".to_string()), "{keys:?}");
+        let fleet = r
+            .snapshot_federated()
+            .into_iter()
+            .find(|(k, _)| k == "aa_worker_solve_micros{worker=\"fleet\"}")
+            .expect("fleet aggregate exists");
+        match fleet.1 {
+            Metric::Histogram(h) => {
+                assert_eq!(h.count(), 3, "merged count = sum of per-worker counts");
+                assert_eq!(h.max_micros(), 700);
+            }
+            other => panic!("aggregate is a histogram, got {other:?}"),
+        }
+        // Re-merging worker 0 replaces (full snapshots, not deltas).
+        r.merge_worker_snapshot("0", snap0);
+        let count = r
+            .snapshot_federated()
+            .iter()
+            .filter(|(k, _)| k == "aa_worker_solves_total{worker=\"0\"}")
+            .count();
+        assert_eq!(count, 1);
+        // Retirement drops the worker's series entirely.
+        r.drop_worker("0");
+        let keys: Vec<String> = r.snapshot_federated().iter().map(|(k, _)| k.clone()).collect();
+        assert!(!keys.iter().any(|k| k.contains("worker=\"0\"")), "{keys:?}");
+        assert!(keys.contains(&"aa_worker_solves_total{worker=\"1\"}".to_string()), "{keys:?}");
+    }
+
+    #[test]
+    fn key_with_worker_splices_into_existing_labels() {
+        assert_eq!(key_with_worker("aa_x", "2"), "aa_x{worker=\"2\"}");
+        assert_eq!(
+            key_with_worker("aa_x{tier=\"algo2\"}", "2"),
+            "aa_x{tier=\"algo2\",worker=\"2\"}"
+        );
+    }
+
+    #[test]
+    fn slo_tracker_burn_rate_tracks_breach_fraction() {
+        let r = Registry::new();
+        let slo = SloTracker::register(&r, 1_000);
+        assert_eq!(slo.burn_rate(), 0.0);
+        for _ in 0..99 {
+            slo.observe(500, true);
+        }
+        slo.observe(2_000, true); // over target → breach
+        assert!((slo.burn_rate() - 1.0).abs() < 1e-9, "1/100 breaches = burn 1.0");
+        assert_eq!(r.counter("aa_slo_good_total").get(), 99);
+        assert_eq!(r.counter("aa_slo_breach_total").get(), 1);
+        assert!((r.gauge("aa_slo_burn_rate").get() - 1.0).abs() < 1e-9);
+        assert_eq!(r.gauge("aa_slo_target_p99_micros").get(), 1_000.0);
+        slo.observe(100, false); // fast but failed → still a breach
+        assert_eq!(r.counter("aa_slo_breach_total").get(), 2);
     }
 }

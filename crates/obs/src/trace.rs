@@ -55,8 +55,19 @@ pub struct Collector {
     enabled: AtomicBool,
     next_span_id: AtomicU64,
     dropped: AtomicU64,
-    events: Mutex<Vec<SpanEvent>>,
+    events: Mutex<EventBuf>,
     capacity: usize,
+}
+
+/// The span buffer plus a monotonic drain base: `base` counts events
+/// that have left the front of `events` (via [`Collector::drain_through`]
+/// or [`Collector::clear`]), so event `events[i]` has the stable global
+/// index `base + i`. Cursors handed out by [`Collector::events_since`]
+/// are global indices and stay valid across drains.
+#[derive(Debug)]
+struct EventBuf {
+    events: Vec<SpanEvent>,
+    base: u64,
 }
 
 static COLLECTOR: OnceLock<Collector> = OnceLock::new();
@@ -83,7 +94,7 @@ impl Collector {
             enabled: AtomicBool::new(true),
             next_span_id: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
-            events: Mutex::new(Vec::with_capacity(capacity)),
+            events: Mutex::new(EventBuf { events: Vec::with_capacity(capacity), base: 0 }),
             capacity,
         })
     }
@@ -113,16 +124,47 @@ impl Collector {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Copy out the recorded events (in completion order).
+    /// Copy out the recorded (undrained) events, in completion order.
     #[must_use]
     pub fn events(&self) -> Vec<SpanEvent> {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).events.clone()
     }
 
-    /// Number of recorded events.
+    /// Events with global index `>= cursor` plus the next cursor (the
+    /// global index one past the last returned event). A shipper that
+    /// starts at cursor 0 and always feeds the returned cursor back in
+    /// sees every buffered event exactly once — events are never
+    /// re-sent and never skipped (a full buffer counts drops in
+    /// [`Collector::dropped_events`] instead of overwriting). A cursor
+    /// behind the drain base yields from the oldest retained event.
+    #[must_use]
+    pub fn events_since(&self, cursor: u64) -> (Vec<SpanEvent>, u64) {
+        let buf = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let start = usize::try_from(cursor.saturating_sub(buf.base))
+            .unwrap_or(buf.events.len())
+            .min(buf.events.len());
+        let tail = buf.events[start..].to_vec();
+        (tail, buf.base + buf.events.len() as u64)
+    }
+
+    /// Drop events with global index `< cursor` from the front of the
+    /// buffer, freeing capacity for new spans. Call after the events up
+    /// to `cursor` (from [`Collector::events_since`]) have been shipped.
+    pub fn drain_through(&self, cursor: u64) {
+        let mut buf = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let n = usize::try_from(cursor.saturating_sub(buf.base))
+            .unwrap_or(buf.events.len())
+            .min(buf.events.len());
+        if n > 0 {
+            buf.events.drain(..n);
+            buf.base += n as u64;
+        }
+    }
+
+    /// Number of recorded (undrained) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).events.len()
     }
 
     /// Is the buffer empty?
@@ -131,16 +173,83 @@ impl Collector {
         self.len() == 0
     }
 
-    /// Discard all recorded events (capacity is retained).
+    /// Discard all recorded events (capacity is retained). Advances the
+    /// drain base so [`Collector::events_since`] cursors stay monotonic.
     pub fn clear(&self) {
-        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        let mut buf = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        buf.base += buf.events.len() as u64;
+        buf.events.clear();
         self.dropped.store(0, Ordering::Relaxed);
     }
 
+    /// Microseconds from the collector epoch to now — the clock that
+    /// timestamps every span, exposed so cross-process traces can be
+    /// aligned by exchanging "my now" at handshake time.
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        self.micros_since_epoch(Instant::now())
+    }
+
+    /// Microseconds from the collector epoch to `at` (saturating at 0
+    /// for instants before the epoch).
+    #[must_use]
+    pub fn micros_at(&self, at: Instant) -> u64 {
+        if at < self.epoch {
+            return 0;
+        }
+        self.micros_since_epoch(at)
+    }
+
+    /// Allocate a span id without recording anything — for spans whose
+    /// id must be known up front (a request span propagated to workers
+    /// at dispatch) but whose duration is only known at completion.
+    /// Pair with [`Collector::record_prealloc`].
+    #[must_use]
+    pub fn alloc_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record a span under a previously allocated id (see
+    /// [`Collector::alloc_span_id`]) with explicit timestamps.
+    pub fn record_prealloc(
+        &self,
+        id: u64,
+        name: &'static str,
+        start_micros: u64,
+        duration_micros: u64,
+        parent_id: u64,
+    ) {
+        self.record(SpanEvent {
+            name,
+            start_micros,
+            duration_micros,
+            thread_id: thread_id(),
+            id,
+            parent_id,
+        });
+    }
+
+    /// Record a span with explicit timestamps, bypassing the RAII
+    /// guard. For phase spans reconstructed after the fact (a front-end
+    /// marking queue-wait or wire time around an already-completed
+    /// request). Allocates and returns the span id; `parent_id` 0 makes
+    /// it a root.
+    pub fn record_manual(
+        &self,
+        name: &'static str,
+        start_micros: u64,
+        duration_micros: u64,
+        parent_id: u64,
+    ) -> u64 {
+        let id = self.alloc_span_id();
+        self.record_prealloc(id, name, start_micros, duration_micros, parent_id);
+        id
+    }
+
     fn record(&self, event: SpanEvent) {
-        let mut events = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if events.len() < self.capacity {
-            events.push(event);
+        let mut buf = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if buf.events.len() < self.capacity {
+            buf.events.push(event);
         } else {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
@@ -287,5 +396,51 @@ mod tests {
         collector.clear();
         assert!(collector.is_empty());
         assert_eq!(collector.dropped_events(), 0);
+
+        // Cursor API: events_since + drain_through never re-send or
+        // lose events, and clear() keeps cursors monotonic.
+        let (_, cursor0) = collector.events_since(0);
+        {
+            let _a = crate::span!("ship_a");
+        }
+        {
+            let _b = crate::span!("ship_b");
+        }
+        let (batch1, cursor1) = collector.events_since(cursor0);
+        assert_eq!(batch1.iter().map(|e| e.name).collect::<Vec<_>>(), ["ship_a", "ship_b"]);
+        assert_eq!(cursor1, cursor0 + 2);
+        collector.drain_through(cursor1);
+        assert!(collector.is_empty(), "drained events leave the buffer");
+        let (batch_again, cursor_same) = collector.events_since(cursor1);
+        assert!(batch_again.is_empty(), "nothing re-sent after a drain");
+        assert_eq!(cursor_same, cursor1);
+        {
+            let _c = crate::span!("ship_c");
+        }
+        let (batch2, cursor2) = collector.events_since(cursor1);
+        assert_eq!(batch2.len(), 1);
+        assert_eq!(batch2[0].name, "ship_c");
+        assert_eq!(cursor2, cursor1 + 1);
+        // A stale cursor (behind the drain base) yields the oldest
+        // retained events rather than panicking or skipping ahead.
+        let (from_zero, _) = collector.events_since(0);
+        assert_eq!(from_zero.len(), 1);
+        collector.clear();
+        let (_, cursor3) = collector.events_since(0);
+        assert!(cursor3 >= cursor2, "clear() keeps cursors monotonic");
+
+        // Manual spans land in the buffer with a fresh id and the
+        // caller-supplied parent link and timestamps.
+        let parent = collector.record_manual("request", 10, 500, 0);
+        let child = collector.record_manual("queue_wait", 10, 40, parent);
+        assert_ne!(parent, 0);
+        assert_ne!(child, parent);
+        let manual = collector.events();
+        assert_eq!(manual.len(), 2);
+        assert_eq!(manual[1].parent_id, parent);
+        assert_eq!((manual[0].start_micros, manual[0].duration_micros), (10, 500));
+        let at = Instant::now();
+        assert!(collector.micros_at(at) <= collector.now_micros());
+        collector.clear();
     }
 }

@@ -607,6 +607,9 @@ pub struct FleetChaosConfig {
     /// Stall duration in milliseconds (must exceed the front-end's
     /// heartbeat tolerance to register as a fault at all).
     pub stall_millis: u64,
+    /// End-to-end p99 latency objective the front-end's SLO layer runs
+    /// against during the storm, microseconds.
+    pub slo_p99_micros: u64,
     /// Seed for problem generation.
     pub seed: u64,
 }
@@ -621,6 +624,7 @@ impl Default for FleetChaosConfig {
             stalls: 1,
             garbage: 0,
             stall_millis: 2000,
+            slo_p99_micros: 100_000,
             seed: 2016,
         }
     }
@@ -660,6 +664,9 @@ pub struct FleetObservations {
     /// Whether every stream routed to its ring owner again after the
     /// storm ended and the fleet went quiescent.
     pub rebalanced: bool,
+    /// Completions the front-end's SLO burn-rate tracker observed
+    /// (`aa_slo_good_total + aa_slo_breach_total` after the run).
+    pub slo_tracked: u64,
     /// `stream -> utility bits` from the single-process reference solve.
     pub reference_bits: HashMap<u64, u64>,
 }
@@ -708,6 +715,13 @@ pub struct FleetChaosReport {
     pub unrecovered_streams: usize,
     /// `unrecovered_streams == 0`.
     pub all_recovered: bool,
+    /// The SLO objective the front-end ran against, microseconds.
+    pub slo_target_p99_micros: u64,
+    /// Completions the SLO burn-rate tracker observed.
+    pub slo_tracked: u64,
+    /// Every delivered completion was SLO-tracked: the observability
+    /// layer lost nothing through the storm.
+    pub slo_complete: bool,
 }
 
 impl FleetChaosReport {
@@ -723,6 +737,7 @@ impl FleetChaosReport {
             && self.outputs_identical
             && self.all_recovered
             && self.disrupted_streams > 0
+            && self.slo_complete
     }
 }
 
@@ -825,6 +840,9 @@ pub fn analyze_fleet(
         disrupted_streams,
         unrecovered_streams,
         all_recovered: unrecovered_streams == 0,
+        slo_target_p99_micros: cfg.slo_p99_micros,
+        slo_tracked: obs.slo_tracked,
+        slo_complete: obs.slo_tracked == obs.completions.len() as u64,
     }
 }
 
@@ -1071,6 +1089,7 @@ mod tests {
             restarts: plan.faults.iter().map(|f| f.len() as u64).collect(),
             survived: true,
             rebalanced: true,
+            slo_tracked: seq,
             reference_bits,
         }
     }
@@ -1085,6 +1104,8 @@ mod tests {
         assert!(report.outputs_identical);
         assert!(report.all_recovered);
         assert!(report.disrupted_streams > 0);
+        assert!(report.slo_complete);
+        assert_eq!(report.slo_target_p99_micros, cfg.slo_p99_micros);
         assert!(report.healthy(), "{report:?}");
         // The report is the CI artifact and the byte-diff target.
         let a = serde_json::to_string(&report).unwrap();
@@ -1114,6 +1135,12 @@ mod tests {
         let mut lazy = obs.clone();
         lazy.restarts[0] = 0;
         assert!(!analyze_fleet(&cfg, &plan, &lazy).restarted_on_schedule);
+
+        // A completion the SLO layer never tracked breaks slo_complete.
+        let mut untracked = obs.clone();
+        untracked.slo_tracked -= 1;
+        let r = analyze_fleet(&cfg, &plan, &untracked);
+        assert!(!r.slo_complete && !r.healthy());
 
         // A disrupted stream pinned at 30× its pre-fault latency after
         // the replay marker never recovers.
